@@ -1,0 +1,67 @@
+// Command characterize reproduces the paper's display-characterisation
+// flow (§5): solid gray frames are shown on each device and photographed
+// with the (simulated) digital camera, producing the backlight→brightness
+// curve of Figure 7 and the white-level→brightness curves of Figure 8. It
+// can also run the Figure 2/4 compensation-validation flow on a sample
+// frame.
+//
+// Usage:
+//
+//	characterize [-device ipaq5555] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/display"
+	"repro/internal/experiments"
+)
+
+func main() {
+	deviceName := flag.String("device", "ipaq5555", "device for the Figure 8 sweep")
+	validate := flag.Bool("validate", false, "also run the camera compensation validation (Figure 4)")
+	fit := flag.Bool("fit", false, "fit transfer-curve parameters back from the measurements")
+	flag.Parse()
+
+	dev := display.ByName(*deviceName)
+	if dev == nil {
+		fmt.Fprintf(os.Stderr, "characterize: unknown device %q\n", *deviceName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("devices under characterisation:\n")
+	for _, d := range display.Devices() {
+		fmt.Printf("  %-12s %-14s panel, %-5s backlight, min level %d\n",
+			d.Name, d.Panel, d.Backlight, d.MinLevel)
+	}
+	fmt.Println()
+
+	experiments.FprintFig7(os.Stdout, experiments.Fig7(nil))
+	fmt.Println()
+	experiments.FprintFig8(os.Stdout, dev.Name, experiments.Fig8(dev, nil))
+	fmt.Println()
+
+	if *fit {
+		fmt.Println("fitting transfer curves from the measurement sweeps:")
+		for _, d := range display.Devices() {
+			samples := d.CalibrationSamples(24)
+			fitted, rmse, err := display.FitTransfer(d.Name, samples, display.FitOptions{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "characterize:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-12s floor=%.3f gamma=%.2f knee=%.2f (RMSE %.4f; true: %.3f/%.2f/%.2f)\n",
+				d.Name, fitted.ReflectiveFloor, fitted.ResponseGamma, fitted.ResponseKnee,
+				rmse, d.ReflectiveFloor, d.ResponseGamma, d.ResponseKnee)
+		}
+		fmt.Println()
+	}
+
+	if *validate {
+		opt := experiments.Default()
+		opt.Device = dev
+		experiments.FprintFig4(os.Stdout, experiments.Fig4(opt))
+	}
+}

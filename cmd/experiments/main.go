@@ -1,0 +1,166 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// plus the ablation studies, printing each as a labelled text table.
+//
+// Usage:
+//
+//	experiments [-scale 0.15] [-w 80] [-h 60] [-fps 8] [-device ipaq5555] [-only fig9]
+//
+// -scale 1.0 reproduces the paper's full clip lengths (30s–3min each).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/display"
+	"repro/internal/experiments"
+	"repro/internal/video"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.15, "clip duration scale (1.0 = paper length)")
+	w := flag.Int("w", 80, "frame width")
+	h := flag.Int("h", 60, "frame height")
+	fps := flag.Int("fps", 8, "frames per second")
+	deviceName := flag.String("device", "ipaq5555", "client device (ipaq3650, zaurus5600, ipaq5555)")
+	only := flag.String("only", "", "run a single experiment (fig3..fig10, power, overhead, ablations)")
+	flag.Parse()
+
+	dev := display.ByName(*deviceName)
+	if dev == nil {
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *deviceName)
+		os.Exit(2)
+	}
+	opt := experiments.Options{
+		Library: video.LibraryOptions{W: *w, H: *h, FPS: *fps, DurationScale: *scale},
+		Device:  dev,
+	}
+
+	run := func(name string) bool { return *only == "" || *only == name }
+	out := os.Stdout
+
+	if run("fig3") {
+		experiments.FprintFig3(out, experiments.Fig3(opt))
+		fmt.Fprintln(out)
+	}
+	if run("fig4") {
+		experiments.FprintFig4(out, experiments.Fig4(opt))
+		fmt.Fprintln(out)
+	}
+	if run("fig5") {
+		experiments.FprintFig5(out, experiments.Fig5(opt))
+		fmt.Fprintln(out)
+	}
+	if run("fig6") {
+		r, err := experiments.Fig6(opt, "")
+		exitOn(err)
+		experiments.FprintFig6(out, r)
+		fmt.Fprintln(out)
+	}
+	if run("fig7") {
+		experiments.FprintFig7(out, experiments.Fig7(nil))
+		fmt.Fprintln(out)
+	}
+	if run("fig8") {
+		experiments.FprintFig8(out, dev.Name, experiments.Fig8(dev, nil))
+		fmt.Fprintln(out)
+	}
+	if run("fig9") || run("fig10") || run("overhead") {
+		rows, err := experiments.Sweep(opt)
+		exitOn(err)
+		if run("fig9") {
+			experiments.FprintFig9(out, rows)
+			fmt.Fprintln(out)
+		}
+		if run("fig10") {
+			experiments.FprintFig10(out, rows)
+			fmt.Fprintln(out)
+		}
+		if run("overhead") {
+			experiments.FprintOverhead(out, rows)
+			fmt.Fprintln(out)
+		}
+	}
+	if run("power") {
+		experiments.FprintPowerBreakdown(out)
+		fmt.Fprintln(out)
+	}
+	if run("quality") {
+		rows, err := experiments.QualityMetrics(opt, "", 4)
+		exitOn(err)
+		experiments.FprintQuality(out, "themovie", rows)
+		fmt.Fprintln(out)
+	}
+	if run("dvs") {
+		rows, err := experiments.DVSRows(opt, "")
+		exitOn(err)
+		experiments.FprintDVS(out, "i_robot", rows)
+		fmt.Fprintln(out)
+	}
+	if run("network") {
+		rows, err := experiments.NetworkRows(opt, "")
+		exitOn(err)
+		experiments.FprintNetwork(out, "returnoftheking", rows)
+		fmt.Fprintln(out)
+	}
+	if run("battery") {
+		rows, err := experiments.BatteryRows(opt, "")
+		exitOn(err)
+		experiments.FprintBattery(out, "catwoman", rows)
+		fmt.Fprintln(out)
+	}
+	if run("adaptive") {
+		rows, err := experiments.AdaptiveRows(opt, 3)
+		exitOn(err)
+		experiments.FprintAdaptive(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("credits") {
+		rows, err := experiments.CreditsRows(opt)
+		exitOn(err)
+		experiments.FprintCredits(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("ablations") {
+		th, err := experiments.AblateThresholds(opt, "")
+		exitOn(err)
+		experiments.FprintThresholds(out, th)
+		fmt.Fprintln(out)
+
+		gr, err := experiments.AblateGranularity(opt, "")
+		exitOn(err)
+		experiments.FprintGranularity(out, gr)
+		fmt.Fprintln(out)
+
+		bl, err := experiments.Baselines(opt, "", 0.10)
+		exitOn(err)
+		experiments.FprintBaselines(out, 0.10, bl)
+		fmt.Fprintln(out)
+
+		tr, err := experiments.AblateTransferAwareness(opt, "")
+		exitOn(err)
+		experiments.FprintTransfer(out, tr)
+		fmt.Fprintln(out)
+
+		experiments.FprintMethods(out, experiments.AblateCompensationMethod(opt))
+		fmt.Fprintln(out)
+
+		det, err := experiments.AblateDetectors(opt, "")
+		exitOn(err)
+		experiments.FprintDetectors(out, "returnoftheking", det)
+		fmt.Fprintln(out)
+
+		hw, err := experiments.AblateHardwareSteps(opt, "")
+		exitOn(err)
+		experiments.FprintHardware(out, hw)
+		fmt.Fprintln(out)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,167 @@
+// Command player plays an annotated container stream (.avs) the way the
+// paper's modified Berkeley MPEG player does on the iPAQ: it decodes every
+// frame, follows the annotation track to set the backlight per scene at
+// the requested quality level, and reports the power accounting of the run
+// (both the analytic integration and the simulated DAQ measurement).
+//
+// Usage:
+//
+//	player -i rotk.avs [-device ipaq5555] [-quality 0.10] [-compensate]
+//	       [-battery 7.4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/annotation"
+	"repro/internal/codec"
+	"repro/internal/compensate"
+	"repro/internal/container"
+	"repro/internal/display"
+	"repro/internal/power"
+)
+
+func main() {
+	in := flag.String("i", "", "input .avs path")
+	deviceName := flag.String("device", "ipaq5555", "device profile")
+	quality := flag.Float64("quality", 0.10, "accepted clipping budget (0..0.20)")
+	doCompensate := flag.Bool("compensate", true, "apply client-side compensation")
+	methodName := flag.String("method", "contrast", "compensation method (contrast, tonemap)")
+	battery := flag.Float64("battery", 7.4, "battery capacity in watt-hours")
+	traceOut := flag.String("trace", "", "write the power trace as CSV to this path")
+	dumpDir := flag.String("dump-ppm", "", "dump decoded frames as PPM files into this directory")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "player: -i is required")
+		os.Exit(2)
+	}
+	dev := display.ByName(*deviceName)
+	if dev == nil {
+		fmt.Fprintf(os.Stderr, "player: unknown device %q\n", *deviceName)
+		os.Exit(2)
+	}
+	var method compensate.Method
+	switch *methodName {
+	case "contrast":
+		method = compensate.ContrastEnhancement
+	case "tonemap":
+		method = compensate.ToneMapping
+	default:
+		fmt.Fprintf(os.Stderr, "player: unknown method %q\n", *methodName)
+		os.Exit(2)
+	}
+	if *dumpDir != "" {
+		exitOn(os.MkdirAll(*dumpDir, 0o755))
+	}
+
+	f, err := os.Open(*in)
+	exitOn(err)
+	defer f.Close()
+
+	r, err := container.NewReader(f)
+	exitOn(err)
+	hdr := r.Header()
+	dec, err := codec.NewDecoder(hdr.W, hdr.H)
+	exitOn(err)
+
+	model := power.DefaultModel(dev)
+	trace := &power.Trace{}
+	ref := &power.Trace{}
+	frameSeconds := 1 / float64(hdr.FPS)
+
+	var cursor *annotation.Cursor
+	if hdr.Annotations != nil {
+		cursor = hdr.Annotations.NewCursor(hdr.Annotations.QualityIndex(*quality))
+	}
+
+	level := display.MaxLevel
+	target := 1.0
+	frames, switches := 0, 0
+	prev := -1
+	var levelSum, clippedSum float64
+	for {
+		ef, err := r.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		exitOn(err)
+		fr, err := dec.Decode(ef)
+		exitOn(err)
+		if cursor != nil {
+			t, sceneStart := cursor.Next()
+			if sceneStart {
+				target = t
+				level = dev.LevelFor(target)
+			}
+		}
+		if *doCompensate && target > 0 && target < 1 {
+			plan := compensate.Plan{Target: target, K: 1 / target}
+			clippedSum += plan.ClippedFraction(fr)
+			plan.Apply(method, fr)
+		}
+		if *dumpDir != "" {
+			out, err := os.Create(filepath.Join(*dumpDir, fmt.Sprintf("frame%05d.ppm", frames)))
+			exitOn(err)
+			exitOn(fr.WritePPM(out))
+			exitOn(out.Close())
+		}
+		if prev >= 0 && level != prev {
+			switches++
+		}
+		prev = level
+		levelSum += float64(level)
+		state := power.State{Decoding: true, NetworkActive: false, BacklightLevel: level}
+		trace.Append(frameSeconds, state)
+		refState := state
+		refState.BacklightLevel = display.MaxLevel
+		ref.Append(frameSeconds, refState)
+		frames++
+	}
+	if frames == 0 {
+		fmt.Fprintln(os.Stderr, "player: empty stream")
+		os.Exit(1)
+	}
+
+	daq := power.DefaultDAQ()
+	measured, err := daq.MeasuredSavings(model, ref, trace)
+	exitOn(err)
+
+	if *traceOut != "" {
+		out, err := os.Create(*traceOut)
+		exitOn(err)
+		exitOn(model.WriteCSV(out, trace))
+		exitOn(out.Close())
+	}
+
+	fmt.Printf("stream            %s: %d frames, %dx%d @ %d fps\n",
+		*in, frames, hdr.W, hdr.H, hdr.FPS)
+	if hdr.Annotations != nil {
+		fmt.Printf("annotations       %d scenes, %d bytes, quality %.0f%%\n",
+			len(hdr.Annotations.Records), hdr.Annotations.Size(),
+			hdr.Annotations.Quality[hdr.Annotations.QualityIndex(*quality)]*100)
+	} else {
+		fmt.Printf("annotations       none (backlight stays at full)\n")
+	}
+	fmt.Printf("device            %s (%s panel, %s backlight)\n", dev.Name, dev.Panel, dev.Backlight)
+	fmt.Printf("avg backlight     %.1f / 255 (%d switches)\n", levelSum/float64(frames), switches)
+	if *doCompensate {
+		fmt.Printf("mean clipped      %.2f%% of pixels\n", 100*clippedSum/float64(frames))
+	}
+	fmt.Printf("backlight saving  %.1f%%\n", 100*model.BacklightSavings(ref, trace))
+	fmt.Printf("total saving      %.1f%% analytic, %.1f%% DAQ-measured\n",
+		100*model.Savings(ref, trace), 100*measured)
+	fmt.Printf("battery life      %.2fh -> %.2fh on a %.1fWh pack\n",
+		model.BatteryLifeHours(ref, *battery), model.BatteryLifeHours(trace, *battery), *battery)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "player:", err)
+		os.Exit(1)
+	}
+}

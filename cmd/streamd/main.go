@@ -1,0 +1,71 @@
+// Command streamd runs the annotating media server of the paper's system
+// model (Figure 1), serving the synthetic clip library over TCP. Clients
+// negotiate a clip, quality level and device; the server replies with a
+// compensated, annotated stream carrying all three side channels
+// (luminance targets, decode cycles, scene bytes).
+//
+// Usage:
+//
+//	streamd [-addr 127.0.0.1:7400] [-proxy-of upstream:port]
+//	        [-w 120 -h 90 -fps 10 -scale 0.25]
+//
+// With -proxy-of the process runs as the intermediary proxy node instead,
+// pulling raw streams from the upstream server and annotating on the fly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/video"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
+	proxyOf := flag.String("proxy-of", "", "run as a proxy for this upstream server")
+	w := flag.Int("w", 120, "frame width")
+	h := flag.Int("h", 90, "frame height")
+	fps := flag.Int("fps", 10, "frames per second")
+	scale := flag.Float64("scale", 0.25, "clip duration scale")
+	flag.Parse()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if *proxyOf != "" {
+		p := stream.NewProxy(*proxyOf)
+		bound, err := p.Listen(*addr)
+		exitOn(err)
+		fmt.Printf("proxy listening on %s (upstream %s)\n", bound, *proxyOf)
+		<-stop
+		p.Close()
+		return
+	}
+
+	opt := video.LibraryOptions{W: *w, H: *h, FPS: *fps, DurationScale: *scale}
+	catalog := map[string]core.Source{}
+	for _, name := range video.ClipNames() {
+		catalog[name] = core.ClipSource{Clip: video.ClipByName(name, opt)}
+	}
+	s := stream.NewServer(catalog)
+	bound, err := s.Listen(*addr)
+	exitOn(err)
+	fmt.Printf("serving %d clips on %s\n", len(catalog), bound)
+	for _, name := range video.ClipNames() {
+		fmt.Printf("  %s\n", name)
+	}
+	<-stop
+	s.Close()
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command streamget is the mobile client of the paper's system model: it
+// connects to a streamd server (or proxy), negotiates a clip at a quality
+// level for its device, plays the stream, and reports the power accounting
+// of the session plus the annotation side channels it received.
+//
+// Usage:
+//
+//	streamget [-addr 127.0.0.1:7400] -clip returnoftheking
+//	          [-quality 0.10] [-device ipaq5555]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/display"
+	"repro/internal/dvs"
+	"repro/internal/netsched"
+	"repro/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7400", "server or proxy address")
+	clip := flag.String("clip", "", "clip to request")
+	quality := flag.Float64("quality", 0.10, "accepted clipping budget (0..0.20)")
+	deviceName := flag.String("device", "ipaq5555", "device profile")
+	flag.Parse()
+
+	if *clip == "" {
+		fmt.Fprintln(os.Stderr, "streamget: -clip is required")
+		os.Exit(2)
+	}
+	dev := display.ByName(*deviceName)
+	if dev == nil {
+		fmt.Fprintf(os.Stderr, "streamget: unknown device %q\n", *deviceName)
+		os.Exit(2)
+	}
+
+	client := &stream.Client{Device: dev}
+	res, err := client.Play(*addr, *clip, *quality)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamget:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("clip              %s @ %.0f%% quality on %s\n", *clip, *quality*100, dev.Name)
+	fmt.Printf("frames            %d in %d scenes\n", res.Frames, res.Scenes)
+	fmt.Printf("stream bytes      %d (backlight annotations %d bytes)\n", res.BytesStream, res.BytesAnn)
+	fmt.Printf("avg backlight     %.1f/255 (%d switches)\n", res.AvgLevel, res.Switches)
+	fmt.Printf("backlight saving  %.1f%%\n", res.BacklightSavings*100)
+	fmt.Printf("total saving      %.1f%%\n", res.TotalSavings*100)
+
+	if len(res.DecodeCycles) > 0 {
+		// What a DVS-capable client would do with the cycle annotations.
+		table := dvs.XScale()
+		actual := make([]float64, len(res.DecodeCycles))
+		for i, c := range res.DecodeCycles {
+			actual[i] = float64(c)
+		}
+		deadline := 1.0 / 15
+		static, err1 := dvs.Simulate(table, dvs.StaticMax{}, actual, deadline)
+		annotated, err2 := dvs.Simulate(table, dvs.Annotated{Cycles: res.DecodeCycles}, actual, deadline)
+		if err1 == nil && err2 == nil && static.EnergyJoules > 0 {
+			fmt.Printf("dvs annotations   %d frames; annotated governor would save %.1f%% CPU energy\n",
+				len(res.DecodeCycles), (1-annotated.EnergyJoules/static.EnergyJoules)*100)
+		}
+	}
+	if len(res.NetScenes) > 0 {
+		wnic := netsched.DefaultWNIC()
+		results, err := wnic.Compare(res.NetScenes, 0.1)
+		if err == nil {
+			for _, r := range results {
+				if r.Policy == "annotated" {
+					fmt.Printf("net annotations   %d scenes; burst scheduling would save %.1f%% WNIC energy\n",
+						len(res.NetScenes), r.Savings*100)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	R. Cornea, A. Nicolau, N. Dutt,
+//	"Software Annotations for Power Optimization on Mobile Devices",
+//	DATE 2006.
+//
+// The system annotates streaming video with per-scene luminance summaries
+// computed offline at the server or a proxy, so that a mobile client can
+// dim its LCD backlight scene by scene — with the frames brightened
+// upstream to compensate — saving up to ~65% of backlight power with
+// little or no visible quality loss.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// inventory), the runnable entry points under cmd/ and examples/, and the
+// figure-by-figure reproduction harness in bench_test.go and
+// cmd/experiments (results in EXPERIMENTS.md).
+package repro

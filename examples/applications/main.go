@@ -1,0 +1,59 @@
+// Applications: the further annotation uses the paper names in §3 beyond
+// backlight scaling — CPU frequency/voltage scaling and network packet
+// scheduling, both possible because "the information is available even
+// before decoding the data" — plus the battery-life translation of the
+// savings and the ROI-protected end-credits scenario from §4.3.
+//
+//	go run ./examples/applications
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/display"
+	"repro/internal/experiments"
+	"repro/internal/video"
+)
+
+func main() {
+	opt := experiments.Options{
+		Library: video.LibraryOptions{W: 80, H: 60, FPS: 8, DurationScale: 0.15},
+		Device:  display.IPAQ5555(),
+	}
+
+	dvsRows, err := experiments.DVSRows(opt, "i_robot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.FprintDVS(os.Stdout, "i_robot", dvsRows)
+	fmt.Println()
+
+	netRows, err := experiments.NetworkRows(opt, "returnoftheking")
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.FprintNetwork(os.Stdout, "returnoftheking", netRows)
+	fmt.Println()
+
+	batRows, err := experiments.BatteryRows(opt, "catwoman")
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.FprintBattery(os.Stdout, "catwoman", batRows)
+	fmt.Println()
+
+	creditRows, err := experiments.CreditsRows(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.FprintCredits(os.Stdout, creditRows)
+	fmt.Println()
+
+	adaptiveRows, err := experiments.AdaptiveRows(opt, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.FprintAdaptive(os.Stdout, adaptiveRows)
+}

@@ -1,0 +1,48 @@
+// Quickstart: annotate a video clip and simulate annotated playback on a
+// PDA, printing the backlight power saved at each quality level.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/scene"
+	"repro/internal/video"
+)
+
+func main() {
+	// 1. Get a video source. The library synthesises clips with the
+	// luminance structure of the paper's movie trailers; any type
+	// implementing core.Source works.
+	clip := video.ClipByName("returnoftheking", video.LibraryOptions{
+		W: 120, H: 90, FPS: 10, DurationScale: 0.2,
+	})
+	src := core.ClipSource{Clip: clip}
+
+	// 2. Offline analysis (server side): detect scenes and annotate the
+	// stream with per-scene luminance targets at every quality level.
+	track, scenes, err := core.Annotate(src, scene.DefaultConfig(clip.FPS), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d frames, %d scenes, annotation track %d bytes\n\n",
+		clip.Name, clip.TotalFrames(), len(scenes), track.Size())
+
+	// 3. Playback (client side): the device follows the annotations,
+	// setting its backlight once per scene through its inverse transfer
+	// table. Sweep the paper's quality levels.
+	dev := display.IPAQ5555()
+	reports, err := core.Sweep(src, track, dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %-18s %-18s %s\n", "quality", "backlight saved", "total saved (DAQ)", "avg level")
+	for _, rep := range reports {
+		fmt.Printf("%-8.0f %-18.1f %-18.1f %.0f/255\n",
+			rep.Quality*100, rep.BacklightSavings*100, rep.MeasuredTotalSavings*100, rep.AvgLevel)
+	}
+}

@@ -1,0 +1,60 @@
+// Tradeoff: the user-facing power/quality decision. For one clip, sweep
+// the paper's quality levels across all three characterised devices and
+// report power saved, realised clipping, perceived-intensity error and the
+// battery life gained — the information a streaming UI would surface when
+// the user picks a quality level (§4.2: "the user decides if some quality
+// can be traded for more power savings").
+//
+//	go run ./examples/tradeoff [clip]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/compensate"
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/power"
+	"repro/internal/scene"
+	"repro/internal/video"
+)
+
+func main() {
+	clipName := "spiderman2"
+	if len(os.Args) > 1 {
+		clipName = os.Args[1]
+	}
+	clip := video.ClipByName(clipName, video.LibraryOptions{
+		W: 96, H: 72, FPS: 10, DurationScale: 0.2,
+	})
+	if clip == nil {
+		log.Fatalf("unknown clip %q; pick one of %v", clipName, video.ClipNames())
+	}
+	src := core.ClipSource{Clip: clip}
+	track, _, err := core.Annotate(src, scene.DefaultConfig(clip.FPS), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const batteryWh = 7.4
+	for _, dev := range display.Devices() {
+		fmt.Printf("%s (%s panel, %s backlight)\n", dev.Name, dev.Panel, dev.Backlight)
+		fmt.Printf("  %-8s %-12s %-12s %-10s %-12s %s\n",
+			"quality", "backlight%", "total%", "clipped%", "mean err", "battery")
+		for _, q := range compensate.QualityLevels {
+			rep, err := core.Play(src, track, core.PlaybackOptions{
+				Device: dev, Quality: q, EvaluateQuality: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			life := power.DefaultModel(dev).BatteryLifeHours(rep.Trace, batteryWh)
+			fmt.Printf("  %-8.0f %-12.1f %-12.1f %-10.2f %-12.4f %.2fh\n",
+				q*100, rep.BacklightSavings*100, rep.MeasuredTotalSavings*100,
+				rep.MeanClipped*100, rep.MeanAbsErr, life)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,169 @@
+// Package adaptive closes the loop the paper leaves to the user: §4.2 has
+// the user pick a fixed quality level when requesting a clip. With the
+// annotation track available up front, the client can instead re-decide at
+// every scene boundary — degrade quality only when the battery would
+// otherwise not last the session, and recover when it would. The paper's
+// QoS-energy trade-off, made into a controller.
+//
+// The simulation plays a playlist of annotated clips against a battery,
+// draining energy scene by scene, and reports minutes watched, mean
+// quality used, and whether the session completed.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/annotation"
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/power"
+)
+
+// Policy picks the quality index for the next scene.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns the quality index to use for the upcoming scene.
+	// remainingWh is the usable energy left, remainingSeconds the
+	// playlist time left including this scene.
+	Pick(track *annotation.Track, scene int, remainingWh, remainingSeconds float64) int
+}
+
+// Fixed always uses one quality index.
+type Fixed struct {
+	QualityIndex int
+}
+
+// Name implements Policy.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed-%d", f.QualityIndex) }
+
+// Pick implements Policy.
+func (f Fixed) Pick(track *annotation.Track, _ int, _, _ float64) int {
+	if f.QualityIndex >= len(track.Quality) {
+		return len(track.Quality) - 1
+	}
+	return f.QualityIndex
+}
+
+// BatteryAware degrades only as far as the remaining budget requires: it
+// picks the lowest (best-quality) index whose predicted power over the
+// rest of the session fits the remaining energy.
+type BatteryAware struct {
+	dev   *display.Profile
+	model *power.Model
+}
+
+// NewBatteryAware builds the adaptive policy for a device.
+func NewBatteryAware(dev *display.Profile) *BatteryAware {
+	return &BatteryAware{dev: dev, model: power.DefaultModel(dev)}
+}
+
+// Name implements Policy.
+func (b *BatteryAware) Name() string { return "battery-aware" }
+
+// safetyMargin discounts the power budget: the forecast uses the track's
+// whole-session average, so without headroom the controller can die in a
+// final scene brighter than the mean.
+const safetyMargin = 0.97
+
+// Pick implements Policy.
+func (b *BatteryAware) Pick(track *annotation.Track, _ int, remainingWh, remainingSeconds float64) int {
+	if remainingSeconds <= 0 {
+		return 0
+	}
+	budgetWatts := remainingWh * 3600 / remainingSeconds * safetyMargin
+	for qi := range track.Quality {
+		if core.EstimateAveragePower(track, b.dev, b.model, qi) <= budgetWatts {
+			return qi
+		}
+	}
+	return len(track.Quality) - 1
+}
+
+// Result summarises a simulated session.
+type Result struct {
+	Policy string
+	// MinutesWatched until the battery died or the playlist ended.
+	MinutesWatched float64
+	// PlaylistMinutes is the full playlist length.
+	PlaylistMinutes float64
+	// Completed reports whether the whole playlist played.
+	Completed bool
+	// MeanQuality is the time-weighted mean clipping budget used
+	// (0 = always lossless).
+	MeanQuality float64
+	// QualityChanges counts mid-session quality switches.
+	QualityChanges int
+}
+
+// Simulate plays the playlist (each entry one annotated clip) on the
+// device against the pack under the policy. Energy accounting uses the
+// pack's nominal capacity (the Peukert correction is applied once at the
+// session's initial projected load).
+func Simulate(playlist []*annotation.Track, dev *display.Profile, pack *battery.Pack, policy Policy) (Result, error) {
+	if len(playlist) == 0 {
+		return Result{}, fmt.Errorf("adaptive: empty playlist")
+	}
+	if err := pack.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := dev.Validate(); err != nil {
+		return Result{}, err
+	}
+	model := power.DefaultModel(dev)
+	dev.BuildInverse()
+
+	var totalSeconds float64
+	for _, track := range playlist {
+		if track.TotalFrames() == 0 || track.FPS <= 0 {
+			return Result{}, fmt.Errorf("adaptive: degenerate track in playlist")
+		}
+		totalSeconds += float64(track.TotalFrames()) / float64(track.FPS)
+	}
+
+	// Usable energy, rate-corrected at the session's projected mid load.
+	projected := core.EstimateAveragePower(playlist[0], dev, model, len(playlist[0].Quality)/2)
+	remainingWh := pack.EffectiveWattHours(projected)
+
+	res := Result{Policy: policy.Name(), PlaylistMinutes: totalSeconds / 60}
+	remainingSeconds := totalSeconds
+	prevQ := -1
+	var qualityWeighted float64
+
+	for _, track := range playlist {
+		for si, rec := range track.Records {
+			secs := float64(rec.Frames) / float64(track.FPS)
+			qi := policy.Pick(track, si, remainingWh, remainingSeconds)
+			if qi < 0 || qi >= len(track.Quality) {
+				return Result{}, fmt.Errorf("adaptive: policy %s picked quality %d", policy.Name(), qi)
+			}
+			if prevQ >= 0 && qi != prevQ {
+				res.QualityChanges++
+			}
+			prevQ = qi
+			level := dev.LevelFor(float64(rec.Targets[qi]) / 255)
+			watts := model.Instant(power.State{
+				Decoding: true, NetworkActive: true, BacklightLevel: level,
+			})
+			needWh := watts * secs / 3600
+			if needWh >= remainingWh {
+				// Battery dies partway through this scene.
+				frac := remainingWh / needWh
+				res.MinutesWatched += secs * frac / 60
+				qualityWeighted += track.Quality[qi] * secs * frac
+				res.MeanQuality = qualityWeighted / (res.MinutesWatched * 60)
+				return res, nil
+			}
+			remainingWh -= needWh
+			remainingSeconds -= secs
+			res.MinutesWatched += secs / 60
+			qualityWeighted += track.Quality[qi] * secs
+		}
+	}
+	res.Completed = true
+	if res.MinutesWatched > 0 {
+		res.MeanQuality = qualityWeighted / (res.MinutesWatched * 60)
+	}
+	return res, nil
+}

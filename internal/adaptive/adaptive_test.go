@@ -1,0 +1,156 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/annotation"
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/power"
+	"repro/internal/scene"
+	"repro/internal/video"
+)
+
+// playlist builds a multi-clip session long enough to stress a small pack.
+func playlist(t *testing.T, repeats int) []*annotation.Track {
+	t.Helper()
+	opt := video.LibraryOptions{W: 32, H: 24, FPS: 8, DurationScale: 0.2}
+	var out []*annotation.Track
+	for i := 0; i < repeats; i++ {
+		for _, name := range []string{"returnoftheking", "catwoman"} {
+			clip := video.ClipByName(name, opt)
+			track, _, err := core.Annotate(core.ClipSource{Clip: clip},
+				scene.DefaultConfig(clip.FPS), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, track)
+		}
+	}
+	return out
+}
+
+// smallPack returns a pack sized so fixed-lossless cannot finish the
+// session but aggressive quality can.
+func smallPack(t *testing.T, pl []*annotation.Track, dev *display.Profile) *battery.Pack {
+	t.Helper()
+	pack := battery.IPAQ1900()
+	pack.PeukertExponent = 1 // ideal pack: makes the sizing below exact
+	// Scale capacity to ~90% of what lossless playback would need:
+	// enough for aggressive quality (~86%) but not lossless.
+	model := power.DefaultModel(dev)
+	var seconds float64
+	for _, tr := range pl {
+		seconds += float64(tr.TotalFrames()) / float64(tr.FPS)
+	}
+	lossless := core.EstimateAveragePower(pl[0], dev, model, 0)
+	needWh := lossless * seconds / 3600
+	pack.CapacitymAh = needWh / pack.NominalVolts * 1000 * 0.90
+	return pack
+}
+
+func TestFixedLosslessDiesEarly(t *testing.T) {
+	dev := display.IPAQ5555()
+	pl := playlist(t, 3)
+	pack := smallPack(t, pl, dev)
+	res, err := Simulate(pl, dev, pack, Fixed{QualityIndex: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("lossless session completed; pack sizing broken")
+	}
+	if res.MeanQuality != 0 {
+		t.Errorf("fixed-lossless mean quality = %v", res.MeanQuality)
+	}
+}
+
+func TestAdaptiveCompletesWithModestQuality(t *testing.T) {
+	dev := display.IPAQ5555()
+	pl := playlist(t, 3)
+	pack := smallPack(t, pl, dev)
+
+	fixedAggressive, err := Simulate(pl, dev, pack, Fixed{QualityIndex: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Simulate(pl, dev, pack, NewBatteryAware(dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Completed {
+		t.Fatalf("adaptive session did not complete: %+v", adaptive)
+	}
+	if !fixedAggressive.Completed {
+		t.Fatalf("aggressive fixed session did not complete; scenario miscalibrated")
+	}
+	// The controller should not be more aggressive than always-20%.
+	if adaptive.MeanQuality > fixedAggressive.MeanQuality+1e-9 {
+		t.Errorf("adaptive mean quality %v worse than fixed-aggressive %v",
+			adaptive.MeanQuality, fixedAggressive.MeanQuality)
+	}
+	lossless, err := Simulate(pl, dev, pack, Fixed{QualityIndex: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.MinutesWatched <= lossless.MinutesWatched {
+		t.Errorf("adaptive watched %v min, no better than lossless %v",
+			adaptive.MinutesWatched, lossless.MinutesWatched)
+	}
+}
+
+func TestAdaptiveRelaxesOnBigBattery(t *testing.T) {
+	dev := display.IPAQ5555()
+	pl := playlist(t, 1)
+	pack := battery.IPAQ1900() // plenty for a short playlist
+	res, err := Simulate(pl, dev, pack, NewBatteryAware(dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("session did not complete on a full pack")
+	}
+	if res.MeanQuality != 0 {
+		t.Errorf("adaptive degraded (%v) despite ample battery", res.MeanQuality)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	dev := display.IPAQ5555()
+	pack := battery.IPAQ1900()
+	if _, err := Simulate(nil, dev, pack, Fixed{}); err == nil {
+		t.Error("empty playlist accepted")
+	}
+	bad := *pack
+	bad.CapacitymAh = -1
+	if _, err := Simulate(playlist(t, 1), dev, &bad, Fixed{}); err == nil {
+		t.Error("invalid pack accepted")
+	}
+	degenerate := []*annotation.Track{{FPS: 0, Quality: []float64{0}}}
+	if _, err := Simulate(degenerate, dev, pack, Fixed{}); err == nil {
+		t.Error("degenerate track accepted")
+	}
+}
+
+func TestFixedClampsIndex(t *testing.T) {
+	dev := display.IPAQ5555()
+	pl := playlist(t, 1)
+	res, err := Simulate(pl, dev, battery.IPAQ1900(), Fixed{QualityIndex: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanQuality-0.2) > 1e-9 {
+		t.Errorf("clamped fixed policy used quality %v, want 0.2", res.MeanQuality)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Fixed{QualityIndex: 2}).Name() != "fixed-2" {
+		t.Error("Fixed name mismatch")
+	}
+	if NewBatteryAware(display.IPAQ5555()).Name() != "battery-aware" {
+		t.Error("BatteryAware name mismatch")
+	}
+}

@@ -1,0 +1,50 @@
+package annotation_test
+
+import (
+	"fmt"
+
+	"repro/internal/annotation"
+	"repro/internal/histogram"
+	"repro/internal/scene"
+)
+
+// An annotation track carries per-scene luminance targets at every offered
+// quality level, RLE-compressed into a side channel of a few dozen bytes.
+func ExampleFromScenes() {
+	scenes := []scene.Scene{
+		{Start: 0, End: 100, Hist: histogram.FromLuma([]uint8{40, 60, 200})},
+		{Start: 100, End: 160, Hist: histogram.FromLuma([]uint8{90, 100, 110})},
+	}
+	track := annotation.FromScenes(10, scenes, nil)
+	fmt.Printf("%d records, quality levels %v\n", len(track.Records), track.Quality)
+	fmt.Printf("scene 0 lossless target: %d/255\n", track.Records[0].Targets[0])
+	fmt.Printf("encoded size: %dB\n", track.Size())
+	// Output:
+	// 2 records, quality levels [0 0.05 0.1 0.15 0.2]
+	// scene 0 lossless target: 200/255
+	// encoded size: 58B
+}
+
+// A cursor walks the track in playback order with O(1) per-frame cost:
+// the target changes only at scene boundaries, which is when the client
+// re-sets its backlight.
+func ExampleTrack_NewCursor() {
+	track := &annotation.Track{
+		FPS:     10,
+		Quality: []float64{0},
+		Records: []annotation.Record{
+			{Frames: 2, Targets: []uint8{200}},
+			{Frames: 2, Targets: []uint8{120}},
+		},
+	}
+	cur := track.NewCursor(0)
+	for i := 0; i < 4; i++ {
+		target, sceneStart := cur.Next()
+		fmt.Printf("frame %d: target %.2f start=%v\n", i, target, sceneStart)
+	}
+	// Output:
+	// frame 0: target 0.78 start=true
+	// frame 1: target 0.78 start=false
+	// frame 2: target 0.47 start=true
+	// frame 3: target 0.47 start=false
+}

@@ -1,0 +1,39 @@
+package annotation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the track decoder with arbitrary bytes: it must never
+// panic, and any input it accepts must re-encode/decode to an equal track.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("ANB1"))
+	f.Add(sampleTrack().Encode())
+	long := sampleTrack()
+	for i := 0; i < 40; i++ {
+		long.Records = append(long.Records, Record{Frames: i + 1, Targets: []uint8{200, 150, 120, 100, 90}})
+	}
+	f.Add(long.Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := tr.Encode()
+		tr2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted track failed: %v", err)
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("record count changed: %d vs %d", len(tr2.Records), len(tr.Records))
+		}
+		for i := range tr.Records {
+			if tr2.Records[i].Frames != tr.Records[i].Frames ||
+				!bytes.Equal(tr2.Records[i].Targets, tr.Records[i].Targets) {
+				t.Fatalf("record %d changed through re-encode", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,23 @@
+package backlightdev_test
+
+import (
+	"fmt"
+
+	"repro/internal/backlightdev"
+)
+
+// A real driver exposes discrete steps and ramps between levels instead
+// of popping; requested levels are rounded up so scenes are never
+// under-lit.
+func ExampleDevice_Set() {
+	drv, _ := backlightdev.New(32, 64) // 32 hardware steps, ramp 64/update
+	out := drv.Set(100)                // big jump down from full
+	fmt.Println("after set: ", out)
+	for !drv.Settled() {
+		out = drv.Tick()
+	}
+	fmt.Println("settled at:", out, "(requested 100, quantised up)")
+	// Output:
+	// after set:  191
+	// settled at: 107 (requested 100, quantised up)
+}

@@ -1,0 +1,284 @@
+// Package baseline implements the comparator policies the paper positions
+// itself against (§2), all operating on the same per-frame luminance
+// statistics so they compare apples to apples with the annotation scheme:
+//
+//   - Static: backlight pinned at full drive (the do-nothing reference);
+//   - OracleFrame: per-frame dynamic luminance scaling with perfect
+//     knowledge — the power upper bound, at the cost of per-frame
+//     backlight switching (flicker);
+//   - History: client-side prediction from past frames only, the
+//     alternative the paper argues against ("limited knowledge can have
+//     serious consequences on quality degradation if prediction proves
+//     wrong", §3);
+//   - Smoothed: per-frame scaling through a rate limiter, in the spirit of
+//     QABS's smoothing of backlight switching [Cheng et al., LNCS 2005];
+//   - Annotated: the paper's technique, expressed as a strategy for
+//     head-to-head evaluation.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/annotation"
+	"repro/internal/compensate"
+	"repro/internal/display"
+	"repro/internal/scene"
+)
+
+// Strategy maps frame statistics to per-frame backlight levels.
+type Strategy interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Levels returns one backlight level per frame for playback on dev
+	// at the given clipping budget.
+	Levels(dev *display.Profile, stats []scene.FrameStats, budget float64) []int
+}
+
+// Static keeps the backlight at full drive.
+type Static struct{}
+
+// Name implements Strategy.
+func (Static) Name() string { return "static" }
+
+// Levels implements Strategy.
+func (Static) Levels(_ *display.Profile, stats []scene.FrameStats, _ float64) []int {
+	levels := make([]int, len(stats))
+	for i := range levels {
+		levels[i] = display.MaxLevel
+	}
+	return levels
+}
+
+// OracleFrame sets, for every frame, exactly the level that frame needs —
+// an offline upper bound on savings (the paper notes per-frame changes can
+// do better "but may introduce some flicker", §4.3).
+type OracleFrame struct{}
+
+// Name implements Strategy.
+func (OracleFrame) Name() string { return "oracle-frame" }
+
+// Levels implements Strategy.
+func (OracleFrame) Levels(dev *display.Profile, stats []scene.FrameStats, budget float64) []int {
+	levels := make([]int, len(stats))
+	for i, st := range stats {
+		target := frameTarget(st, budget)
+		levels[i] = dev.LevelFor(target)
+	}
+	return levels
+}
+
+// History predicts each frame's requirement from a trailing window of past
+// frames, plus a safety margin. Frame 0 starts at full backlight. It uses
+// no future knowledge and no annotations.
+type History struct {
+	// Window is the number of past frames considered (default 8).
+	Window int
+	// Margin is added to the predicted luminance target (default 0.05)
+	// to absorb upward drift; larger margins waste power, smaller ones
+	// cause clipping violations on scene changes.
+	Margin float64
+}
+
+// Name implements Strategy.
+func (History) Name() string { return "history" }
+
+// Levels implements Strategy.
+func (h History) Levels(dev *display.Profile, stats []scene.FrameStats, budget float64) []int {
+	window := h.Window
+	if window <= 0 {
+		window = 8
+	}
+	margin := h.Margin
+	if margin == 0 {
+		margin = 0.05
+	}
+	levels := make([]int, len(stats))
+	for i := range stats {
+		if i == 0 {
+			levels[i] = display.MaxLevel
+			continue
+		}
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		pred := 0.0
+		for _, st := range stats[lo:i] {
+			if t := frameTarget(st, budget); t > pred {
+				pred = t
+			}
+		}
+		levels[i] = dev.LevelFor(math.Min(1, pred+margin))
+	}
+	return levels
+}
+
+// Smoothed applies per-frame scaling through an asymmetric rate limiter:
+// the backlight may rise quickly (to protect quality on cuts to bright
+// content) but decays slowly, which suppresses flicker.
+type Smoothed struct {
+	// RiseStep and FallStep bound the per-frame level change (defaults
+	// 64 up, 8 down).
+	RiseStep, FallStep int
+}
+
+// Name implements Strategy.
+func (Smoothed) Name() string { return "smoothed" }
+
+// Levels implements Strategy.
+func (s Smoothed) Levels(dev *display.Profile, stats []scene.FrameStats, budget float64) []int {
+	rise, fall := s.RiseStep, s.FallStep
+	if rise <= 0 {
+		rise = 64
+	}
+	if fall <= 0 {
+		fall = 8
+	}
+	levels := make([]int, len(stats))
+	cur := display.MaxLevel
+	for i, st := range stats {
+		want := dev.LevelFor(frameTarget(st, budget))
+		switch {
+		case want > cur:
+			cur = minInt(want, cur+rise)
+		case want < cur:
+			cur = maxInt(want, cur-fall)
+		}
+		levels[i] = cur
+	}
+	return levels
+}
+
+// Annotated is the paper's technique as a strategy: offline scene
+// detection and per-scene targets.
+type Annotated struct {
+	// Config holds the scene-detection thresholds; zero value means the
+	// paper's defaults at 10 fps.
+	Config scene.Config
+}
+
+// Name implements Strategy.
+func (Annotated) Name() string { return "annotated" }
+
+// Levels implements Strategy.
+func (a Annotated) Levels(dev *display.Profile, stats []scene.FrameStats, budget float64) []int {
+	cfg := a.Config
+	if cfg.MinInterval == 0 && cfg.Threshold == 0 {
+		cfg = scene.DefaultConfig(10)
+	}
+	scenes := scene.Detect(cfg, stats)
+	track := annotation.FromStats(10, scenes, stats, []float64{budget})
+	levels := make([]int, 0, len(stats))
+	cursor := track.NewCursor(0)
+	level := display.MaxLevel
+	for range stats {
+		target, start := cursor.Next()
+		if start {
+			level = dev.LevelFor(target)
+		}
+		levels = append(levels, level)
+	}
+	return levels
+}
+
+// frameTarget is the luminance a single frame needs at the given budget.
+func frameTarget(st scene.FrameStats, budget float64) float64 {
+	if st.Hist != nil && st.Hist.Total > 0 {
+		return compensate.SceneTarget(st.Hist, budget)
+	}
+	return st.MaxLuma / 255
+}
+
+// Result aggregates an evaluated strategy run.
+type Result struct {
+	Strategy string
+	// BacklightSavings is the backlight energy saved vs full drive.
+	BacklightSavings float64
+	// AvgLevel is the mean backlight level.
+	AvgLevel float64
+	// Switches counts level changes; SwitchesPerSec normalises by time.
+	Switches       int
+	SwitchesPerSec float64
+	// MaxStep is the largest single level jump (flicker severity).
+	MaxStep int
+	// ViolationRate is the fraction of frames whose realised clipping
+	// exceeded the budget by more than violationMargin (material quality
+	// violations, the history-prediction failure mode; scene-level
+	// budgeting may overshoot by a hair on flickery frames, which is not
+	// what this measures).
+	ViolationRate float64
+	// MeanExcessClip is the average clipping beyond budget on violating
+	// frames (0 when there are none).
+	MeanExcessClip float64
+}
+
+// violationMargin is the clipping excess (absolute fraction of pixels)
+// beyond the budget that counts as a material quality violation.
+const violationMargin = 0.02
+
+// Evaluate scores a per-frame level sequence against the frame statistics
+// it was derived from.
+func Evaluate(name string, dev *display.Profile, stats []scene.FrameStats, levels []int, fps int, budget float64) Result {
+	if len(levels) != len(stats) || len(stats) == 0 {
+		return Result{Strategy: name}
+	}
+	res := Result{Strategy: name}
+	var powerSum, levelSum float64
+	violations := 0
+	var excess float64
+	full := dev.BacklightPower(display.MaxLevel)
+	prev := -1
+	for i, st := range stats {
+		l := levels[i]
+		powerSum += dev.BacklightPower(l)
+		levelSum += float64(l)
+		if prev >= 0 && l != prev {
+			res.Switches++
+			if step := absInt(l - prev); step > res.MaxStep {
+				res.MaxStep = step
+			}
+		}
+		prev = l
+		if st.Hist != nil && st.Hist.Total > 0 {
+			// Pixels brighter than the displayable ceiling clip.
+			ceiling := int(dev.Luminance(l)*255 + 0.5)
+			clipped := st.Hist.ClippedFraction(ceiling)
+			if clipped > budget+violationMargin {
+				violations++
+				excess += clipped - budget
+			}
+		}
+	}
+	n := float64(len(stats))
+	res.BacklightSavings = 1 - powerSum/(full*n)
+	res.AvgLevel = levelSum / n
+	res.ViolationRate = float64(violations) / n
+	if violations > 0 {
+		res.MeanExcessClip = excess / float64(violations)
+	}
+	if fps > 0 {
+		res.SwitchesPerSec = float64(res.Switches) / (n / float64(fps))
+	}
+	return res
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

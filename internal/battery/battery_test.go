@@ -1,0 +1,147 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/display"
+	"repro/internal/power"
+)
+
+func pack() *Pack { return IPAQ1900() }
+
+func trace(level int) *power.Trace {
+	var t power.Trace
+	t.Append(10, power.State{Decoding: true, NetworkActive: true, BacklightLevel: level})
+	return &t
+}
+
+func TestPackValidates(t *testing.T) {
+	if err := pack().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Pack){
+		func(p *Pack) { p.NominalVolts = 0 },
+		func(p *Pack) { p.CapacitymAh = -1 },
+		func(p *Pack) { p.PeukertExponent = 0.9 },
+		func(p *Pack) { p.PeukertExponent = 2 },
+		func(p *Pack) { p.RatedHours = 0 },
+	}
+	for i, mutate := range bad {
+		p := pack()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHoursAtRatedLoad(t *testing.T) {
+	p := pack()
+	// At exactly the rated current the Peukert correction vanishes.
+	ratedWatts := p.NominalVolts * p.CapacitymAh / 1000 / p.RatedHours
+	if got := p.HoursAt(ratedWatts); math.Abs(got-p.RatedHours) > 1e-9 {
+		t.Errorf("HoursAt(rated) = %v, want %v", got, p.RatedHours)
+	}
+	if got := p.HoursAt(0); !math.IsInf(got, 1) {
+		t.Errorf("HoursAt(0) = %v", got)
+	}
+}
+
+func TestPeukertPenalisesHighLoads(t *testing.T) {
+	p := pack()
+	lo := p.EffectiveWattHours(0.5)
+	hi := p.EffectiveWattHours(4.0)
+	if hi >= lo {
+		t.Errorf("high-rate capacity %v not below low-rate %v", hi, lo)
+	}
+	ideal := *p
+	ideal.PeukertExponent = 1
+	// With k=1 the effective capacity is rate independent.
+	a := ideal.EffectiveWattHours(0.5)
+	b := ideal.EffectiveWattHours(4.0)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("ideal pack rate-dependent: %v vs %v", a, b)
+	}
+}
+
+func TestPlaybackMinutesImproveWithDimming(t *testing.T) {
+	p := pack()
+	m := power.DefaultModel(display.IPAQ5555())
+	full := p.PlaybackMinutes(m, trace(255))
+	dim := p.PlaybackMinutes(m, trace(60))
+	if dim <= full {
+		t.Errorf("dimmed playback %v min not above full %v min", dim, full)
+	}
+	// The Peukert effect makes the runtime gain exceed the raw power
+	// saving fraction.
+	powerGain := m.AveragePower(trace(255))/m.AveragePower(trace(60)) - 1
+	runtimeGain := dim/full - 1
+	if runtimeGain <= powerGain {
+		t.Errorf("runtime gain %v not above power gain %v (Peukert)", runtimeGain, powerGain)
+	}
+}
+
+func TestExtension(t *testing.T) {
+	p := pack()
+	m := power.DefaultModel(display.IPAQ5555())
+	ref, opt, gain := p.Extension(m, trace(255), trace(60))
+	if ref <= 0 || opt <= ref {
+		t.Fatalf("extension: ref %v, opt %v", ref, opt)
+	}
+	if math.Abs(gain-(opt/ref-1)) > 1e-12 {
+		t.Errorf("gain = %v inconsistent", gain)
+	}
+}
+
+func TestDischargeAgreesWithHoursAt(t *testing.T) {
+	p := pack()
+	m := power.DefaultModel(display.IPAQ5555())
+	tr := trace(128)
+	hours, soc, err := p.Discharge(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.HoursAt(m.AveragePower(tr))
+	if math.Abs(hours-want)/want > 0.01 {
+		t.Errorf("discharge %v h vs HoursAt %v h", hours, want)
+	}
+	if len(soc) < 2 || soc[0] != 1 || soc[len(soc)-1] != 0 {
+		t.Errorf("soc series endpoints: %v ... %v", soc[0], soc[len(soc)-1])
+	}
+	for i := 1; i < len(soc); i++ {
+		if soc[i] > soc[i-1]+1e-12 {
+			t.Fatal("state of charge increased")
+		}
+	}
+}
+
+func TestDischargeValidation(t *testing.T) {
+	p := pack()
+	m := power.DefaultModel(display.IPAQ5555())
+	if _, _, err := p.Discharge(m, &power.Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := pack()
+	bad.CapacitymAh = 0
+	if _, _, err := bad.Discharge(m, trace(100)); err == nil {
+		t.Error("invalid pack accepted")
+	}
+}
+
+// Property: runtime decreases monotonically with load.
+func TestHoursMonotoneProperty(t *testing.T) {
+	p := pack()
+	f := func(a, b uint8) bool {
+		wa := 0.1 + float64(a)/64
+		wb := 0.1 + float64(b)/64
+		if wa > wb {
+			wa, wb = wb, wa
+		}
+		return p.HoursAt(wa) >= p.HoursAt(wb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,21 @@
+package battery_test
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+)
+
+// The Peukert effect: lighter loads extract more usable energy, so
+// backlight savings buy more runtime than their nominal percentage.
+func ExamplePack_HoursAt() {
+	pack := battery.IPAQ1900()
+	full := pack.HoursAt(2.10) // playback at full backlight
+	dim := pack.HoursAt(1.70)  // playback at the 10% quality level
+	fmt.Printf("full backlight: %.2fh\n", full)
+	fmt.Printf("dimmed:         %.2fh (power -19%%, runtime +%.0f%%)\n",
+		dim, (dim/full-1)*100)
+	// Output:
+	// full backlight: 2.11h
+	// dimmed:         2.64h (power -19%, runtime +25%)
+}

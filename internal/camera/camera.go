@@ -1,0 +1,123 @@
+// Package camera simulates the digital camera the paper introduces as an
+// objective quality-validation instrument (§4.2, Figure 2): the PDA screen
+// is photographed once displaying the original frame at full backlight
+// (reference snapshot) and once displaying the compensated frame at the
+// reduced backlight (compensated snapshot); the two snapshots' luminance
+// histograms are then compared.
+//
+// A digital camera "has a monotonic nonlinear transfer function" (Debevec &
+// Malik, SIGGRAPH 1997); the simulated response here is a smooth monotone
+// s-curve with adjustable exposure plus deterministic sensor noise, so the
+// snapshot captures the actual display characteristics (transfer curve,
+// reflective floor, minimum drive) that a pure pixel-level simulation would
+// miss — exactly the argument the paper makes for using a camera.
+package camera
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/display"
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/pixel"
+)
+
+// Camera models a digital still camera pointed at a PDA screen.
+type Camera struct {
+	// Exposure scales scene radiance before the response curve; 1.0
+	// frames a full-white full-backlight screen at the top of the range.
+	Exposure float64
+	// ResponseGamma (<1) bends the monotone response; consumer cameras
+	// compress highlights.
+	ResponseGamma float64
+	// Toe lifts the response near black (sensor pedestal/flare).
+	Toe float64
+	// NoiseSigma is the standard deviation of additive sensor noise in
+	// 0..255 output units.
+	NoiseSigma float64
+	// Seed makes the sensor noise deterministic per camera instance.
+	Seed int64
+}
+
+// Default returns a camera with a typical consumer response, matched to a
+// full-backlight white screen.
+func Default() *Camera {
+	return &Camera{
+		Exposure:      1.0,
+		ResponseGamma: 0.45,
+		Toe:           0.02,
+		NoiseSigma:    0.8,
+		Seed:          1,
+	}
+}
+
+// Response maps normalised scene radiance (0..1-ish; values above 1 are
+// saturated) to a normalised sensor output in 0..1. It is strictly
+// monotone on [0,1], which is the only property the histogram comparison
+// requires of a real camera.
+func (c *Camera) Response(radiance float64) float64 {
+	e := radiance * c.Exposure
+	if e <= 0 {
+		return c.Toe
+	}
+	if e >= 1 {
+		e = 1
+	}
+	return c.Toe + (1-c.Toe)*math.Pow(e, c.ResponseGamma)
+}
+
+// Snapshot photographs the given frame as displayed on dev at the given
+// backlight level, returning the captured gray image as a frame. The
+// optical path is: pixel luminance → panel white response at the backlight
+// level (including reflective floor) → camera response → quantisation,
+// with sensor noise added per pixel.
+func (c *Camera) Snapshot(dev *display.Profile, f *frame.Frame, level int) *frame.Frame {
+	rng := rand.New(rand.NewSource(c.Seed))
+	// Normalise so a white screen at full backlight maps to 1.0 radiance.
+	fullWhite := dev.WhiteResponse(255, display.MaxLevel)
+	shot := frame.New(f.W, f.H)
+	for i, p := range f.Pix {
+		y := p.Luma() // 0..255
+		radiance := dev.WhiteResponse(int(y+0.5), level) / fullWhite
+		out := c.Response(radiance)*255 + rng.NormFloat64()*c.NoiseSigma
+		shot.Pix[i] = pixel.Gray(pixel.ClampU8(out))
+	}
+	return shot
+}
+
+// Comparison is the outcome of validating a compensated frame against its
+// reference via two snapshots (Figure 2's flow, reported as in Figure 4).
+type Comparison struct {
+	RefAvg, CompAvg           float64 // snapshot average brightness
+	RefRange, CompRange       int     // snapshot dynamic range
+	MeanShift                 float64 // CompAvg - RefAvg
+	Intersection              float64 // histogram intersection similarity
+	EMD                       float64 // earth mover's distance, luma levels
+	RefHist, CompHist         *histogram.H
+	RefSnapshot, CompSnapshot *frame.Frame
+}
+
+// Compare photographs the original frame at full backlight and the
+// compensated frame at the dimmed level, then compares the snapshot
+// histograms. A small |MeanShift| and high Intersection mean the
+// compensation preserved the displayed appearance.
+func (c *Camera) Compare(dev *display.Profile, original, compensated *frame.Frame, dimLevel int) Comparison {
+	ref := c.Snapshot(dev, original, display.MaxLevel)
+	comp := c.Snapshot(dev, compensated, dimLevel)
+	hr := histogram.FromFrame(ref)
+	hc := histogram.FromFrame(comp)
+	return Comparison{
+		RefAvg:       hr.Average(),
+		CompAvg:      hc.Average(),
+		RefRange:     hr.DynamicRange(),
+		CompRange:    hc.DynamicRange(),
+		MeanShift:    histogram.MeanShift(hr, hc),
+		Intersection: histogram.Intersection(hr, hc),
+		EMD:          histogram.EMD(hr, hc),
+		RefHist:      hr,
+		CompHist:     hc,
+		RefSnapshot:  ref,
+		CompSnapshot: comp,
+	}
+}

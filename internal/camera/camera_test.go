@@ -1,0 +1,166 @@
+package camera
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/display"
+	"repro/internal/frame"
+	"repro/internal/pixel"
+)
+
+func TestResponseMonotone(t *testing.T) {
+	c := Default()
+	prev := -1.0
+	for i := 0; i <= 1000; i++ {
+		r := c.Response(float64(i) / 1000)
+		if r < prev {
+			t.Fatalf("response not monotone at %d", i)
+		}
+		prev = r
+	}
+}
+
+func TestResponseNonlinear(t *testing.T) {
+	c := Default()
+	mid := c.Response(0.5)
+	if math.Abs(mid-0.5) < 0.1 {
+		t.Errorf("midpoint response %v too close to linear; camera must be nonlinear", mid)
+	}
+}
+
+func TestResponseSaturates(t *testing.T) {
+	c := Default()
+	if got := c.Response(2.0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("Response(2) = %v, want 1 (saturated)", got)
+	}
+	if got := c.Response(-0.5); got != c.Toe {
+		t.Errorf("Response(-0.5) = %v, want toe %v", got, c.Toe)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	c := Default()
+	dev := display.IPAQ5555()
+	f := frame.Solid(8, 8, pixel.Gray(120))
+	a := c.Snapshot(dev, f, 200)
+	b := c.Snapshot(dev, f, 200)
+	if !a.Equal(b) {
+		t.Error("snapshots with same seed differ")
+	}
+}
+
+func TestSnapshotBrightnessTracksBacklight(t *testing.T) {
+	c := Default()
+	c.NoiseSigma = 0 // isolate the optical path
+	dev := display.IPAQ5555()
+	f := frame.Solid(8, 8, pixel.Gray(180))
+	bright := c.Snapshot(dev, f, display.MaxLevel).AvgLuma()
+	dim := c.Snapshot(dev, f, 80).AvgLuma()
+	if dim >= bright {
+		t.Errorf("dim snapshot (%v) not darker than bright (%v)", dim, bright)
+	}
+}
+
+func TestSnapshotSeesReflectiveFloor(t *testing.T) {
+	// Even at backlight 0 a transflective panel shows something — the
+	// property a pure simulation misses and the camera captures.
+	c := Default()
+	c.NoiseSigma = 0
+	dev := display.IPAQ5555()
+	f := frame.Solid(8, 8, pixel.Gray(255))
+	dark := c.Snapshot(dev, f, 0).AvgLuma()
+	if dark <= c.Toe*255 {
+		t.Errorf("snapshot at backlight 0 = %v, expected reflective floor to show", dark)
+	}
+}
+
+func TestCompareIdenticalSetup(t *testing.T) {
+	// Same frame, full backlight on both sides: snapshots should agree
+	// closely (only sensor noise differs via seed reuse -> identical).
+	c := Default()
+	dev := display.IPAQ5555()
+	f := frame.Solid(16, 16, pixel.Gray(100))
+	cmp := c.Compare(dev, f, f, display.MaxLevel)
+	if cmp.MeanShift != 0 {
+		t.Errorf("identical compare MeanShift = %v, want 0", cmp.MeanShift)
+	}
+	if cmp.Intersection < 0.999 {
+		t.Errorf("identical compare Intersection = %v, want ~1", cmp.Intersection)
+	}
+}
+
+func TestCompareDetectsCompensationQuality(t *testing.T) {
+	// A correctly compensated dark frame at ~60% backlight should look
+	// close to the original at full backlight; an uncompensated one
+	// should not. This is the paper's Figure 4 experiment.
+	c := Default()
+	c.NoiseSigma = 0
+	dev := display.IPAQ5555()
+
+	orig := frame.New(16, 16)
+	for i := range orig.Pix {
+		orig.Pix[i] = pixel.Gray(uint8(20 + (i*97)%120)) // dark content, max ~139
+	}
+	dimLevel := dev.LevelFor(0.62)
+	k := 1.0 / dev.Luminance(dimLevel)
+	comp := orig.Map(func(p pixel.RGB) pixel.RGB { return p.Scale(k) })
+
+	good := c.Compare(dev, orig, comp, dimLevel)
+	bad := c.Compare(dev, orig, orig, dimLevel)
+
+	if math.Abs(good.MeanShift) >= math.Abs(bad.MeanShift) {
+		t.Errorf("compensated shift %v not smaller than uncompensated %v",
+			good.MeanShift, bad.MeanShift)
+	}
+	if good.EMD >= bad.EMD {
+		t.Errorf("compensated EMD %v not smaller than uncompensated %v", good.EMD, bad.EMD)
+	}
+	if math.Abs(good.MeanShift) > 12 {
+		t.Errorf("compensated mean shift %v too large; compensation should roughly preserve appearance", good.MeanShift)
+	}
+}
+
+func TestCompareFillsHistogramFields(t *testing.T) {
+	c := Default()
+	dev := display.Zaurus5600()
+	f := frame.Solid(4, 4, pixel.Gray(90))
+	cmp := c.Compare(dev, f, f, 128)
+	if cmp.RefHist == nil || cmp.CompHist == nil || cmp.RefSnapshot == nil || cmp.CompSnapshot == nil {
+		t.Fatal("Compare left nil artifacts")
+	}
+	if cmp.RefHist.Total != 16 || cmp.CompHist.Total != 16 {
+		t.Errorf("histogram totals = %d/%d, want 16", cmp.RefHist.Total, cmp.CompHist.Total)
+	}
+	if cmp.RefAvg != cmp.RefHist.Average() {
+		t.Error("RefAvg inconsistent with RefHist")
+	}
+}
+
+// Property: the response stays within [toe, 1] for any radiance.
+func TestResponseRangeProperty(t *testing.T) {
+	c := Default()
+	f := func(raw int16) bool {
+		r := c.Response(float64(raw) / 1000)
+		return r >= c.Toe-1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: snapshots preserve frame dimensions.
+func TestSnapshotShapeProperty(t *testing.T) {
+	c := Default()
+	c.NoiseSigma = 0
+	dev := display.IPAQ3650()
+	f := func(w, h uint8, level uint8) bool {
+		fr := frame.New(int(w%16)+1, int(h%16)+1)
+		s := c.Snapshot(dev, fr, int(level))
+		return s.W == fr.W && s.H == fr.H
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package camera_test
+
+import (
+	"fmt"
+
+	"repro/internal/camera"
+	"repro/internal/compensate"
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/pixel"
+)
+
+// The paper's validation flow (Figure 2): photograph the original frame
+// at full backlight and the compensated frame at the dimmed level, then
+// compare the snapshot histograms.
+func ExampleCamera_Compare() {
+	cam := camera.Default()
+	cam.NoiseSigma = 0
+	dev := display.IPAQ5555()
+
+	f := frame.New(16, 16)
+	for i := range f.Pix {
+		f.Pix[i] = pixel.Gray(uint8(20 + (i*5)%100)) // dark content
+	}
+	target := compensate.SceneTarget(histogram.FromFrame(f), 0.05)
+	level := dev.LevelFor(target)
+	comp := core.CompensateFrame(f, target, compensate.ContrastEnhancement)
+
+	good := cam.Compare(dev, f, comp, level)
+	bad := cam.Compare(dev, f, f, level)
+	fmt.Printf("compensated shift:   %+.1f levels\n", good.MeanShift)
+	fmt.Printf("uncompensated shift: %+.1f levels\n", bad.MeanShift)
+	fmt.Printf("backlight power saved: %.0f%%\n", dev.SavingsAtLevel(level)*100)
+	// Output:
+	// compensated shift:   +1.9 levels
+	// uncompensated shift: -40.9 levels
+	// backlight power saved: 65%
+}

@@ -1,0 +1,172 @@
+package camera
+
+import (
+	"fmt"
+	"math"
+)
+
+// Response-curve recovery after Debevec & Malik (SIGGRAPH 1997), the work
+// the paper cites for the camera's "monotonic nonlinear transfer function"
+// (§4.2). The camera photographs a set of patches at several known
+// exposure times; from the observed pixel values the log inverse response
+// g — with g(Z) = ln E + ln t for a pixel of irradiance E captured at
+// exposure t — is recovered by regularised least squares. Characterising
+// the camera this way is what justifies comparing snapshot histograms
+// across backlight levels: the camera is a monotone (if nonlinear) meter.
+
+// Sample is one observation: the pixel value a patch produced at a known
+// exposure time.
+type Sample struct {
+	// Patch identifies the (unknown-irradiance) scene patch, 0-based.
+	Patch int
+	// Value is the 8-bit camera output.
+	Value uint8
+	// ExposureTime is the relative shutter time.
+	ExposureTime float64
+}
+
+// RecoverOptions tunes the solver.
+type RecoverOptions struct {
+	// Smoothness is the curvature penalty λ (default 64).
+	Smoothness float64
+}
+
+// RecoverResponse solves for the log inverse response g[0..255]. The
+// returned curve is anchored with g[128] = 0, following the original
+// formulation. At least two patches and two exposures are required, and
+// every value bin used must be covered by an observation.
+func RecoverResponse(samples []Sample, opt RecoverOptions) ([256]float64, error) {
+	var g [256]float64
+	if opt.Smoothness <= 0 {
+		opt.Smoothness = 64
+	}
+	patches := 0
+	for _, s := range samples {
+		if s.Patch < 0 {
+			return g, fmt.Errorf("camera: negative patch index")
+		}
+		if s.ExposureTime <= 0 {
+			return g, fmt.Errorf("camera: non-positive exposure time")
+		}
+		if s.Patch+1 > patches {
+			patches = s.Patch + 1
+		}
+	}
+	if patches < 2 || len(samples) < 4 {
+		return g, fmt.Errorf("camera: need at least 2 patches and 4 samples, got %d/%d",
+			patches, len(samples))
+	}
+
+	// Unknowns: g[0..255] then lnE[0..patches-1].
+	n := 256 + patches
+	// Normal equations accumulated directly: M x = v with
+	// M = sum w^2 a a^T over equation rows a.
+	M := make([][]float64, n)
+	for i := range M {
+		M[i] = make([]float64, n)
+	}
+	v := make([]float64, n)
+
+	addRow := func(idx []int, coef []float64, rhs, w float64) {
+		for i, ii := range idx {
+			for j, jj := range idx {
+				M[ii][jj] += w * w * coef[i] * coef[j]
+			}
+			v[ii] += w * w * coef[i] * rhs
+		}
+	}
+
+	// Data term: g(Z) - lnE_p = ln t, hat-weighted so extremes count less.
+	for _, s := range samples {
+		w := hatWeight(s.Value)
+		if w <= 0 {
+			w = 0.5 // keep extreme samples weakly informative
+		}
+		addRow([]int{int(s.Value), 256 + s.Patch}, []float64{1, -1}, math.Log(s.ExposureTime), w)
+	}
+	// Smoothness term: g(z-1) - 2 g(z) + g(z+1) = 0.
+	for z := 1; z < 255; z++ {
+		w := math.Sqrt(opt.Smoothness) * hatWeight(uint8(z))
+		addRow([]int{z - 1, z, z + 1}, []float64{1, -2, 1}, 0, w)
+	}
+	// Anchor: g(128) = 0.
+	addRow([]int{128}, []float64{1}, 0, 1000)
+
+	x, err := solve(M, v)
+	if err != nil {
+		return g, err
+	}
+	copy(g[:], x[:256])
+	return g, nil
+}
+
+// hatWeight is Debevec–Malik's tent weighting over the value range.
+func hatWeight(z uint8) float64 {
+	if z <= 127 {
+		return float64(z) / 127
+	}
+	return float64(255-z) / 128
+}
+
+// solve performs Gaussian elimination with partial pivoting on M x = v.
+func solve(M [][]float64, v []float64) ([]float64, error) {
+	n := len(M)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(M[r][col]) > math.Abs(M[best][col]) {
+				best = r
+			}
+		}
+		if math.Abs(M[best][col]) < 1e-12 {
+			return nil, fmt.Errorf("camera: response system singular at %d (insufficient coverage)", col)
+		}
+		M[col], M[best] = M[best], M[col]
+		v[col], v[best] = v[best], v[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := M[r][col] / M[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				M[r][c] -= f * M[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := v[r]
+		for c := r + 1; c < n; c++ {
+			s -= M[r][c] * x[c]
+		}
+		x[r] = s / M[r][r]
+	}
+	return x, nil
+}
+
+// Characterize runs the full calibration flow against this camera:
+// photograph `patches` gray patches of spread radiances at the given
+// exposure times and recover the response from the observations. Sensor
+// noise is ignored for calibration (long-exposure averaging).
+func (c *Camera) Characterize(patches int, times []float64, opt RecoverOptions) ([256]float64, error) {
+	if patches < 2 || len(times) < 2 {
+		var g [256]float64
+		return g, fmt.Errorf("camera: need >=2 patches and >=2 exposure times")
+	}
+	var samples []Sample
+	for p := 0; p < patches; p++ {
+		radiance := 0.03 + 0.97*float64(p)/float64(patches-1)
+		for _, t := range times {
+			out := c.Response(radiance * t)
+			samples = append(samples, Sample{
+				Patch:        p,
+				Value:        uint8(math.Min(255, math.Max(0, math.Round(out*255)))),
+				ExposureTime: t,
+			})
+		}
+	}
+	return RecoverResponse(samples, opt)
+}

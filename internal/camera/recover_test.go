@@ -1,0 +1,141 @@
+package camera
+
+import (
+	"math"
+	"testing"
+)
+
+func calibrationTimes() []float64 {
+	return []float64{0.25, 0.5, 1, 2, 4}
+}
+
+func TestCharacterizeRecoversMonotoneResponse(t *testing.T) {
+	cam := Default()
+	g, err := cam.Characterize(24, calibrationTimes(), RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g must be monotone non-decreasing over the well-covered range.
+	lo, hi := coveredRange(cam)
+	prev := math.Inf(-1)
+	for z := lo; z <= hi; z++ {
+		if g[z] < prev-0.02 { // tolerate solver ripple below noise level
+			t.Fatalf("recovered response not monotone at %d: %v < %v", z, g[z], prev)
+		}
+		if g[z] > prev {
+			prev = g[z]
+		}
+	}
+	// Anchor: g(128) ~ 0.
+	if math.Abs(g[128]) > 0.01 {
+		t.Errorf("anchor g(128) = %v, want ~0", g[128])
+	}
+}
+
+func TestCharacterizeMatchesTrueResponse(t *testing.T) {
+	cam := Default()
+	g, err := cam.Characterize(24, calibrationTimes(), RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: output z corresponds to log exposure
+	// ln(((z/255 - toe)/(1-toe))^(1/gamma)). Compare after removing the
+	// anchor offset at z=128.
+	truth := func(z int) float64 {
+		e := (float64(z)/255 - cam.Toe) / (1 - cam.Toe)
+		return math.Log(math.Pow(e, 1/cam.ResponseGamma))
+	}
+	offset := truth(128)
+	lo, hi := coveredRange(cam)
+	var errSum float64
+	n := 0
+	for z := lo; z <= hi; z++ {
+		want := truth(z) - offset
+		errSum += math.Abs(g[z] - want)
+		n++
+	}
+	if mean := errSum / float64(n); mean > 0.15 {
+		t.Errorf("mean |g - truth| = %v log units, want < 0.15", mean)
+	}
+}
+
+// coveredRange returns the pixel-value range the calibration patches
+// actually exercise (extremes are extrapolated by the smoothness prior and
+// not held to accuracy bounds).
+func coveredRange(cam *Camera) (lo, hi int) {
+	min, max := 255, 0
+	for p := 0; p < 24; p++ {
+		radiance := 0.03 + 0.97*float64(p)/23
+		for _, t := range calibrationTimes() {
+			z := int(math.Round(cam.Response(radiance*t) * 255))
+			if z < min {
+				min = z
+			}
+			if z > max {
+				max = z
+			}
+		}
+	}
+	return min + 3, max - 3
+}
+
+func TestRecoverResponseValidation(t *testing.T) {
+	if _, err := RecoverResponse(nil, RecoverOptions{}); err == nil {
+		t.Error("empty samples accepted")
+	}
+	one := []Sample{{Patch: 0, Value: 10, ExposureTime: 1}}
+	if _, err := RecoverResponse(one, RecoverOptions{}); err == nil {
+		t.Error("single sample accepted")
+	}
+	bad := []Sample{
+		{Patch: 0, Value: 10, ExposureTime: 1},
+		{Patch: 1, Value: 20, ExposureTime: 0},
+		{Patch: 0, Value: 30, ExposureTime: 2},
+		{Patch: 1, Value: 40, ExposureTime: 2},
+	}
+	if _, err := RecoverResponse(bad, RecoverOptions{}); err == nil {
+		t.Error("zero exposure accepted")
+	}
+	neg := []Sample{
+		{Patch: -1, Value: 10, ExposureTime: 1},
+		{Patch: 1, Value: 20, ExposureTime: 1},
+		{Patch: 0, Value: 30, ExposureTime: 2},
+		{Patch: 1, Value: 40, ExposureTime: 2},
+	}
+	if _, err := RecoverResponse(neg, RecoverOptions{}); err == nil {
+		t.Error("negative patch accepted")
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	cam := Default()
+	if _, err := cam.Characterize(1, calibrationTimes(), RecoverOptions{}); err == nil {
+		t.Error("single patch accepted")
+	}
+	if _, err := cam.Characterize(10, []float64{1}, RecoverOptions{}); err == nil {
+		t.Error("single exposure accepted")
+	}
+}
+
+func TestRecoverDifferentCameras(t *testing.T) {
+	// Two cameras with different gammas must recover visibly different
+	// curves (slope in log-exposure space differs by the gamma ratio).
+	steep := Default()
+	steep.ResponseGamma = 0.35
+	shallow := Default()
+	shallow.ResponseGamma = 0.65
+	gs, err := steep.Characterize(24, calibrationTimes(), RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, err := shallow.Characterize(24, calibrationTimes(), RecoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare recovered log-exposure span over a mid range.
+	spanS := gs[200] - gs[60]
+	spanH := gh[200] - gh[60]
+	if spanS <= spanH {
+		t.Errorf("steeper camera recovered smaller span: %v vs %v", spanS, spanH)
+	}
+}

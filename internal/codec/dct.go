@@ -1,0 +1,113 @@
+package codec
+
+import "math"
+
+// BlockSize is the transform block edge (8×8, as in MPEG-1/JPEG).
+const BlockSize = 8
+
+// Block is an 8×8 tile of coefficients or samples in row-major order.
+type Block [BlockSize * BlockSize]float64
+
+// dctBasis[u][x] = C(u) * cos((2x+1)uπ/16), precomputed at init.
+var dctBasis [BlockSize][BlockSize]float64
+
+func init() {
+	for u := 0; u < BlockSize; u++ {
+		c := math.Sqrt(2.0 / BlockSize)
+		if u == 0 {
+			c = math.Sqrt(1.0 / BlockSize)
+		}
+		for x := 0; x < BlockSize; x++ {
+			dctBasis[u][x] = c * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*BlockSize))
+		}
+	}
+}
+
+// FDCT computes the 2-D type-II DCT of src into dst (separable row/column
+// passes). src and dst may alias.
+func FDCT(src *Block, dst *Block) {
+	var tmp Block
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for u := 0; u < BlockSize; u++ {
+			var s float64
+			for x := 0; x < BlockSize; x++ {
+				s += src[y*BlockSize+x] * dctBasis[u][x]
+			}
+			tmp[y*BlockSize+u] = s
+		}
+	}
+	// Columns.
+	for x := 0; x < BlockSize; x++ {
+		for v := 0; v < BlockSize; v++ {
+			var s float64
+			for y := 0; y < BlockSize; y++ {
+				s += tmp[y*BlockSize+x] * dctBasis[v][y]
+			}
+			dst[v*BlockSize+x] = s
+		}
+	}
+}
+
+// IDCT computes the 2-D inverse DCT of src into dst. src and dst may alias.
+func IDCT(src *Block, dst *Block) {
+	var tmp Block
+	// Columns.
+	for x := 0; x < BlockSize; x++ {
+		for y := 0; y < BlockSize; y++ {
+			var s float64
+			for v := 0; v < BlockSize; v++ {
+				s += src[v*BlockSize+x] * dctBasis[v][y]
+			}
+			tmp[y*BlockSize+x] = s
+		}
+	}
+	// Rows.
+	for y := 0; y < BlockSize; y++ {
+		for x := 0; x < BlockSize; x++ {
+			var s float64
+			for u := 0; u < BlockSize; u++ {
+				s += tmp[y*BlockSize+u] * dctBasis[u][x]
+			}
+			dst[y*BlockSize+x] = s
+		}
+	}
+}
+
+// ZigZag is the coefficient scan order mapping scan position to block
+// index, identical to the JPEG/MPEG order.
+var ZigZag = buildZigZag()
+
+func buildZigZag() [BlockSize * BlockSize]int {
+	var order [BlockSize * BlockSize]int
+	x, y, dir := 0, 0, 1 // dir 1 = up-right, -1 = down-left
+	for i := range order {
+		order[i] = y*BlockSize + x
+		if dir == 1 {
+			switch {
+			case x == BlockSize-1:
+				y++
+				dir = -1
+			case y == 0:
+				x++
+				dir = -1
+			default:
+				x++
+				y--
+			}
+		} else {
+			switch {
+			case y == BlockSize-1:
+				x++
+				dir = 1
+			case x == 0:
+				y++
+				dir = 1
+			default:
+				x--
+				y++
+			}
+		}
+	}
+	return order
+}

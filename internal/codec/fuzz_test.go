@@ -1,0 +1,40 @@
+package codec
+
+import "testing"
+
+// FuzzDecodeFrame drives the frame decoder with arbitrary payloads for
+// both frame types; it must never panic.
+func FuzzDecodeFrame(f *testing.F) {
+	c := clip(&testing.T{})
+	enc, err := NewEncoder(c.W, c.H, 2, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var iData, pData []byte
+	for i := 0; i < 2; i++ {
+		ef, err := enc.Encode(c.Frame(i))
+		if err != nil {
+			f.Fatal(err)
+		}
+		if ef.Type == IFrame {
+			iData = ef.Data
+		} else {
+			pData = ef.Data
+		}
+	}
+	f.Add(uint8(0), uint8(4), iData)
+	f.Add(uint8(1), uint8(4), pData)
+	f.Add(uint8(0), uint8(31), []byte{0xFF, 0x00, 0xAA})
+	f.Fuzz(func(t *testing.T, ft uint8, q uint8, data []byte) {
+		dec, err := NewDecoder(c.W, c.H)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prime a reference so P frames have one.
+		prime := &EncodedFrame{Type: IFrame, QScale: 4, Data: iData}
+		if _, err := dec.Decode(prime); err != nil {
+			t.Fatal(err)
+		}
+		dec.Decode(&EncodedFrame{Type: FrameType(ft % 2), QScale: int(q), Data: data})
+	})
+}

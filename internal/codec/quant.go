@@ -1,0 +1,79 @@
+package codec
+
+// Quantisation matrices in zig-zag-independent (row-major) block order.
+// The intra matrix follows the MPEG-1 default weighting (coarser for high
+// frequencies); the inter matrix is flat, as residuals have no DC bias.
+var intraQuant = [BlockSize * BlockSize]int{
+	8, 16, 19, 22, 26, 27, 29, 34,
+	16, 16, 22, 24, 27, 29, 34, 37,
+	19, 22, 26, 27, 29, 34, 34, 38,
+	22, 22, 26, 27, 29, 34, 37, 40,
+	22, 26, 27, 29, 32, 35, 40, 48,
+	26, 27, 29, 32, 35, 40, 48, 58,
+	26, 27, 29, 34, 38, 46, 56, 69,
+	27, 29, 35, 38, 46, 56, 69, 83,
+}
+
+var interQuant = [BlockSize * BlockSize]int{
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+	16, 16, 16, 16, 16, 16, 16, 16,
+}
+
+// MinQScale and MaxQScale bound the quantiser scale parameter.
+const (
+	MinQScale = 1
+	MaxQScale = 31
+)
+
+// quantize maps DCT coefficients to integer levels using the given matrix
+// and scale. The DC coefficient of intra blocks uses a fixed divisor of 8
+// so block averages survive coarse quantisation.
+func quantize(coef *Block, levels *[BlockSize * BlockSize]int32, intra bool, qscale int) {
+	mat := &interQuant
+	if intra {
+		mat = &intraQuant
+	}
+	for i := range coef {
+		d := float64(mat[i]*qscale) / 8
+		if intra && i == 0 {
+			d = 8
+		}
+		v := coef[i] / d
+		if v >= 0 {
+			levels[i] = int32(v + 0.5)
+		} else {
+			levels[i] = int32(v - 0.5)
+		}
+	}
+}
+
+// dequantize is the inverse of quantize.
+func dequantize(levels *[BlockSize * BlockSize]int32, coef *Block, intra bool, qscale int) {
+	mat := &interQuant
+	if intra {
+		mat = &intraQuant
+	}
+	for i := range coef {
+		d := float64(mat[i]*qscale) / 8
+		if intra && i == 0 {
+			d = 8
+		}
+		coef[i] = float64(levels[i]) * d
+	}
+}
+
+func clampQScale(q int) int {
+	if q < MinQScale {
+		return MinQScale
+	}
+	if q > MaxQScale {
+		return MaxQScale
+	}
+	return q
+}

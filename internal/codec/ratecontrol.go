@@ -1,0 +1,76 @@
+package codec
+
+import "fmt"
+
+// RateController adapts the quantiser scale between frames to hold the
+// stream near a target bitrate — the mechanism a streaming server uses to
+// fit a clip to the wireless link budget negotiated with the client. It
+// is a multiplicative-increase controller on the quantiser with a slow
+// integral correction of the accumulated bit debt.
+type RateController struct {
+	// TargetBitsPerFrame is the bit budget for each frame.
+	TargetBitsPerFrame float64
+	// Aggressiveness scales the per-frame correction (default 0.5).
+	Aggressiveness float64
+
+	q      float64
+	debt   float64 // accumulated bits over/under budget
+	frames int
+	bits   int
+}
+
+// NewRateController targets the given bitrate (bits/second) at the given
+// frame rate, starting from qscale start.
+func NewRateController(bitsPerSecond float64, fps int, start int) (*RateController, error) {
+	if bitsPerSecond <= 0 || fps <= 0 {
+		return nil, fmt.Errorf("codec: invalid rate target %v bps @ %d fps", bitsPerSecond, fps)
+	}
+	return &RateController{
+		TargetBitsPerFrame: bitsPerSecond / float64(fps),
+		Aggressiveness:     0.5,
+		q:                  float64(clampQScale(start)),
+	}, nil
+}
+
+// QScale returns the quantiser scale to use for the next frame.
+func (rc *RateController) QScale() int { return clampQScale(int(rc.q + 0.5)) }
+
+// Observe records the size of the frame just produced and updates the
+// quantiser for the next one.
+func (rc *RateController) Observe(ef *EncodedFrame) {
+	bits := float64(len(ef.Data) * 8)
+	rc.frames++
+	rc.bits += len(ef.Data) * 8
+	rc.debt += bits - rc.TargetBitsPerFrame
+
+	// Proportional term: scale q by the size ratio, damped.
+	ratio := bits / rc.TargetBitsPerFrame
+	adj := 1 + rc.Aggressiveness*(ratio-1)
+	if adj < 0.5 {
+		adj = 0.5
+	}
+	if adj > 2 {
+		adj = 2
+	}
+	rc.q *= adj
+	// Integral term: drain accumulated debt slowly.
+	rc.q *= 1 + 0.02*rc.debt/rc.TargetBitsPerFrame/float64(rc.frames)
+	if rc.q < MinQScale {
+		rc.q = MinQScale
+	}
+	if rc.q > MaxQScale {
+		rc.q = MaxQScale
+	}
+}
+
+// AchievedBitsPerFrame reports the mean frame size so far, in bits.
+func (rc *RateController) AchievedBitsPerFrame() float64 {
+	if rc.frames == 0 {
+		return 0
+	}
+	return float64(rc.bits) / float64(rc.frames)
+}
+
+// SetQScale overrides the encoder's quantiser for subsequent frames,
+// enabling closed-loop rate control.
+func (e *Encoder) SetQScale(q int) { e.QScale = clampQScale(q) }

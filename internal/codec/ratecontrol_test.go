@@ -1,0 +1,108 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/video"
+)
+
+func rcClip() *video.Clip {
+	return video.MustNew("rc", 48, 32, 10, 17, []video.SceneSpec{
+		{Frames: 20, BaseLuma: 0.25, LumaSpread: 0.2, MaxLuma: 0.9, HighlightFrac: 0.02, Chroma: 0.5, Motion: 1.5},
+		{Frames: 20, BaseLuma: 0.55, LumaSpread: 0.2, MaxLuma: 1.0, HighlightFrac: 0.2, Chroma: 0.4, Motion: 2.5},
+	})
+}
+
+func TestNewRateControllerValidation(t *testing.T) {
+	if _, err := NewRateController(0, 10, 4); err == nil {
+		t.Error("zero bitrate accepted")
+	}
+	if _, err := NewRateController(1000, 0, 4); err == nil {
+		t.Error("zero fps accepted")
+	}
+}
+
+func TestRateControlConverges(t *testing.T) {
+	c := rcClip()
+	// Pick a target between the extremes achievable at q=1 and q=31.
+	target := 80_000.0 // bits/s at 10 fps -> 8k bits/frame
+	rc, err := NewRateController(target, c.FPS, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(c.W, c.H, 10, rc.QScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail float64
+	tailFrames := 0
+	for i := 0; i < c.TotalFrames(); i++ {
+		enc.SetQScale(rc.QScale())
+		ef, err := enc.Encode(c.Frame(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc.Observe(ef)
+		if i >= c.TotalFrames()/2 {
+			tail += float64(len(ef.Data) * 8)
+			tailFrames++
+		}
+	}
+	got := tail / float64(tailFrames)
+	want := target / float64(c.FPS)
+	if rel := math.Abs(got-want) / want; rel > 0.35 {
+		t.Errorf("steady-state %v bits/frame vs target %v (rel err %v)", got, want, rel)
+	}
+}
+
+func TestRateControlReactsToTarget(t *testing.T) {
+	c := rcClip()
+	run := func(bps float64) float64 {
+		rc, err := NewRateController(bps, c.FPS, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, _ := NewEncoder(c.W, c.H, 10, rc.QScale())
+		for i := 0; i < c.TotalFrames(); i++ {
+			enc.SetQScale(rc.QScale())
+			ef, err := enc.Encode(c.Frame(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc.Observe(ef)
+		}
+		return rc.AchievedBitsPerFrame()
+	}
+	low := run(30_000)
+	high := run(100_000)
+	if low >= high {
+		t.Errorf("lower target produced more bits: %v vs %v", low, high)
+	}
+}
+
+func TestQScaleStaysInRange(t *testing.T) {
+	rc, err := NewRateController(1, 10, 50) // absurd target, absurd start
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.QScale() != MaxQScale {
+		t.Errorf("start qscale = %d", rc.QScale())
+	}
+	for i := 0; i < 100; i++ {
+		rc.Observe(&EncodedFrame{Data: make([]byte, 100000)})
+		if q := rc.QScale(); q < MinQScale || q > MaxQScale {
+			t.Fatalf("qscale %d out of range", q)
+		}
+	}
+	if rc.QScale() != MaxQScale {
+		t.Error("controller did not saturate at max quantiser under pressure")
+	}
+}
+
+func TestAchievedBitsPerFrameEmpty(t *testing.T) {
+	rc, _ := NewRateController(1000, 10, 4)
+	if rc.AchievedBitsPerFrame() != 0 {
+		t.Error("empty controller reports nonzero rate")
+	}
+}

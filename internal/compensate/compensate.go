@@ -1,0 +1,240 @@
+// Package compensate implements the paper's image compensation step
+// (§4.1): the backlight is dimmed and the image is simultaneously
+// brightened so that the perceived intensity I = ρ·L·Y of every
+// (unclipped) pixel is unchanged.
+//
+// Two compensation methods are defined by the paper; contrast enhancement
+// C' = min(1, C·k) with k = L/L' is the one used in its experiments, with
+// brightness compensation C' = min(1, C+δC) as the alternative. The
+// scene's backlight target comes from its luminance histogram and the
+// user-selected quality level — the fraction of very bright pixels that
+// may be clipped (0%, 5%, 10%, 15% and 20% in the paper).
+package compensate
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/display"
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/pixel"
+)
+
+// QualityLevels are the clipping budgets evaluated in the paper
+// (fraction of high-luminance pixels allowed to clip).
+var QualityLevels = []float64{0, 0.05, 0.10, 0.15, 0.20}
+
+// Method selects the compensation operator.
+type Method int
+
+const (
+	// ContrastEnhancement multiplies all pixels by a constant k (the
+	// method the paper uses: k is chosen as L/L' so the perceived
+	// intensity product stays constant).
+	ContrastEnhancement Method = iota
+	// BrightnessCompensation adds a constant to all pixels.
+	BrightnessCompensation
+	// ToneMapping applies the gain through a soft shoulder instead of
+	// hard clipping, in the spirit of dynamic tone mapping for backlight
+	// scaling [Iranli & Pedram, DAC 2005]: bright pixels are compressed
+	// rather than lost, trading a small global distortion for the
+	// absence of clipping artifacts.
+	ToneMapping
+)
+
+func (m Method) String() string {
+	switch m {
+	case ContrastEnhancement:
+		return "contrast"
+	case BrightnessCompensation:
+		return "brightness"
+	case ToneMapping:
+		return "tonemap"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// toneKnee is where the tone-mapping shoulder starts (fraction of full
+// scale after gain).
+const toneKnee = 0.85
+
+// toneMap compresses x (normalised, possibly >1 after gain) through a
+// soft shoulder: identity up to the knee, exponential rolloff towards 1
+// above it. Monotone, continuous, bounded by 1.
+func toneMap(x float64) float64 {
+	if x <= toneKnee {
+		return x
+	}
+	return toneKnee + (1-toneKnee)*(1-math.Exp(-(x-toneKnee)/(1-toneKnee)))
+}
+
+// SceneTarget returns the normalised luminance (0..1) the scene must be
+// able to display after compensation: the scene histogram's clip level for
+// the given quality budget. With budget 0 this is the scene maximum
+// (lossless); larger budgets sacrifice the brightest pixels.
+func SceneTarget(h *histogram.H, budget float64) float64 {
+	return float64(h.ClipLevel(budget)) / 255
+}
+
+// Plan is the per-scene compensation decision for one device.
+type Plan struct {
+	// Target is the scene luminance ceiling after clipping, 0..1.
+	Target float64
+	// Level is the backlight level to set on the device.
+	Level int
+	// K is the contrast-enhancement gain applied upstream, equal to
+	// L(full)/L(Level) so perceived intensity is preserved.
+	K float64
+	// Delta is the brightness-compensation offset (0..255 units) that
+	// matches the same luminance lift at mid-gray, for the alternative
+	// method.
+	Delta float64
+}
+
+// PlanFor computes the compensation plan that displays a scene with the
+// given luminance target on the given device. The backlight level is the
+// minimal level whose luminance covers the target; the gain compensates
+// for exactly the dimming actually applied (which may be less than
+// requested when the device cannot dim that far).
+func PlanFor(dev *display.Profile, target float64) Plan {
+	t := pixel.Clamp01(target)
+	level := dev.LevelFor(t)
+	l := dev.Luminance(level)
+	k := 1.0
+	if l > 0 {
+		k = dev.Luminance(display.MaxLevel) / l
+	}
+	// The brightness offset that lifts the scene ceiling to full scale:
+	// pixels at target*255 must land at ~255, matching what the gain
+	// does to the brightest unclipped pixel.
+	delta := (1 - t) * 255 * (1 - 1/k)
+	if k <= 1 {
+		delta = 0
+	}
+	return Plan{Target: t, Level: level, K: k, Delta: delta}
+}
+
+// Apply compensates a frame in place using the selected method.
+func (p Plan) Apply(m Method, f *frame.Frame) {
+	switch m {
+	case ContrastEnhancement:
+		if p.K != 1 {
+			k := p.K
+			f.MapInPlace(func(px pixel.RGB) pixel.RGB { return px.Scale(k) })
+		}
+	case BrightnessCompensation:
+		if p.Delta != 0 {
+			d := p.Delta
+			f.MapInPlace(func(px pixel.RGB) pixel.RGB { return px.Add(d) })
+		}
+	case ToneMapping:
+		if p.K != 1 {
+			k := p.K
+			f.MapInPlace(func(px pixel.RGB) pixel.RGB {
+				r, g, b := px.Normalized()
+				return pixel.FromNormalized(toneMap(r*k), toneMap(g*k), toneMap(b*k))
+			})
+		}
+	default:
+		panic(fmt.Sprintf("compensate: unknown method %d", int(m)))
+	}
+}
+
+// Compensated returns a compensated copy of f, leaving f untouched.
+func (p Plan) Compensated(m Method, f *frame.Frame) *frame.Frame {
+	g := f.Clone()
+	p.Apply(m, g)
+	return g
+}
+
+// ClippedFraction returns the fraction of pixels of f whose luminance
+// saturates under the plan's gain — the realised quality degradation.
+func (p Plan) ClippedFraction(f *frame.Frame) float64 {
+	if p.K <= 1 {
+		return 0
+	}
+	limit := 255 / p.K
+	clipped := 0
+	for _, px := range f.Pix {
+		if px.Luma() > limit+1e-9 {
+			clipped++
+		}
+	}
+	return float64(clipped) / float64(len(f.Pix))
+}
+
+// Fidelity quantifies how well the compensated frame at the dimmed
+// backlight reproduces the original at full backlight, in perceived
+// intensity terms (no camera in the loop; package camera provides the
+// measured variant).
+type Fidelity struct {
+	// MeanAbsErr is the mean absolute perceived-intensity error,
+	// normalised to the full-backlight white intensity.
+	MeanAbsErr float64
+	// MaxErr is the worst-case pixel error on the same scale.
+	MaxErr float64
+	// Clipped is the fraction of pixels whose compensated luminance
+	// saturated.
+	Clipped float64
+}
+
+// Evaluate computes the perceived-intensity fidelity of plan p applied to
+// frame f (method: contrast enhancement) on device dev.
+func Evaluate(dev *display.Profile, p Plan, f *frame.Frame) Fidelity {
+	return EvaluateMethod(dev, p, f, ContrastEnhancement)
+}
+
+// EvaluateMethod computes perceived-intensity fidelity for any
+// compensation method. For tone mapping "clipped" counts pixels in the
+// compressed shoulder region rather than hard-saturated ones.
+func EvaluateMethod(dev *display.Profile, p Plan, f *frame.Frame, m Method) Fidelity {
+	lFull := dev.Luminance(display.MaxLevel)
+	lDim := dev.Luminance(p.Level)
+	white := dev.Transmittance * lFull
+	var sum, max float64
+	clipped := 0
+	for _, px := range f.Pix {
+		y := px.Luma() / 255
+		orig := dev.Transmittance * lFull * y
+		var yComp float64
+		switch m {
+		case ContrastEnhancement:
+			yComp = y * p.K
+			if yComp > 1 {
+				yComp = 1
+				clipped++
+			}
+		case BrightnessCompensation:
+			yComp = y + p.Delta/255
+			if yComp > 1 {
+				yComp = 1
+				clipped++
+			}
+		case ToneMapping:
+			raw := y * p.K
+			yComp = toneMap(raw)
+			if raw > toneKnee {
+				clipped++
+			}
+		default:
+			panic(fmt.Sprintf("compensate: unknown method %d", int(m)))
+		}
+		got := dev.Transmittance * lDim * yComp
+		err := abs(orig-got) / white
+		sum += err
+		if err > max {
+			max = err
+		}
+	}
+	n := float64(len(f.Pix))
+	return Fidelity{MeanAbsErr: sum / n, MaxErr: max, Clipped: float64(clipped) / n}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

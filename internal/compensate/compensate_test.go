@@ -1,0 +1,317 @@
+package compensate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/display"
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/pixel"
+)
+
+func TestQualityLevelsMatchPaper(t *testing.T) {
+	want := []float64{0, 0.05, 0.10, 0.15, 0.20}
+	if len(QualityLevels) != len(want) {
+		t.Fatalf("QualityLevels = %v", QualityLevels)
+	}
+	for i, q := range want {
+		if QualityLevels[i] != q {
+			t.Errorf("QualityLevels[%d] = %v, want %v", i, QualityLevels[i], q)
+		}
+	}
+}
+
+func TestSceneTargetLossless(t *testing.T) {
+	h := histogram.FromLuma([]uint8{10, 100, 153})
+	if got := SceneTarget(h, 0); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("SceneTarget(0) = %v, want 0.6", got)
+	}
+}
+
+func TestSceneTargetWithBudget(t *testing.T) {
+	// 95 dark pixels, 5 bright: a 10% budget clips the bright tail.
+	luma := make([]uint8, 0, 100)
+	for i := 0; i < 95; i++ {
+		luma = append(luma, 51)
+	}
+	for i := 0; i < 5; i++ {
+		luma = append(luma, 255)
+	}
+	h := histogram.FromLuma(luma)
+	if got := SceneTarget(h, 0.10); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("SceneTarget(0.10) = %v, want 0.2", got)
+	}
+}
+
+func TestPlanForFullBrightness(t *testing.T) {
+	dev := display.IPAQ5555()
+	p := PlanFor(dev, 1.0)
+	if p.Level != display.MaxLevel {
+		t.Errorf("Level = %d, want 255", p.Level)
+	}
+	if math.Abs(p.K-1) > 1e-9 {
+		t.Errorf("K = %v, want 1", p.K)
+	}
+	if p.Delta != 0 {
+		t.Errorf("Delta = %v, want 0", p.Delta)
+	}
+}
+
+func TestPlanForDimsAndCompensates(t *testing.T) {
+	dev := display.IPAQ5555()
+	p := PlanFor(dev, 0.5)
+	if p.Level >= display.MaxLevel || p.Level < dev.MinLevel {
+		t.Errorf("Level = %d out of expected range", p.Level)
+	}
+	wantK := 1 / dev.Luminance(p.Level)
+	if math.Abs(p.K-wantK) > 1e-9 {
+		t.Errorf("K = %v, want %v", p.K, wantK)
+	}
+	if p.K < 1 {
+		t.Errorf("K = %v < 1; compensation must brighten", p.K)
+	}
+}
+
+func TestPlanForClampsTarget(t *testing.T) {
+	dev := display.IPAQ5555()
+	if p := PlanFor(dev, 1.7); p.Level != display.MaxLevel {
+		t.Errorf("target>1: level = %d, want 255", p.Level)
+	}
+	if p := PlanFor(dev, -0.2); p.Level != dev.MinLevel {
+		t.Errorf("target<0: level = %d, want min %d", p.Level, dev.MinLevel)
+	}
+}
+
+func TestApplyContrastScalesPixels(t *testing.T) {
+	p := Plan{K: 2}
+	f := frame.Solid(2, 2, pixel.Gray(60))
+	p.Apply(ContrastEnhancement, f)
+	if f.At(0, 0) != pixel.Gray(120) {
+		t.Errorf("pixel = %v, want gray 120", f.At(0, 0))
+	}
+}
+
+func TestApplyBrightnessAddsDelta(t *testing.T) {
+	p := Plan{K: 2, Delta: 30}
+	f := frame.Solid(2, 2, pixel.Gray(60))
+	p.Apply(BrightnessCompensation, f)
+	if f.At(0, 0) != pixel.Gray(90) {
+		t.Errorf("pixel = %v, want gray 90", f.At(0, 0))
+	}
+}
+
+func TestApplyUnknownMethodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown method did not panic")
+		}
+	}()
+	Plan{K: 2}.Apply(Method(99), frame.New(1, 1))
+}
+
+func TestCompensatedDoesNotMutate(t *testing.T) {
+	p := Plan{K: 2}
+	f := frame.Solid(2, 2, pixel.Gray(60))
+	g := p.Compensated(ContrastEnhancement, f)
+	if f.At(0, 0) != pixel.Gray(60) {
+		t.Error("Compensated mutated the input")
+	}
+	if g.At(0, 0) != pixel.Gray(120) {
+		t.Errorf("Compensated result = %v", g.At(0, 0))
+	}
+}
+
+func TestClippedFraction(t *testing.T) {
+	f := frame.New(2, 1)
+	f.Set(0, 0, pixel.Gray(100)) // 100*2 = 200: survives
+	f.Set(1, 0, pixel.Gray(200)) // 200*2 = 400: clips
+	p := Plan{K: 2}
+	if got := p.ClippedFraction(f); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ClippedFraction = %v, want 0.5", got)
+	}
+	if got := (Plan{K: 1}).ClippedFraction(f); got != 0 {
+		t.Errorf("K=1 ClippedFraction = %v, want 0", got)
+	}
+}
+
+func TestEvaluateLosslessIsExact(t *testing.T) {
+	// Dark frame, lossless target: compensation preserves perceived
+	// intensity exactly (up to 8-bit rounding in real use; Evaluate works
+	// on continuous luminance so it is exact here).
+	dev := display.IPAQ5555()
+	f := frame.Solid(4, 4, pixel.Gray(80))
+	target := SceneTarget(histogram.FromFrame(f), 0)
+	p := PlanFor(dev, target)
+	fid := Evaluate(dev, p, f)
+	if fid.Clipped != 0 {
+		t.Errorf("lossless plan clipped %v of pixels", fid.Clipped)
+	}
+	if fid.MeanAbsErr > 0.01 || fid.MaxErr > 0.02 {
+		t.Errorf("lossless fidelity err = %+v, want ~0", fid)
+	}
+}
+
+func TestEvaluateDetectsClipping(t *testing.T) {
+	dev := display.IPAQ5555()
+	f := frame.New(2, 1)
+	f.Set(0, 0, pixel.Gray(40))
+	f.Set(1, 0, pixel.Gray(250))
+	// Aggressive target well below the bright pixel: it must clip.
+	p := PlanFor(dev, 0.3)
+	fid := Evaluate(dev, p, f)
+	if fid.Clipped != 0.5 {
+		t.Errorf("Clipped = %v, want 0.5", fid.Clipped)
+	}
+	if fid.MaxErr <= 0 {
+		t.Error("MaxErr = 0 despite clipping")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if ContrastEnhancement.String() != "contrast" ||
+		BrightnessCompensation.String() != "brightness" {
+		t.Error("Method.String mismatch")
+	}
+}
+
+// Property: the realised clipped fraction never exceeds the histogram
+// budget when the plan is derived from the same frame's histogram. This is
+// the end-to-end quality guarantee of the technique on any device.
+func TestBudgetRespectedProperty(t *testing.T) {
+	devs := display.Devices()
+	f := func(samples []uint8, budgetRaw, devRaw uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		dev := devs[int(devRaw)%len(devs)]
+		budget := float64(budgetRaw) / 255 * 0.20
+		fr := frame.New(len(samples), 1)
+		for i, s := range samples {
+			fr.Pix[i] = pixel.Gray(s)
+		}
+		h := histogram.FromFrame(fr)
+		p := PlanFor(dev, SceneTarget(h, budget))
+		return p.ClippedFraction(fr) <= budget+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lower targets never yield higher backlight levels.
+func TestPlanMonotoneProperty(t *testing.T) {
+	dev := display.Zaurus5600()
+	f := func(a, b uint8) bool {
+		ta, tb := float64(a)/255, float64(b)/255
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return PlanFor(dev, ta).Level <= PlanFor(dev, tb).Level
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: K*Luminance(Level) == Luminance(MaxLevel): perceived intensity
+// of unclipped pixels is preserved by construction.
+func TestGainMatchesDimmingProperty(t *testing.T) {
+	for _, dev := range display.Devices() {
+		f := func(raw uint8) bool {
+			p := PlanFor(dev, float64(raw)/255)
+			got := p.K * dev.Luminance(p.Level)
+			return math.Abs(got-dev.Luminance(display.MaxLevel)) < 1e-9
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", dev.Name, err)
+		}
+	}
+}
+
+func TestToneMapProperties(t *testing.T) {
+	// Identity below the knee, monotone, bounded by 1, continuous at knee.
+	prev := -1.0
+	for i := 0; i <= 300; i++ {
+		x := float64(i) / 100
+		y := toneMap(x)
+		if y < prev {
+			t.Fatalf("toneMap not monotone at %v", x)
+		}
+		prev = y
+		if y > 1+1e-12 {
+			t.Fatalf("toneMap(%v) = %v exceeds 1", x, y)
+		}
+		if x <= toneKnee && y != x {
+			t.Fatalf("toneMap(%v) = %v below knee, want identity", x, y)
+		}
+	}
+	if d := toneMap(toneKnee+1e-9) - toneKnee; d < 0 || d > 1e-6 {
+		t.Errorf("toneMap discontinuous at knee: %v", d)
+	}
+}
+
+func TestApplyToneMapping(t *testing.T) {
+	p := Plan{K: 2}
+	f := frame.New(2, 1)
+	f.Set(0, 0, pixel.Gray(60))  // 0.47 after gain: below knee, linear
+	f.Set(1, 0, pixel.Gray(140)) // 1.10 after gain: in the shoulder
+	p.Apply(ToneMapping, f)
+	if got := f.At(0, 0); got != pixel.Gray(120) {
+		t.Errorf("below-knee pixel = %v, want gray 120", got)
+	}
+	bright := f.At(1, 0)
+	if bright.R == 255 {
+		t.Error("tone-mapped highlight hard-clipped to 255")
+	}
+	if bright.R < 230 {
+		t.Errorf("tone-mapped highlight %v implausibly dark", bright)
+	}
+}
+
+func TestToneMappingPreservesHighlightDetail(t *testing.T) {
+	// Hard clipping maps every bright pixel to the same saturated value;
+	// tone mapping keeps them distinguishable. This is DTM's argument:
+	// structure in the highlights survives.
+	p := Plan{K: 2}
+	f := frame.New(2, 1)
+	f.Set(0, 0, pixel.Gray(150)) // 1.18 after gain
+	f.Set(1, 0, pixel.Gray(190)) // 1.49 after gain
+	hard := p.Compensated(ContrastEnhancement, f)
+	soft := p.Compensated(ToneMapping, f)
+	if hard.At(0, 0) != hard.At(1, 0) {
+		t.Fatalf("hard clip kept highlights distinct: %v vs %v", hard.At(0, 0), hard.At(1, 0))
+	}
+	if soft.At(0, 0) == soft.At(1, 0) {
+		t.Error("tone mapping collapsed distinct highlights")
+	}
+	if soft.At(0, 0).Luma() >= soft.At(1, 0).Luma() {
+		t.Error("tone mapping broke highlight ordering")
+	}
+}
+
+func TestEvaluateMethodBrightness(t *testing.T) {
+	dev := display.IPAQ5555()
+	f := frame.Solid(2, 2, pixel.Gray(100))
+	p := PlanFor(dev, 0.6)
+	fid := EvaluateMethod(dev, p, f, BrightnessCompensation)
+	if fid.MeanAbsErr < 0 || fid.Clipped < 0 {
+		t.Errorf("fidelity = %+v", fid)
+	}
+}
+
+func TestEvaluateMethodUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	EvaluateMethod(display.IPAQ5555(), Plan{K: 1}, frame.New(1, 1), Method(42))
+}
+
+func TestToneMappingMethodString(t *testing.T) {
+	if ToneMapping.String() != "tonemap" {
+		t.Error("ToneMapping.String mismatch")
+	}
+}

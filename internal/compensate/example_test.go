@@ -1,0 +1,38 @@
+package compensate_test
+
+import (
+	"fmt"
+
+	"repro/internal/compensate"
+	"repro/internal/display"
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/pixel"
+)
+
+// The compensation loop: pick a scene target from its histogram under a
+// clipping budget, plan the backlight level and gain for a device, and
+// apply the paper's contrast enhancement.
+func ExamplePlanFor() {
+	f := frame.New(10, 1)
+	for i := range f.Pix {
+		f.Pix[i] = pixel.Gray(uint8(30 + i*5)) // dark ramp, max 75
+	}
+	f.Set(9, 0, pixel.Gray(250)) // one bright highlight
+
+	h := histogram.FromFrame(f)
+	lossless := compensate.SceneTarget(h, 0)
+	clipped := compensate.SceneTarget(h, 0.15) // may clip the highlight
+
+	dev := display.IPAQ5555()
+	plan := compensate.PlanFor(dev, clipped)
+	fmt.Printf("lossless target %.2f, 15%% target %.2f\n", lossless, clipped)
+	fmt.Printf("backlight %d/255, gain %.1fx\n", plan.Level, plan.K)
+
+	comp := plan.Compensated(compensate.ContrastEnhancement, f)
+	fmt.Printf("dark pixel 30 -> %d\n", comp.At(0, 0).R)
+	// Output:
+	// lossless target 0.98, 15% target 0.27
+	// backlight 46/255, gain 3.6x
+	// dark pixel 30 -> 108
+}

@@ -1,0 +1,39 @@
+package container
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader drives the container parser with arbitrary bytes; it must
+// never panic and never allocate absurd buffers.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, header())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ef := range frames() {
+		if err := w.WriteFrame(ef); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("AVS2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 32; i++ {
+			if _, err := r.ReadFrame(); err != nil {
+				if err != io.EOF && err == nil {
+					t.Fatal("nil error with no frame")
+				}
+				return
+			}
+		}
+	})
+}

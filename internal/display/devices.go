@@ -1,0 +1,82 @@
+package display
+
+// The three devices characterised in §5. Parameter values are modelled on
+// the qualitative behaviour the paper reports: each display technology
+// shows a different backlight→luminance shape (Figure 7), luminance is
+// nearly linear in white level (Figure 8), and on the iPAQ 5555 the LED
+// backlight at full drive accounts for roughly 25–30% of whole-device
+// power during playback (§4).
+
+// IPAQ5555 models the HP iPAQ h5555: transflective panel, white-LED
+// backlight — the device used for the paper's power measurements.
+func IPAQ5555() *Profile {
+	return &Profile{
+		Name:               "ipaq5555",
+		Panel:              Transflective,
+		Backlight:          LED,
+		Transmittance:      0.072,
+		MinLevel:           4,
+		ReflectiveFloor:    0.035,
+		ResponseGamma:      0.88, // concave: brightness rises fast, then eases off
+		ResponseKnee:       0.18,
+		PanelGamma:         1.04,
+		BacklightIdleWatts: 0.020,
+		BacklightMaxWatts:  0.600,
+		PanelWatts:         0.180,
+	}
+}
+
+// IPAQ3650 models the HP iPAQ h3650: reflective panel with a CCFL
+// frontlight; the tube needs a minimum drive level and its light output
+// has a pronounced S-shape versus drive.
+func IPAQ3650() *Profile {
+	return &Profile{
+		Name:               "ipaq3650",
+		Panel:              Reflective,
+		Backlight:          CCFL,
+		Transmittance:      0.055,
+		MinLevel:           20,
+		ReflectiveFloor:    0.060,
+		ResponseGamma:      1.80, // slow start at low drive
+		ResponseKnee:       0.30, // mild saturation near full drive
+		PanelGamma:         1.08,
+		BacklightIdleWatts: 0.060, // CCFL inverter overhead
+		BacklightMaxWatts:  0.750,
+		PanelWatts:         0.210,
+	}
+}
+
+// Zaurus5600 models the Sharp Zaurus SL-5600: reflective panel, CCFL
+// frontlight, with a more convex response than the iPAQ 3650.
+func Zaurus5600() *Profile {
+	return &Profile{
+		Name:               "zaurus5600",
+		Panel:              Reflective,
+		Backlight:          CCFL,
+		Transmittance:      0.060,
+		MinLevel:           16,
+		ReflectiveFloor:    0.050,
+		ResponseGamma:      1.30,
+		ResponseKnee:       0,
+		PanelGamma:         1.06,
+		BacklightIdleWatts: 0.050,
+		BacklightMaxWatts:  0.700,
+		PanelWatts:         0.200,
+	}
+}
+
+// Devices returns the three characterised profiles in the order the paper
+// lists them.
+func Devices() []*Profile {
+	return []*Profile{IPAQ3650(), Zaurus5600(), IPAQ5555()}
+}
+
+// ByName returns the named device profile, or nil if unknown.
+func ByName(name string) *Profile {
+	for _, d := range Devices() {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+// Package display models the LCD panels and backlights of the handhelds
+// used in the paper's evaluation: an HP iPAQ 3650 and a Sharp Zaurus
+// SL-5600 (reflective panels with CCFL backlights) and an HP iPAQ 5555
+// (transflective panel with a white-LED backlight).
+//
+// The paper's central device-specific artifact is the backlight→luminance
+// transfer function: "measured luminance response to backlight level (set
+// by software) is not always linear and is influenced by the quality and
+// type of the display" (§2, Figure 7), while luminance is almost linear in
+// the displayed white level (Figure 8). This package provides those
+// forward transfer curves, the inverse lookup table used at runtime ("a
+// simple multiplication, followed by a table look-up", §4.3), the perceived
+// intensity model I = ρ·L·Y, and the backlight power curve ("power
+// consumption of the LCD is almost proportional to backlight level, but
+// little dependent of pixel values", §5).
+package display
+
+import (
+	"fmt"
+	"math"
+)
+
+// PanelType enumerates LCD panel constructions (§4.1).
+type PanelType int
+
+const (
+	// Reflective panels perform best in ambient light.
+	Reflective PanelType = iota
+	// Transmissive panels rely entirely on the backlight.
+	Transmissive
+	// Transflective panels combine both; most recent handhelds use them.
+	Transflective
+)
+
+func (t PanelType) String() string {
+	switch t {
+	case Reflective:
+		return "reflective"
+	case Transmissive:
+		return "transmissive"
+	case Transflective:
+		return "transflective"
+	default:
+		return fmt.Sprintf("PanelType(%d)", int(t))
+	}
+}
+
+// BacklightType enumerates backlight sources (§2).
+type BacklightType int
+
+const (
+	// CCFL is a cold cathode fluorescent lamp: high-voltage AC drive,
+	// suited to larger panels, with a minimum stable drive level.
+	CCFL BacklightType = iota
+	// LED is a white-LED array: simple drive circuitry, lower power,
+	// faster response; increasingly used in small devices.
+	LED
+)
+
+func (t BacklightType) String() string {
+	switch t {
+	case CCFL:
+		return "CCFL"
+	case LED:
+		return "LED"
+	default:
+		return fmt.Sprintf("BacklightType(%d)", int(t))
+	}
+}
+
+// MaxLevel is the maximum software-settable backlight level.
+const MaxLevel = 255
+
+// Profile describes one device's display subsystem. All luminance values
+// are normalised so that a full-white frame at full backlight measures 1.0.
+type Profile struct {
+	Name      string
+	Panel     PanelType
+	Backlight BacklightType
+
+	// Transmittance is ρ in I = ρ·L·Y, the fraction of backlight
+	// luminance passed by a fully open (white) LCD cell.
+	Transmittance float64
+
+	// MinLevel is the lowest stable backlight drive level; CCFL tubes
+	// cannot be dimmed arbitrarily low without extinguishing.
+	MinLevel int
+
+	// ReflectiveFloor is the residual relative luminance at backlight 0
+	// due to the reflective path of the panel (nonzero for reflective
+	// and transflective panels under ambient light).
+	ReflectiveFloor float64
+
+	// ResponseGamma and ResponseKnee shape the measured, nonlinear
+	// backlight→luminance curve (see Luminance).
+	ResponseGamma float64
+	ResponseKnee  float64
+
+	// PanelGamma is the mild nonlinearity of luminance vs displayed
+	// white level; near 1.0 on the measured devices (Figure 8).
+	PanelGamma float64
+
+	// BacklightIdleWatts is the driver overhead at level 0 and
+	// BacklightMaxWatts the total backlight power at level 255; power
+	// interpolates almost linearly between them (§5).
+	BacklightIdleWatts float64
+	BacklightMaxWatts  float64
+
+	// PanelWatts is the panel logic/driver power, independent of content.
+	PanelWatts float64
+
+	inverse *[MaxLevel + 1]int // lazily built via BuildInverse
+}
+
+// Luminance returns the normalised screen luminance of a full-white frame
+// at the given backlight level: the device's measured transfer function
+// (Figure 7). The curve blends a power-law segment with a soft knee so
+// that each backlight technology exhibits its characteristic shape, plus
+// the panel's reflective floor.
+func (p *Profile) Luminance(level int) float64 {
+	b := clampLevel(level)
+	x := float64(b) / MaxLevel
+	resp := math.Pow(x, p.ResponseGamma)
+	if p.ResponseKnee > 0 {
+		// Soft saturation knee: CCFL tubes approach peak brightness
+		// before maximum drive; LEDs stay closer to the power law.
+		resp = (1 + p.ResponseKnee) * resp / (1 + p.ResponseKnee*resp)
+	}
+	return p.ReflectiveFloor + (1-p.ReflectiveFloor)*resp
+}
+
+// WhiteResponse returns the normalised measured luminance when a solid
+// frame of the given white value (0..255) is displayed at the given
+// backlight level — Figure 8's experiment. It is almost linear in white.
+func (p *Profile) WhiteResponse(white int, level int) float64 {
+	w := float64(clampLevel(white)) / MaxLevel
+	return p.Luminance(level) * math.Pow(w, p.PanelGamma)
+}
+
+// PerceivedIntensity returns I = ρ·L·Y for a pixel of normalised
+// luminance y displayed at the given backlight level.
+func (p *Profile) PerceivedIntensity(level int, y float64) float64 {
+	return p.Transmittance * p.Luminance(level) * y
+}
+
+// BuildInverse precomputes the inverse transfer lookup table. It is called
+// automatically by LevelFor but may be invoked eagerly (the server does so
+// during the negotiation phase).
+func (p *Profile) BuildInverse() {
+	if p.inverse != nil {
+		return
+	}
+	var lut [MaxLevel + 1]int
+	for i := range lut {
+		target := float64(i) / MaxLevel
+		lut[i] = p.searchLevel(target)
+	}
+	p.inverse = &lut
+}
+
+// searchLevel finds the minimal backlight level whose luminance reaches
+// target, by binary search over the monotone transfer curve.
+func (p *Profile) searchLevel(target float64) int {
+	if p.Luminance(MaxLevel) < target {
+		return MaxLevel
+	}
+	lo, hi := p.MinLevel, MaxLevel
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.Luminance(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LevelFor returns the minimal backlight level that achieves the given
+// normalised luminance (0..1): the runtime operation of the paper's
+// client — a multiply to index the table, then a lookup. Levels below the
+// device's minimum stable drive are raised to MinLevel.
+func (p *Profile) LevelFor(luminance float64) int {
+	p.BuildInverse()
+	if luminance <= 0 {
+		return p.MinLevel
+	}
+	if luminance >= 1 {
+		return MaxLevel
+	}
+	return p.inverse[int(luminance*MaxLevel+0.5)]
+}
+
+// BacklightPower returns the backlight power draw in watts at the given
+// level. The measured curve is almost proportional to level; CCFL adds a
+// small inverter overhead with a mild superlinearity at high drive.
+func (p *Profile) BacklightPower(level int) float64 {
+	x := float64(clampLevel(level)) / MaxLevel
+	shape := x
+	if p.Backlight == CCFL {
+		// Inverter losses grow slightly faster than light output.
+		shape = 0.9*x + 0.1*x*x
+	}
+	return p.BacklightIdleWatts + (p.BacklightMaxWatts-p.BacklightIdleWatts)*shape
+}
+
+// SavingsAtLevel returns the fraction of full-backlight power saved when
+// running at the given level: the quantity plotted in Figures 6 and 9.
+func (p *Profile) SavingsAtLevel(level int) float64 {
+	full := p.BacklightPower(MaxLevel)
+	if full <= 0 {
+		return 0
+	}
+	return 1 - p.BacklightPower(level)/full
+}
+
+func clampLevel(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > MaxLevel {
+		return MaxLevel
+	}
+	return v
+}
+
+// Validate reports whether the profile's parameters are physically
+// meaningful; it is run on profiles received over the wire during the
+// streaming negotiation phase.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("display: profile has no name")
+	case p.Transmittance <= 0 || p.Transmittance > 1:
+		return fmt.Errorf("display: %s: transmittance %v outside (0,1]", p.Name, p.Transmittance)
+	case p.MinLevel < 0 || p.MinLevel >= MaxLevel:
+		return fmt.Errorf("display: %s: min level %d outside [0,255)", p.Name, p.MinLevel)
+	case p.ReflectiveFloor < 0 || p.ReflectiveFloor >= 1:
+		return fmt.Errorf("display: %s: reflective floor %v outside [0,1)", p.Name, p.ReflectiveFloor)
+	case p.ResponseGamma <= 0:
+		return fmt.Errorf("display: %s: response gamma %v not positive", p.Name, p.ResponseGamma)
+	case p.ResponseKnee < 0:
+		return fmt.Errorf("display: %s: response knee %v negative", p.Name, p.ResponseKnee)
+	case p.PanelGamma <= 0:
+		return fmt.Errorf("display: %s: panel gamma %v not positive", p.Name, p.PanelGamma)
+	case p.BacklightIdleWatts < 0 || p.BacklightMaxWatts <= p.BacklightIdleWatts:
+		return fmt.Errorf("display: %s: backlight power range [%v,%v] invalid",
+			p.Name, p.BacklightIdleWatts, p.BacklightMaxWatts)
+	case p.PanelWatts < 0:
+		return fmt.Errorf("display: %s: panel power %v negative", p.Name, p.PanelWatts)
+	}
+	return nil
+}

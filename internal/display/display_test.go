@@ -1,0 +1,275 @@
+package display
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDevicesValidate(t *testing.T) {
+	for _, d := range Devices() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if d := ByName("ipaq5555"); d == nil || d.Backlight != LED {
+		t.Errorf("ByName(ipaq5555) = %+v", d)
+	}
+	if d := ByName("nokia"); d != nil {
+		t.Errorf("ByName(nokia) = %+v, want nil", d)
+	}
+}
+
+func TestLuminanceEndpoints(t *testing.T) {
+	for _, d := range Devices() {
+		if got := d.Luminance(MaxLevel); math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s: Luminance(255) = %v, want 1", d.Name, got)
+		}
+		if got := d.Luminance(0); math.Abs(got-d.ReflectiveFloor) > 1e-9 {
+			t.Errorf("%s: Luminance(0) = %v, want floor %v", d.Name, got, d.ReflectiveFloor)
+		}
+	}
+}
+
+func TestLuminanceMonotone(t *testing.T) {
+	for _, d := range Devices() {
+		prev := -1.0
+		for b := 0; b <= MaxLevel; b++ {
+			l := d.Luminance(b)
+			if l < prev {
+				t.Fatalf("%s: Luminance not monotone at level %d (%v < %v)", d.Name, b, l, prev)
+			}
+			prev = l
+		}
+	}
+}
+
+func TestLuminanceIsNonlinear(t *testing.T) {
+	// Figure 7: the measured curve departs visibly from the identity
+	// line; check the midpoint deviation exceeds 5% on every device.
+	for _, d := range Devices() {
+		mid := d.Luminance(MaxLevel / 2)
+		if math.Abs(mid-0.5) < 0.05 {
+			t.Errorf("%s: midpoint luminance %v too close to linear", d.Name, mid)
+		}
+	}
+}
+
+func TestDevicesHaveDistinctCurves(t *testing.T) {
+	// "Each display technology showed a different transfer characteristic."
+	ds := Devices()
+	for i := 0; i < len(ds); i++ {
+		for j := i + 1; j < len(ds); j++ {
+			var maxDiff float64
+			for b := 0; b <= MaxLevel; b += 8 {
+				d := math.Abs(ds[i].Luminance(b) - ds[j].Luminance(b))
+				if d > maxDiff {
+					maxDiff = d
+				}
+			}
+			if maxDiff < 0.03 {
+				t.Errorf("%s and %s transfer curves nearly identical (max diff %v)",
+					ds[i].Name, ds[j].Name, maxDiff)
+			}
+		}
+	}
+}
+
+func TestWhiteResponseNearlyLinear(t *testing.T) {
+	// Figure 8: luminance is almost linear in the displayed white level.
+	d := IPAQ5555()
+	full := d.WhiteResponse(255, MaxLevel)
+	for w := 0; w <= 255; w += 15 {
+		got := d.WhiteResponse(w, MaxLevel)
+		linear := full * float64(w) / 255
+		if math.Abs(got-linear) > 0.03 {
+			t.Errorf("WhiteResponse(%d) = %v, deviates from linear %v", w, got, linear)
+		}
+	}
+}
+
+func TestWhiteResponseScalesWithBacklight(t *testing.T) {
+	d := IPAQ5555()
+	// At backlight 128 the whole curve shrinks by the 128-level luminance.
+	ratio := d.Luminance(128)
+	for w := 16; w <= 255; w += 16 {
+		got := d.WhiteResponse(w, 128)
+		want := d.WhiteResponse(w, MaxLevel) * ratio
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("WhiteResponse(%d,128) = %v, want %v", w, got, want)
+		}
+	}
+}
+
+func TestLevelForInvertsLuminance(t *testing.T) {
+	for _, d := range Devices() {
+		for _, target := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			level := d.LevelFor(target)
+			if got := d.Luminance(level); got+1e-9 < target-1.0/MaxLevel {
+				t.Errorf("%s: LevelFor(%v) = %d gives luminance %v below target",
+					d.Name, target, level, got)
+			}
+			// Minimality: one level lower must not reach the quantised target.
+			if level > d.MinLevel {
+				q := math.Round(target*MaxLevel) / MaxLevel
+				if d.Luminance(level-1) >= q && d.Luminance(level) > d.Luminance(level-1) {
+					t.Errorf("%s: LevelFor(%v) = %d not minimal", d.Name, target, level)
+				}
+			}
+		}
+	}
+}
+
+func TestLevelForExtremes(t *testing.T) {
+	d := IPAQ3650()
+	if got := d.LevelFor(0); got != d.MinLevel {
+		t.Errorf("LevelFor(0) = %d, want MinLevel %d", got, d.MinLevel)
+	}
+	if got := d.LevelFor(1); got != MaxLevel {
+		t.Errorf("LevelFor(1) = %d, want 255", got)
+	}
+	if got := d.LevelFor(2); got != MaxLevel {
+		t.Errorf("LevelFor(2) = %d, want 255", got)
+	}
+}
+
+func TestBacklightPowerMonotoneAndBounded(t *testing.T) {
+	for _, d := range Devices() {
+		prev := -1.0
+		for b := 0; b <= MaxLevel; b++ {
+			p := d.BacklightPower(b)
+			if p < prev {
+				t.Fatalf("%s: power not monotone at %d", d.Name, b)
+			}
+			prev = p
+		}
+		if got := d.BacklightPower(0); math.Abs(got-d.BacklightIdleWatts) > 1e-9 {
+			t.Errorf("%s: power(0) = %v, want idle %v", d.Name, got, d.BacklightIdleWatts)
+		}
+		if got := d.BacklightPower(MaxLevel); math.Abs(got-d.BacklightMaxWatts) > 1e-9 {
+			t.Errorf("%s: power(255) = %v, want max %v", d.Name, got, d.BacklightMaxWatts)
+		}
+	}
+}
+
+func TestBacklightPowerAlmostProportional(t *testing.T) {
+	// §5: "power consumption of the LCD is almost proportional to
+	// backlight level". Check deviation from the idle->max chord is <6%.
+	for _, d := range Devices() {
+		span := d.BacklightMaxWatts - d.BacklightIdleWatts
+		for b := 0; b <= MaxLevel; b += 5 {
+			chord := d.BacklightIdleWatts + span*float64(b)/MaxLevel
+			if math.Abs(d.BacklightPower(b)-chord) > 0.06*span {
+				t.Errorf("%s: power(%d) deviates from proportional by >6%%", d.Name, b)
+			}
+		}
+	}
+}
+
+func TestSavingsAtLevel(t *testing.T) {
+	d := IPAQ5555()
+	if got := d.SavingsAtLevel(MaxLevel); got != 0 {
+		t.Errorf("SavingsAtLevel(255) = %v, want 0", got)
+	}
+	half := d.SavingsAtLevel(127)
+	if half < 0.40 || half > 0.55 {
+		t.Errorf("SavingsAtLevel(127) = %v, want ~0.5 for near-proportional power", half)
+	}
+}
+
+func TestPerceivedIntensityModel(t *testing.T) {
+	d := IPAQ5555()
+	// I = rho * L * Y: doubling Y doubles I; full backlight/white gives rho.
+	if got := d.PerceivedIntensity(MaxLevel, 1); math.Abs(got-d.Transmittance) > 1e-9 {
+		t.Errorf("I(255,1) = %v, want rho %v", got, d.Transmittance)
+	}
+	i1 := d.PerceivedIntensity(100, 0.3)
+	i2 := d.PerceivedIntensity(100, 0.6)
+	if math.Abs(i2-2*i1) > 1e-12 {
+		t.Errorf("intensity not linear in Y: %v vs %v", i1, i2)
+	}
+}
+
+// The compensation identity the whole technique rests on: if the image is
+// scaled by k = L(full)/L(dim) without clipping, perceived intensity at the
+// dim level matches the original at full backlight.
+func TestCompensationIdentity(t *testing.T) {
+	for _, d := range Devices() {
+		for _, level := range []int{64, 128, 200} {
+			k := d.Luminance(MaxLevel) / d.Luminance(level)
+			y := 0.3 // dark pixel: k*y stays <= 1, no clipping
+			if k*y > 1 {
+				continue
+			}
+			orig := d.PerceivedIntensity(MaxLevel, y)
+			comp := d.PerceivedIntensity(level, k*y)
+			if math.Abs(orig-comp) > 1e-9 {
+				t.Errorf("%s level %d: compensation identity broken: %v vs %v",
+					d.Name, level, orig, comp)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.Transmittance = 0 },
+		func(p *Profile) { p.Transmittance = 1.5 },
+		func(p *Profile) { p.MinLevel = -1 },
+		func(p *Profile) { p.MinLevel = 255 },
+		func(p *Profile) { p.ReflectiveFloor = 1 },
+		func(p *Profile) { p.ResponseGamma = 0 },
+		func(p *Profile) { p.ResponseKnee = -0.1 },
+		func(p *Profile) { p.PanelGamma = -1 },
+		func(p *Profile) { p.BacklightMaxWatts = 0 },
+		func(p *Profile) { p.PanelWatts = -0.1 },
+	}
+	for i, mutate := range bad {
+		p := IPAQ5555()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid profile", i)
+		}
+	}
+}
+
+// Property: for any target luminance, LevelFor returns a level within the
+// legal range whose luminance covers the (quantised) target.
+func TestLevelForCoversTargetProperty(t *testing.T) {
+	for _, d := range Devices() {
+		f := func(raw uint16) bool {
+			target := float64(raw) / math.MaxUint16
+			level := d.LevelFor(target)
+			if level < d.MinLevel || level > MaxLevel {
+				return false
+			}
+			q := math.Round(target*MaxLevel) / MaxLevel
+			if q > d.Luminance(MaxLevel) {
+				return level == MaxLevel
+			}
+			return d.Luminance(level) >= q-1e-9 || level == d.MinLevel
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+// Property: savings decrease as level rises.
+func TestSavingsMonotoneProperty(t *testing.T) {
+	d := Zaurus5600()
+	f := func(a, b uint8) bool {
+		la, lb := int(a), int(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		return d.SavingsAtLevel(la) >= d.SavingsAtLevel(lb)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,35 @@
+package display_test
+
+import (
+	"fmt"
+
+	"repro/internal/display"
+)
+
+// The runtime operation of the paper's client: turn an annotated scene
+// target into a backlight level through the device's inverse transfer
+// table, then read the power saved at that level.
+func ExampleProfile_LevelFor() {
+	dev := display.IPAQ5555()
+	target := 0.5 // annotated scene luminance
+	level := dev.LevelFor(target)
+	fmt.Printf("level %d/255, delivers %.3f, saves %.0f%% of backlight power\n",
+		level, dev.Luminance(level), dev.SavingsAtLevel(level)*100)
+	// Output:
+	// level 102/255, delivers 0.506, saves 58% of backlight power
+}
+
+// Characterisation recovers a device's transfer curve from measured
+// samples — what the paper does with a digital camera per PDA model.
+func ExampleFitTransfer() {
+	samples := display.IPAQ3650().CalibrationSamples(24)
+	fitted, rmse, err := display.FitTransfer("bench-ipaq", samples, display.FitOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("gamma %.1f, knee %.1f, RMSE < 0.01: %v\n",
+		fitted.ResponseGamma, fitted.ResponseKnee, rmse < 0.01)
+	// Output:
+	// gamma 1.8, knee 0.3, RMSE < 0.01: true
+}

@@ -1,0 +1,154 @@
+package display
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile fitting: the paper characterises each PDA by photographing gray
+// screens at varying backlight levels (§5) and uses the resulting
+// luminance-backlight transfer "to compute the backlight level needed to
+// achieve a desired luminance level during playback". This file implements
+// that calibration step: given measured (backlight level, normalised
+// luminance) samples, recover the transfer-curve parameters
+// (ReflectiveFloor, ResponseGamma, ResponseKnee) by least squares.
+//
+// The fit is a coarse grid search refined by coordinate descent — the
+// parameter space is tiny and smooth, and calibration runs offline.
+
+// Measurement is one camera observation of a full-white screen.
+type Measurement struct {
+	Level int
+	// Luminance is normalised so the full-backlight observation is 1.0.
+	Luminance float64
+}
+
+// FitOptions bounds the parameter search.
+type FitOptions struct {
+	// FloorMax bounds the reflective floor (default 0.2).
+	FloorMax float64
+	// GammaMin/GammaMax bound the response exponent (default 0.3..3).
+	GammaMin, GammaMax float64
+	// KneeMax bounds the saturation knee (default 2).
+	KneeMax float64
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.FloorMax <= 0 {
+		o.FloorMax = 0.2
+	}
+	if o.GammaMin <= 0 {
+		o.GammaMin = 0.3
+	}
+	if o.GammaMax <= o.GammaMin {
+		o.GammaMax = 3
+	}
+	if o.KneeMax <= 0 {
+		o.KneeMax = 2
+	}
+	return o
+}
+
+// FitTransfer recovers transfer-curve parameters from measurements. The
+// returned profile has only the optical parameters set (floor, gamma,
+// knee); power and panel fields must come from electrical measurements.
+// At least 5 samples spanning the level range are required.
+func FitTransfer(name string, samples []Measurement, opt FitOptions) (*Profile, float64, error) {
+	opt = opt.withDefaults()
+	if len(samples) < 5 {
+		return nil, 0, fmt.Errorf("display: need >=5 calibration samples, got %d", len(samples))
+	}
+	lo, hi := MaxLevel, 0
+	for _, s := range samples {
+		if s.Level < 0 || s.Level > MaxLevel {
+			return nil, 0, fmt.Errorf("display: sample level %d out of range", s.Level)
+		}
+		if s.Luminance < 0 || s.Luminance > 1.2 {
+			return nil, 0, fmt.Errorf("display: sample luminance %v implausible", s.Luminance)
+		}
+		if s.Level < lo {
+			lo = s.Level
+		}
+		if s.Level > hi {
+			hi = s.Level
+		}
+	}
+	if hi-lo < MaxLevel/2 {
+		return nil, 0, fmt.Errorf("display: samples span only [%d,%d]; sweep the full range", lo, hi)
+	}
+
+	sse := func(floor, gamma, knee float64) float64 {
+		p := Profile{ReflectiveFloor: floor, ResponseGamma: gamma, ResponseKnee: knee}
+		var s float64
+		for _, m := range samples {
+			d := p.Luminance(m.Level) - m.Luminance
+			s += d * d
+		}
+		return s
+	}
+
+	// Coarse grid.
+	bestF, bestG, bestK := 0.0, 1.0, 0.0
+	best := math.Inf(1)
+	for f := 0.0; f <= opt.FloorMax; f += opt.FloorMax / 8 {
+		for g := opt.GammaMin; g <= opt.GammaMax; g += (opt.GammaMax - opt.GammaMin) / 24 {
+			for k := 0.0; k <= opt.KneeMax; k += opt.KneeMax / 10 {
+				if e := sse(f, g, k); e < best {
+					best, bestF, bestG, bestK = e, f, g, k
+				}
+			}
+		}
+	}
+	// Coordinate descent refinement.
+	stepF, stepG, stepK := opt.FloorMax/8, (opt.GammaMax-opt.GammaMin)/24, opt.KneeMax/10
+	for iter := 0; iter < 60; iter++ {
+		improved := false
+		try := func(f, g, k float64) {
+			if f < 0 || f > opt.FloorMax || g < opt.GammaMin || g > opt.GammaMax || k < 0 || k > opt.KneeMax {
+				return
+			}
+			if e := sse(f, g, k); e < best {
+				best, bestF, bestG, bestK = e, f, g, k
+				improved = true
+			}
+		}
+		try(bestF+stepF, bestG, bestK)
+		try(bestF-stepF, bestG, bestK)
+		try(bestF, bestG+stepG, bestK)
+		try(bestF, bestG-stepG, bestK)
+		try(bestF, bestG, bestK+stepK)
+		try(bestF, bestG, bestK-stepK)
+		if !improved {
+			stepF /= 2
+			stepG /= 2
+			stepK /= 2
+			if stepG < 1e-5 {
+				break
+			}
+		}
+	}
+
+	p := &Profile{
+		Name:            name,
+		ReflectiveFloor: bestF,
+		ResponseGamma:   bestG,
+		ResponseKnee:    bestK,
+	}
+	rmse := math.Sqrt(best / float64(len(samples)))
+	return p, rmse, nil
+}
+
+// CalibrationSamples generates the measurement sweep a characterisation
+// run would produce from this profile (the forward direction, for tests
+// and demos): n levels evenly spread over the range.
+func (p *Profile) CalibrationSamples(n int) []Measurement {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]Measurement, 0, n)
+	for i := 0; i < n; i++ {
+		level := i * MaxLevel / (n - 1)
+		out = append(out, Measurement{Level: level, Luminance: p.Luminance(level)})
+	}
+	return out
+}

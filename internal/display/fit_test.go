@@ -1,0 +1,103 @@
+package display
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitRecoversEachDevice(t *testing.T) {
+	for _, dev := range Devices() {
+		samples := dev.CalibrationSamples(24)
+		fit, rmse, err := FitTransfer(dev.Name+"-fit", samples, FitOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", dev.Name, err)
+		}
+		if rmse > 0.01 {
+			t.Errorf("%s: fit RMSE %v too high on noiseless samples", dev.Name, rmse)
+		}
+		// The fitted curve must reproduce the transfer everywhere, not
+		// just at sample points.
+		for level := 0; level <= MaxLevel; level += 5 {
+			want := dev.Luminance(level)
+			got := fit.Luminance(level)
+			if math.Abs(got-want) > 0.02 {
+				t.Errorf("%s: fitted curve off at level %d: %v vs %v",
+					dev.Name, level, got, want)
+			}
+		}
+	}
+}
+
+func TestFitSurvivesMeasurementNoise(t *testing.T) {
+	dev := IPAQ3650()
+	rng := rand.New(rand.NewSource(5))
+	samples := dev.CalibrationSamples(32)
+	for i := range samples {
+		samples[i].Luminance += rng.NormFloat64() * 0.01
+		if samples[i].Luminance < 0 {
+			samples[i].Luminance = 0
+		}
+	}
+	fit, rmse, err := FitTransfer("noisy", samples, FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 0.03 {
+		t.Errorf("noisy fit RMSE = %v", rmse)
+	}
+	// The backlight levels the fitted curve would pick must agree with
+	// the true device within a few levels — that is what playback needs.
+	fit.MinLevel = dev.MinLevel
+	fit.Transmittance = dev.Transmittance
+	fit.BacklightIdleWatts = dev.BacklightIdleWatts
+	fit.BacklightMaxWatts = dev.BacklightMaxWatts + 0.0001
+	for _, target := range []float64{0.2, 0.4, 0.6, 0.8} {
+		a := dev.LevelFor(target)
+		b := fit.LevelFor(target)
+		if absInt(a-b) > 12 {
+			t.Errorf("target %v: true level %d vs fitted %d", target, a, b)
+		}
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	dev := IPAQ5555()
+	few := dev.CalibrationSamples(3)
+	if _, _, err := FitTransfer("x", few, FitOptions{}); err == nil {
+		t.Error("too few samples accepted")
+	}
+	bad := dev.CalibrationSamples(8)
+	bad[0].Level = -1
+	if _, _, err := FitTransfer("x", bad, FitOptions{}); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	bad2 := dev.CalibrationSamples(8)
+	bad2[3].Luminance = 9
+	if _, _, err := FitTransfer("x", bad2, FitOptions{}); err == nil {
+		t.Error("implausible luminance accepted")
+	}
+	// Narrow level span.
+	narrow := []Measurement{{10, 0.1}, {20, 0.15}, {30, 0.2}, {40, 0.22}, {50, 0.25}}
+	if _, _, err := FitTransfer("x", narrow, FitOptions{}); err == nil {
+		t.Error("narrow sweep accepted")
+	}
+}
+
+func TestCalibrationSamplesShape(t *testing.T) {
+	dev := Zaurus5600()
+	s := dev.CalibrationSamples(10)
+	if len(s) != 10 || s[0].Level != 0 || s[9].Level != MaxLevel {
+		t.Errorf("samples = %+v", s)
+	}
+	if got := dev.CalibrationSamples(1); len(got) != 2 {
+		t.Errorf("n=1 gave %d samples", len(got))
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

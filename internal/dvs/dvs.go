@@ -1,0 +1,347 @@
+// Package dvs implements the second application the paper names for
+// software annotations (§3): "optimizations like frequency/voltage scaling
+// can be applied before decoding is finished, because the annotated
+// information is available early from the data stream."
+//
+// The stream is annotated with per-frame decode-complexity estimates
+// (cycles). During playback a governor picks, for each frame, the lowest
+// CPU operating point that still meets the frame deadline. An annotated
+// governor knows each frame's cost in advance; the history-based
+// alternative must predict it from past frames and pays for mispredictions
+// with missed deadlines (dropped/late frames) — the same
+// annotations-vs-prediction argument as the backlight technique.
+//
+// The CPU model is an XScale-class core (PXA25x): four frequency/voltage
+// operating points with active power k·f·V², calibrated so the top point
+// matches the 0.9 W decode power used by the whole-device model.
+package dvs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/codec"
+)
+
+// OperatingPoint is one frequency/voltage setting.
+type OperatingPoint struct {
+	MHz   int
+	Volts float64
+	// IdleWatts is the power when the core idles at this point waiting
+	// for the next frame.
+	IdleWatts float64
+}
+
+// Table is an ordered (ascending MHz) set of operating points.
+type Table struct {
+	Points []OperatingPoint
+	// SwitchCapF is the effective switched capacitance × activity
+	// constant k in P = k·f·V² (watts per Hz·V²).
+	SwitchCapF float64
+}
+
+// XScale returns the PXA25x-like table used in the experiments. Active
+// power at 400 MHz/1.3 V is 0.90 W, matching power.DefaultModel's CPU
+// decode draw.
+func XScale() *Table {
+	return &Table{
+		Points: []OperatingPoint{
+			{MHz: 100, Volts: 0.85, IdleWatts: 0.08},
+			{MHz: 200, Volts: 1.00, IdleWatts: 0.12},
+			{MHz: 300, Volts: 1.10, IdleWatts: 0.18},
+			{MHz: 400, Volts: 1.30, IdleWatts: 0.25},
+		},
+		SwitchCapF: 0.90 / (400e6 * 1.3 * 1.3),
+	}
+}
+
+// ActiveWatts returns the active power at point i.
+func (t *Table) ActiveWatts(i int) float64 {
+	p := t.Points[i]
+	return t.SwitchCapF * float64(p.MHz) * 1e6 * p.Volts * p.Volts
+}
+
+// Validate reports structural problems with the table.
+func (t *Table) Validate() error {
+	if len(t.Points) == 0 {
+		return fmt.Errorf("dvs: empty table")
+	}
+	if t.SwitchCapF <= 0 {
+		return fmt.Errorf("dvs: non-positive switch capacitance")
+	}
+	for i, p := range t.Points {
+		if p.MHz <= 0 || p.Volts <= 0 || p.IdleWatts < 0 {
+			return fmt.Errorf("dvs: invalid point %d: %+v", i, p)
+		}
+		if i > 0 && p.MHz <= t.Points[i-1].MHz {
+			return fmt.Errorf("dvs: points not ascending at %d", i)
+		}
+	}
+	return nil
+}
+
+// lowestMeeting returns the index of the slowest point that can retire
+// `cycles` within `seconds`, or the fastest point if none can.
+func (t *Table) lowestMeeting(cycles float64, seconds float64) int {
+	for i, p := range t.Points {
+		if cycles <= float64(p.MHz)*1e6*seconds {
+			return i
+		}
+	}
+	return len(t.Points) - 1
+}
+
+// CycleModel estimates decode cost from an encoded frame — the model the
+// server uses when generating decode annotations. Costs are in cycles.
+type CycleModel struct {
+	// Base is the fixed per-frame overhead (headers, output conversion
+	// setup).
+	Base float64
+	// PerByte is the entropy-decode cost per compressed byte.
+	PerByte float64
+	// PerPixel is the reconstruction cost (IDCT, motion comp, colour
+	// conversion) per output pixel.
+	PerPixel float64
+	// IntraFactor scales the per-pixel cost of I frames (all blocks
+	// coded, no skips).
+	IntraFactor float64
+}
+
+// DefaultCycleModel is calibrated so a QVGA stream at 15 fps keeps a
+// 400 MHz XScale around 60–90% busy (I frames near the top, P frames
+// around half), as MPEG-1 playback on the iPAQ did.
+func DefaultCycleModel() CycleModel {
+	return CycleModel{Base: 1.0e6, PerByte: 120, PerPixel: 140, IntraFactor: 1.35}
+}
+
+// Estimate returns the modelled decode cost of ef at the given raster.
+func (m CycleModel) Estimate(ef *codec.EncodedFrame, w, h int) float64 {
+	c := m.Base + m.PerByte*float64(len(ef.Data)) + m.PerPixel*float64(w*h)
+	if ef.Type == codec.IFrame {
+		c = m.Base + m.PerByte*float64(len(ef.Data)) + m.PerPixel*float64(w*h)*m.IntraFactor
+	}
+	return c
+}
+
+// --- decode-cycle annotations (container.ChunkDecodeCycles payload) ---
+
+// EncodeCycles serialises per-frame cycle annotations: u32 count followed
+// by zig-zag delta varints (consecutive frames have similar cost, so the
+// deltas are small).
+func EncodeCycles(cycles []uint32) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(cycles)))
+	prev := int64(0)
+	for _, c := range cycles {
+		delta := int64(c) - prev
+		buf = binary.AppendVarint(buf, delta)
+		prev = int64(c)
+	}
+	return buf
+}
+
+// DecodeCycles parses an EncodeCycles payload.
+func DecodeCycles(data []byte) ([]uint32, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("dvs: short cycle annotation")
+	}
+	n := binary.BigEndian.Uint32(data)
+	if uint64(n) > uint64(len(data))*10 {
+		return nil, fmt.Errorf("dvs: implausible cycle count %d", n)
+	}
+	out := make([]uint32, 0, n)
+	pos := 4
+	prev := int64(0)
+	for i := uint32(0); i < n; i++ {
+		delta, k := binary.Varint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("dvs: truncated cycle annotation at %d", i)
+		}
+		pos += k
+		prev += delta
+		if prev < 0 {
+			return nil, fmt.Errorf("dvs: negative cycles at %d", i)
+		}
+		out = append(out, uint32(prev))
+	}
+	return out, nil
+}
+
+// --- governors ---
+
+// Governor picks an operating point for each frame.
+type Governor interface {
+	// Name identifies the governor in reports.
+	Name() string
+	// Pick returns the operating-point index for frame i. actualPast
+	// holds the true cycle counts of frames < i (what a deployed
+	// governor could have measured).
+	Pick(t *Table, i int, deadline float64, actualPast []float64) int
+}
+
+// StaticMax always runs at the fastest point (the no-DVS reference).
+type StaticMax struct{}
+
+// Name implements Governor.
+func (StaticMax) Name() string { return "static-max" }
+
+// Pick implements Governor.
+func (StaticMax) Pick(t *Table, _ int, _ float64, _ []float64) int {
+	return len(t.Points) - 1
+}
+
+// Annotated follows the stream's decode-cycle annotations.
+type Annotated struct {
+	// Cycles are the annotated per-frame costs (including the server's
+	// safety margin).
+	Cycles []uint32
+}
+
+// Name implements Governor.
+func (Annotated) Name() string { return "annotated" }
+
+// Pick implements Governor.
+func (a Annotated) Pick(t *Table, i int, deadline float64, _ []float64) int {
+	if i >= len(a.Cycles) {
+		return len(t.Points) - 1
+	}
+	return t.lowestMeeting(float64(a.Cycles[i]), deadline)
+}
+
+// Reactive predicts the next frame's cost as the maximum of a trailing
+// window of measured costs plus a margin — the client-side alternative
+// that needs no annotations.
+type Reactive struct {
+	// Window is the number of past frames considered (default 8).
+	Window int
+	// Margin scales the prediction (default 1.1).
+	Margin float64
+}
+
+// Name implements Governor.
+func (Reactive) Name() string { return "reactive" }
+
+// Pick implements Governor.
+func (r Reactive) Pick(t *Table, i int, deadline float64, actualPast []float64) int {
+	if i == 0 || len(actualPast) == 0 {
+		return len(t.Points) - 1
+	}
+	window := r.Window
+	if window <= 0 {
+		window = 8
+	}
+	margin := r.Margin
+	if margin == 0 {
+		margin = 1.1
+	}
+	lo := len(actualPast) - window
+	if lo < 0 {
+		lo = 0
+	}
+	pred := 0.0
+	for _, c := range actualPast[lo:] {
+		if c > pred {
+			pred = c
+		}
+	}
+	return t.lowestMeeting(pred*margin, deadline)
+}
+
+// Oracle picks from the true costs — the energy lower bound.
+type Oracle struct {
+	Cycles []float64
+}
+
+// Name implements Governor.
+func (Oracle) Name() string { return "oracle" }
+
+// Pick implements Governor.
+func (o Oracle) Pick(t *Table, i int, deadline float64, _ []float64) int {
+	if i >= len(o.Cycles) {
+		return len(t.Points) - 1
+	}
+	return t.lowestMeeting(o.Cycles[i], deadline)
+}
+
+// --- simulation ---
+
+// Result aggregates a simulated playback under one governor.
+type Result struct {
+	Governor string
+	// EnergyJoules is the CPU energy over the run.
+	EnergyJoules float64
+	// Savings is the energy saved vs running StaticMax on the same frames.
+	Savings float64
+	// Misses counts frames whose decode overran the deadline.
+	Misses int
+	// MissRate is Misses normalised by frame count.
+	MissRate float64
+	// AvgMHz is the mean selected frequency.
+	AvgMHz float64
+	// Switches counts operating-point changes.
+	Switches int
+}
+
+// Simulate plays `actual` per-frame cycle costs under the governor at the
+// given frame deadline (seconds). Each frame runs at the chosen point;
+// slack before the deadline idles at that point's idle power. Frames that
+// overrun the deadline are counted as misses (decode continues; the next
+// frame still gets a full deadline, modelling a player that drops late
+// frames).
+func Simulate(t *Table, g Governor, actual []float64, deadline float64) (Result, error) {
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+	if deadline <= 0 {
+		return Result{}, fmt.Errorf("dvs: non-positive deadline")
+	}
+	res := Result{Governor: g.Name()}
+	var mhzSum float64
+	prev := -1
+	for i, cycles := range actual {
+		op := g.Pick(t, i, deadline, actual[:i])
+		if op < 0 || op >= len(t.Points) {
+			return Result{}, fmt.Errorf("dvs: governor %s picked invalid point %d", g.Name(), op)
+		}
+		p := t.Points[op]
+		busy := cycles / (float64(p.MHz) * 1e6)
+		if busy > deadline {
+			res.Misses++
+			res.EnergyJoules += t.ActiveWatts(op) * deadline
+		} else {
+			res.EnergyJoules += t.ActiveWatts(op)*busy + p.IdleWatts*(deadline-busy)
+		}
+		mhzSum += float64(p.MHz)
+		if prev >= 0 && op != prev {
+			res.Switches++
+		}
+		prev = op
+	}
+	if n := len(actual); n > 0 {
+		res.AvgMHz = mhzSum / float64(n)
+		res.MissRate = float64(res.Misses) / float64(n)
+	}
+	return res, nil
+}
+
+// ActualCycles derives "measured" per-frame decode costs from estimates:
+// the model's estimate perturbed by deterministic execution noise (cache
+// effects, OS jitter), as a real player would observe.
+func ActualCycles(estimates []float64, noiseFrac float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, len(estimates))
+	for i, e := range estimates {
+		out[i] = e * (1 + noiseFrac*(rng.Float64()*2-1))
+	}
+	return out
+}
+
+// Annotate builds the stream annotation from estimates: the estimate plus
+// a safety margin covering execution noise, rounded up.
+func Annotate(estimates []float64, margin float64) []uint32 {
+	out := make([]uint32, len(estimates))
+	for i, e := range estimates {
+		out[i] = uint32(e*(1+margin)) + 1
+	}
+	return out
+}

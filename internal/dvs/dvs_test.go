@@ -1,0 +1,314 @@
+package dvs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codec"
+)
+
+func TestXScaleValidates(t *testing.T) {
+	if err := XScale().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveWattsCalibration(t *testing.T) {
+	tab := XScale()
+	top := tab.ActiveWatts(len(tab.Points) - 1)
+	if math.Abs(top-0.90) > 1e-9 {
+		t.Errorf("400MHz active power = %v, want 0.90", top)
+	}
+	// P = k f V^2 is strictly increasing along the table.
+	for i := 1; i < len(tab.Points); i++ {
+		if tab.ActiveWatts(i) <= tab.ActiveWatts(i-1) {
+			t.Errorf("power not increasing at point %d", i)
+		}
+	}
+	// 100MHz @ 0.85V should be far cheaper than 400 @ 1.3: ratio
+	// (100*0.7225)/(400*1.69) ~ 0.107.
+	if ratio := tab.ActiveWatts(0) / top; ratio > 0.15 {
+		t.Errorf("low point ratio = %v, want well below max", ratio)
+	}
+}
+
+func TestValidateCatchesBadTables(t *testing.T) {
+	bad := []*Table{
+		{},
+		{Points: []OperatingPoint{{MHz: 100, Volts: 1}}, SwitchCapF: 0},
+		{Points: []OperatingPoint{{MHz: 0, Volts: 1}}, SwitchCapF: 1},
+		{Points: []OperatingPoint{{MHz: 200, Volts: 1}, {MHz: 100, Volts: 1}}, SwitchCapF: 1},
+		{Points: []OperatingPoint{{MHz: 100, Volts: 1, IdleWatts: -1}}, SwitchCapF: 1},
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestLowestMeeting(t *testing.T) {
+	tab := XScale()
+	deadline := 0.1 // 100ms
+	cases := []struct {
+		cycles float64
+		want   int
+	}{
+		{5e6, 0},   // 5M cycles in 100ms needs 50MHz -> 100MHz point
+		{15e6, 1},  // needs 150MHz -> 200
+		{25e6, 2},  // needs 250MHz -> 300
+		{39e6, 3},  // needs 390MHz -> 400
+		{100e6, 3}, // infeasible -> fastest
+		{10e6, 0},  // exactly 100MHz
+	}
+	for _, c := range cases {
+		if got := tab.lowestMeeting(c.cycles, deadline); got != c.want {
+			t.Errorf("lowestMeeting(%v) = %d, want %d", c.cycles, got, c.want)
+		}
+	}
+}
+
+func TestCycleModelEstimates(t *testing.T) {
+	m := DefaultCycleModel()
+	p := &codec.EncodedFrame{Type: codec.PFrame, Data: make([]byte, 1000)}
+	i := &codec.EncodedFrame{Type: codec.IFrame, Data: make([]byte, 1000)}
+	cp := m.Estimate(p, 320, 240)
+	ci := m.Estimate(i, 320, 240)
+	if ci <= cp {
+		t.Errorf("I frame estimate %v not above P frame %v", ci, cp)
+	}
+	big := &codec.EncodedFrame{Type: codec.PFrame, Data: make([]byte, 10000)}
+	if m.Estimate(big, 320, 240) <= cp {
+		t.Error("larger payload not costlier")
+	}
+	// QVGA at 15fps keeps a 400MHz core under but near full utilisation.
+	budget := 400e6 / 15.0
+	if ci > budget {
+		t.Errorf("I frame estimate %v exceeds the 400MHz budget %v", ci, budget)
+	}
+	if cp < 0.3*budget {
+		t.Errorf("P frame estimate %v implausibly cheap", cp)
+	}
+}
+
+func TestCycleAnnotationRoundTrip(t *testing.T) {
+	cycles := []uint32{1000000, 1100000, 900000, 25000000, 0, 42}
+	got, err := DecodeCycles(EncodeCycles(cycles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cycles) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range cycles {
+		if got[i] != cycles[i] {
+			t.Errorf("cycle %d = %d, want %d", i, got[i], cycles[i])
+		}
+	}
+}
+
+func TestDecodeCyclesRejectsGarbage(t *testing.T) {
+	cases := [][]byte{nil, {1}, {0, 0, 0, 5}, {255, 255, 255, 255, 1}}
+	for i, data := range cases {
+		if _, err := DecodeCycles(data); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCycleAnnotationRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		for i := range raw {
+			raw[i] %= 1 << 30
+		}
+		got, err := DecodeCycles(EncodeCycles(raw))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if got[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeCyclesNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		DecodeCycles(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// workload builds a plausible mixed-complexity cycle sequence.
+func workload() []float64 {
+	est := make([]float64, 120)
+	for i := range est {
+		if i%10 == 0 {
+			est[i] = 22e6 // I frames
+		} else {
+			est[i] = 12e6 + float64(i%7)*1e6
+		}
+	}
+	return est
+}
+
+func TestSimulateStaticBaseline(t *testing.T) {
+	tab := XScale()
+	actual := ActualCycles(workload(), 0.08, 1)
+	deadline := 1.0 / 15
+	res, err := Simulate(tab, StaticMax{}, actual, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Errorf("static misses = %d", res.Misses)
+	}
+	if res.AvgMHz != 400 {
+		t.Errorf("static avg MHz = %v", res.AvgMHz)
+	}
+	if res.Switches != 0 {
+		t.Errorf("static switches = %d", res.Switches)
+	}
+}
+
+func TestAnnotatedSavesEnergyWithoutMisses(t *testing.T) {
+	tab := XScale()
+	est := workload()
+	actual := ActualCycles(est, 0.08, 1)
+	ann := Annotate(est, 0.10)
+	deadline := 1.0 / 15
+
+	static, err := Simulate(tab, StaticMax{}, actual, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated, err := Simulate(tab, Annotated{Cycles: ann}, actual, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annotated.Misses != 0 {
+		t.Errorf("annotated misses = %d; margin should cover noise", annotated.Misses)
+	}
+	saving := 1 - annotated.EnergyJoules/static.EnergyJoules
+	if saving < 0.15 {
+		t.Errorf("annotated DVS saving = %v, want substantial", saving)
+	}
+	if annotated.AvgMHz >= 400 {
+		t.Error("annotated never scaled down")
+	}
+}
+
+func TestOracleLowerBound(t *testing.T) {
+	tab := XScale()
+	est := workload()
+	actual := ActualCycles(est, 0.08, 1)
+	deadline := 1.0 / 15
+	oracle, err := Simulate(tab, Oracle{Cycles: actual}, actual, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated, err := Simulate(tab, Annotated{Cycles: Annotate(est, 0.10)}, actual, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Misses != 0 {
+		t.Errorf("oracle missed %d deadlines", oracle.Misses)
+	}
+	if annotated.EnergyJoules < oracle.EnergyJoules-1e-9 {
+		t.Errorf("annotated (%v J) beat the oracle (%v J)", annotated.EnergyJoules, oracle.EnergyJoules)
+	}
+}
+
+func TestReactiveMissesOnComplexityJumps(t *testing.T) {
+	tab := XScale()
+	// Complexity jumps: long cheap stretch then an expensive frame —
+	// history prediction scales down, then gets caught out.
+	est := make([]float64, 100)
+	for i := range est {
+		est[i] = 6e6
+		if i%20 == 19 {
+			est[i] = 24e6
+		}
+	}
+	actual := ActualCycles(est, 0.05, 3)
+	deadline := 1.0 / 15
+	reactive, err := Simulate(tab, Reactive{}, actual, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated, err := Simulate(tab, Annotated{Cycles: Annotate(est, 0.10)}, actual, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reactive.Misses == 0 {
+		t.Error("reactive governor never missed; complexity jumps should catch it")
+	}
+	if annotated.Misses != 0 {
+		t.Errorf("annotated missed %d deadlines", annotated.Misses)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(&Table{}, StaticMax{}, []float64{1}, 0.1); err == nil {
+		t.Error("invalid table accepted")
+	}
+	if _, err := Simulate(XScale(), StaticMax{}, []float64{1}, 0); err == nil {
+		t.Error("zero deadline accepted")
+	}
+}
+
+func TestGovernorNames(t *testing.T) {
+	names := map[string]Governor{
+		"static-max": StaticMax{},
+		"annotated":  Annotated{},
+		"reactive":   Reactive{},
+		"oracle":     Oracle{},
+	}
+	for want, g := range names {
+		if g.Name() != want {
+			t.Errorf("Name() = %q, want %q", g.Name(), want)
+		}
+	}
+}
+
+// Property: simulation energy is non-negative and misses never exceed the
+// frame count.
+func TestSimulateSanityProperty(t *testing.T) {
+	tab := XScale()
+	f := func(raw []uint16, govRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		actual := make([]float64, len(raw))
+		for i, r := range raw {
+			actual[i] = float64(r) * 1e3
+		}
+		govs := []Governor{StaticMax{}, Reactive{}, Oracle{Cycles: actual}}
+		g := govs[int(govRaw)%len(govs)]
+		res, err := Simulate(tab, g, actual, 1.0/15)
+		if err != nil {
+			return false
+		}
+		return res.EnergyJoules >= 0 && res.Misses <= len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

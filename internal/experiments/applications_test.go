@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDVSRowsShape(t *testing.T) {
+	rows, err := DVSRows(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	misses := map[string]int{}
+	for _, r := range rows {
+		byName[r.Governor] = r.Savings
+		misses[r.Governor] = r.Misses
+	}
+	if byName["static-max"] != 0 {
+		t.Errorf("static savings = %v", byName["static-max"])
+	}
+	if byName["annotated"] <= 0.05 {
+		t.Errorf("annotated DVS savings = %v, want substantial", byName["annotated"])
+	}
+	if byName["oracle"] < byName["annotated"]-1e-9 {
+		t.Errorf("oracle %v below annotated %v", byName["oracle"], byName["annotated"])
+	}
+	if misses["annotated"] != 0 {
+		t.Errorf("annotated missed %d deadlines", misses["annotated"])
+	}
+	if misses["static-max"] != 0 {
+		t.Errorf("static missed %d deadlines; workload must be feasible", misses["static-max"])
+	}
+	// The history-based governor trades quality for savings.
+	if misses["reactive"] == 0 && byName["reactive"] >= byName["annotated"] {
+		t.Error("reactive governor matched annotated without any misses; scenario too easy")
+	}
+}
+
+func TestNetworkRowsShape(t *testing.T) {
+	rows, err := NetworkRows(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Policy] = r.EnergyJoules
+	}
+	if byName["annotated"] >= byName["always-on"] {
+		t.Errorf("annotated %v J not below always-on %v J",
+			byName["annotated"], byName["always-on"])
+	}
+	if byName["annotated"] >= byName["psm"] {
+		t.Errorf("annotated %v J not below PSM %v J", byName["annotated"], byName["psm"])
+	}
+}
+
+func TestBatteryRowsShape(t *testing.T) {
+	rows, err := BatteryRows(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // reference + 5 quality levels
+		t.Fatalf("rows = %d", len(rows))
+	}
+	ref := rows[0]
+	if ref.Quality != -1 || ref.GainOverQ0 != 0 {
+		t.Errorf("reference row = %+v", ref)
+	}
+	prev := ref.Minutes
+	for _, r := range rows[1:] {
+		if r.Minutes < prev-1e-9 {
+			t.Errorf("runtime decreased at quality %v: %v -> %v", r.Quality, prev, r.Minutes)
+		}
+		prev = r.Minutes
+	}
+	if last := rows[len(rows)-1]; last.GainOverQ0 < 0.10 {
+		t.Errorf("20%% quality runtime gain = %v, want >= 10%%", last.GainOverQ0)
+	}
+}
+
+func TestCreditsRowsShape(t *testing.T) {
+	rows, err := CreditsRows(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var plainFails bool
+	for _, r := range rows {
+		if r.ROITextClipped > 0 {
+			t.Errorf("quality %v: ROI-protected text clipped %v", r.Quality, r.ROITextClipped)
+		}
+		if r.PlainTextClipped > 0.5 {
+			plainFails = true
+			if r.PlainSavings <= r.ROISavings {
+				t.Errorf("quality %v: plain clipped the text without saving more power", r.Quality)
+			}
+		}
+	}
+	if !plainFails {
+		t.Error("plain heuristic never distorted the credits; scenario does not reproduce §4.3")
+	}
+}
+
+func TestApplicationPrinters(t *testing.T) {
+	opt := fast()
+	var buf bytes.Buffer
+	dvsRows, err := DVSRows(opt, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	FprintDVS(&buf, "i_robot", dvsRows)
+	netRows, err := NetworkRows(opt, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	FprintNetwork(&buf, "returnoftheking", netRows)
+	batRows, err := BatteryRows(opt, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	FprintBattery(&buf, "catwoman", batRows)
+	creditRows, err := CreditsRows(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FprintCredits(&buf, creditRows)
+	out := buf.String()
+	for _, want := range []string{
+		"frequency/voltage", "WNIC", "minutes of video", "End credits",
+		"annotated", "psm", "reference",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestDVSRowsUnknownClip(t *testing.T) {
+	if _, err := DVSRows(fast(), "nope"); err == nil {
+		t.Error("unknown clip accepted")
+	}
+}
+
+func TestQualityMetricsShape(t *testing.T) {
+	rows, err := QualityMetrics(fast(), "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.SnapSSIM < 0.5 || r.SnapSSIM > 1 {
+			t.Errorf("quality %v: SSIM = %v", r.Quality, r.SnapSSIM)
+		}
+		if r.SnapPSNR < 10 {
+			t.Errorf("quality %v: PSNR = %v", r.Quality, r.SnapPSNR)
+		}
+		if i > 0 && r.MeanClipped < rows[i-1].MeanClipped-1e-9 {
+			t.Errorf("clipping not monotone at %v", r.Quality)
+		}
+	}
+	// More clipping budget means lower fidelity at the top level than
+	// lossless (weak ordering; noise-free snapshots).
+	if rows[4].SnapPSNR > rows[0].SnapPSNR+1 {
+		t.Errorf("20%% quality PSNR %v above lossless %v", rows[4].SnapPSNR, rows[0].SnapPSNR)
+	}
+}
+
+func TestQualityMetricsUnknownClip(t *testing.T) {
+	if _, err := QualityMetrics(fast(), "nope", 1); err == nil {
+		t.Error("unknown clip accepted")
+	}
+}
+
+func TestAdaptiveRowsShape(t *testing.T) {
+	rows, err := AdaptiveRows(fast(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lossless, aggressive, aware := rows[0], rows[1], rows[2]
+	if lossless.Completed {
+		t.Error("lossless completed on the undersized pack")
+	}
+	if !aggressive.Completed || !aware.Completed {
+		t.Errorf("aggressive/aware did not complete: %v/%v",
+			aggressive.Completed, aware.Completed)
+	}
+	if aware.MeanQuality >= aggressive.MeanQuality {
+		t.Errorf("battery-aware mean quality %v not better than always-aggressive %v",
+			aware.MeanQuality, aggressive.MeanQuality)
+	}
+	if aware.MinutesWatched <= lossless.MinutesWatched {
+		t.Error("battery-aware watched no more than lossless")
+	}
+}

@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/display"
+	"repro/internal/video"
+)
+
+// fast returns options small enough for unit tests.
+func fast() Options {
+	return Options{
+		Library: video.LibraryOptions{W: 40, H: 30, FPS: 6, DurationScale: 0.15},
+		Device:  display.IPAQ5555(),
+	}
+}
+
+func TestFig3Properties(t *testing.T) {
+	r := Fig3(fast())
+	if r.Hist.Total == 0 {
+		t.Fatal("empty histogram")
+	}
+	if r.Average <= 0 || r.Average >= 255 {
+		t.Errorf("average = %v", r.Average)
+	}
+	if r.DynamicRange <= 0 || r.Max <= r.Min {
+		t.Errorf("range = [%d,%d]", r.Min, r.Max)
+	}
+	// Dark frame: average well below midpoint, but bright highlights
+	// keep the ceiling high.
+	if r.Average > 128 {
+		t.Errorf("average %v too bright for a dark sample frame", r.Average)
+	}
+	if r.Max < 180 {
+		t.Errorf("max %v; highlights should reach the top range", r.Max)
+	}
+}
+
+func TestFig4CompensationBeatsNoCompensation(t *testing.T) {
+	r := Fig4(fast())
+	if r.DimLevel >= display.MaxLevel {
+		t.Errorf("dim level = %d, nothing was saved", r.DimLevel)
+	}
+	if absf(r.MeanShift) >= absf(r.UncompShift) {
+		t.Errorf("compensated shift %v not smaller than uncompensated %v",
+			r.MeanShift, r.UncompShift)
+	}
+	if r.Intersection < 0.5 {
+		t.Errorf("intersection %v; compensated snapshot too different", r.Intersection)
+	}
+}
+
+func TestFig5Monotone(t *testing.T) {
+	rows := Fig5(fast())
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Lost > r.Quality+1e-9 {
+			t.Errorf("quality %v: lost %v exceeds budget", r.Quality, r.Lost)
+		}
+		if i > 0 && r.ClipLevel > rows[i-1].ClipLevel {
+			t.Errorf("clip level rose with budget at row %d", i)
+		}
+	}
+	// The dark sample frame must show the characteristic 5% jump.
+	if rows[1].ClipLevel >= rows[0].ClipLevel-20 {
+		t.Errorf("5%% budget barely moved the ceiling: %d -> %d",
+			rows[0].ClipLevel, rows[1].ClipLevel)
+	}
+}
+
+func TestFig6Series(t *testing.T) {
+	r, err := Fig6(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Clip != "returnoftheking" {
+		t.Errorf("default clip = %s", r.Clip)
+	}
+	if len(r.Records) == 0 || r.Scenes < 2 {
+		t.Fatalf("series: %d records, %d scenes", len(r.Records), r.Scenes)
+	}
+	for _, rec := range r.Records {
+		if rec.Target <= 0 || rec.Target > 1 {
+			t.Fatalf("target %v out of range", rec.Target)
+		}
+		// Scene max (target base) is never below what this frame needs
+		// at the clipped level would allow; at least sane bounds:
+		if rec.Level < 0 || rec.Level > display.MaxLevel {
+			t.Fatalf("level %d out of range", rec.Level)
+		}
+	}
+}
+
+func TestFig7ShapesAndMonotone(t *testing.T) {
+	rows := Fig7(nil)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	prev := map[string]float64{}
+	for _, r := range rows {
+		if len(r.Measured) != 3 {
+			t.Fatalf("expected 3 devices, got %d", len(r.Measured))
+		}
+		for dev, v := range r.Measured {
+			if v < prev[dev]-1e-9 {
+				t.Errorf("%s: brightness not monotone at level %d", dev, r.Level)
+			}
+			prev[dev] = v
+		}
+	}
+	// Devices must differ visibly somewhere (distinct transfer curves).
+	mid := rows[len(rows)/2].Measured
+	if absf(mid["ipaq5555"]-mid["ipaq3650"]) < 5 {
+		t.Errorf("device curves indistinct at midpoint: %v", mid)
+	}
+}
+
+func TestFig8NearlyLinearAndOrdered(t *testing.T) {
+	rows := Fig8(display.IPAQ5555(), nil)
+	for _, r := range rows {
+		if r.AtHalf > r.AtFull+1e-9 {
+			t.Errorf("white %d: half backlight brighter than full", r.White)
+		}
+	}
+	if rows[0].AtFull >= rows[len(rows)-1].AtFull {
+		t.Error("brightness not increasing in white level")
+	}
+}
+
+func TestSweepShapeMatchesPaper(t *testing.T) {
+	rows, err := Sweep(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	byClip := map[string]SavingsRow{}
+	for _, r := range rows {
+		byClip[r.Clip] = r
+		if len(r.Backlight) != 5 || len(r.Total) != 5 {
+			t.Fatalf("%s: series lengths %d/%d", r.Clip, len(r.Backlight), len(r.Total))
+		}
+		for q := 1; q < 5; q++ {
+			if r.Backlight[q] < r.Backlight[q-1]-0.02 {
+				t.Errorf("%s: backlight savings dropped at quality %d (%v -> %v)",
+					r.Clip, q, r.Backlight[q-1], r.Backlight[q])
+			}
+		}
+		for q := 0; q < 5; q++ {
+			if r.Total[q] > r.Backlight[q]+0.02 {
+				t.Errorf("%s: total savings %v exceed backlight savings %v",
+					r.Clip, r.Total[q], r.Backlight[q])
+			}
+		}
+		if r.AnnotationBytes <= 0 || r.AnnotationBytes > 2048 {
+			t.Errorf("%s: annotation bytes = %d", r.Clip, r.AnnotationBytes)
+		}
+	}
+	// Paper shape: bright clips (hunter_subres, ice_age) are limited;
+	// dark clips do much better.
+	dark := byClip["theincredibles-tlr2"].Backlight[2]
+	ice := byClip["ice_age"].Backlight[2]
+	hunter := byClip["hunter_subres"].Backlight[2]
+	if dark <= ice || dark <= hunter {
+		t.Errorf("dark clip savings %v not above bright clips (%v, %v)", dark, ice, hunter)
+	}
+	if ice > 0.35 {
+		t.Errorf("ice_age backlight savings %v; paper shows it limited", ice)
+	}
+	// Total savings stay well below backlight savings (25-30% share).
+	if byClip["themovie"].Total[2] > 0.3 {
+		t.Errorf("themovie total savings %v implausibly high", byClip["themovie"].Total[2])
+	}
+}
+
+func TestAblateThresholds(t *testing.T) {
+	rows, err := AblateThresholds(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d, want 20", len(rows))
+	}
+	// Looser thresholds must not detect more scenes at fixed interval.
+	for mi := 0; mi < 4; mi++ {
+		for i := 1; i < 5; i++ {
+			cur := rows[i*4+mi]
+			prevRow := rows[(i-1)*4+mi]
+			if cur.Scenes > prevRow.Scenes {
+				t.Errorf("threshold %v: more scenes (%d) than looser %v (%d)",
+					cur.Threshold, cur.Scenes, prevRow.Threshold, prevRow.Scenes)
+			}
+		}
+	}
+}
+
+func TestAblateGranularity(t *testing.T) {
+	rows, err := AblateGranularity(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	perScene, perFrame := rows[0], rows[1]
+	if perFrame.Savings < perScene.Savings-1e-9 {
+		t.Errorf("per-frame savings %v below per-scene %v", perFrame.Savings, perScene.Savings)
+	}
+	if perFrame.Switches <= perScene.Switches {
+		t.Errorf("per-frame switches %d not above per-scene %d (flicker)",
+			perFrame.Switches, perScene.Switches)
+	}
+}
+
+func TestBaselinesOrdering(t *testing.T) {
+	rows, err := Baselines(fast(), "", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range rows {
+		byName[r.Strategy] = r.BacklightSavings
+	}
+	if byName["static"] > 1e-9 {
+		t.Errorf("static saves %v", byName["static"])
+	}
+	if byName["oracle-frame"] <= byName["static"] {
+		t.Error("oracle does not beat static")
+	}
+	if byName["annotated"] <= 0 {
+		t.Error("annotated saves nothing")
+	}
+}
+
+func TestAblateTransferAwareness(t *testing.T) {
+	rows, err := AblateTransferAwareness(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// On the LED device (concave response) the LUT dims deeper than the
+	// naive mapping; on CCFL S-curves naive under-lights some scenes.
+	var led, ccfl TransferRow
+	for _, r := range rows {
+		switch r.Device {
+		case "ipaq5555":
+			led = r
+		case "ipaq3650":
+			ccfl = r
+		}
+	}
+	if led.LUTSavings <= led.NaiveSavings {
+		t.Errorf("LED: LUT savings %v not above naive %v", led.LUTSavings, led.NaiveSavings)
+	}
+	if ccfl.NaiveUnderlit <= 0 {
+		t.Errorf("CCFL: naive mapping never under-lit (%v); expected quality loss", ccfl.NaiveUnderlit)
+	}
+	if led.NaiveUnderlit > 0 {
+		t.Errorf("LED: naive mapping under-lit %v; concave response should over-light", led.NaiveUnderlit)
+	}
+}
+
+func TestAblateCompensationMethod(t *testing.T) {
+	rows := AblateCompensationMethod(fast())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	contrast, brightness := rows[0], rows[1]
+	if contrast.Method != "contrast" || brightness.Method != "brightness" {
+		t.Fatalf("unexpected order: %v", rows)
+	}
+	// Contrast enhancement preserves the L*Y product for unclipped
+	// pixels; additive brightness distorts dark pixels. The paper chose
+	// contrast for a reason.
+	if contrast.MeanAbsErr >= brightness.MeanAbsErr {
+		t.Errorf("contrast err %v not below brightness err %v",
+			contrast.MeanAbsErr, brightness.MeanAbsErr)
+	}
+}
+
+func TestPrintersProduceOutput(t *testing.T) {
+	opt := fast()
+	var buf bytes.Buffer
+	FprintFig3(&buf, Fig3(opt))
+	FprintFig4(&buf, Fig4(opt))
+	FprintFig5(&buf, Fig5(opt))
+	fig6, err := Fig6(opt, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	FprintFig6(&buf, fig6)
+	FprintFig7(&buf, Fig7([]int{0, 128, 255}))
+	FprintFig8(&buf, "ipaq5555", Fig8(display.IPAQ5555(), []int{0, 128, 255}))
+	rows, err := Sweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FprintFig9(&buf, rows)
+	FprintFig10(&buf, rows)
+	FprintOverhead(&buf, rows)
+	FprintPowerBreakdown(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+		"Figure 8", "Figure 9", "Figure 10", "ice_age", "backlight share",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestAblateDetectors(t *testing.T) {
+	rows, err := AblateDetectors(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Scenes < 1 {
+			t.Errorf("%s found no scenes", r.Detector)
+		}
+		if r.Savings <= 0 {
+			t.Errorf("%s produced no savings", r.Detector)
+		}
+		if r.Precision < 0 || r.Precision > 1 || r.Recall < 0 || r.Recall > 1 {
+			t.Errorf("%s scores out of range: %+v", r.Detector, r)
+		}
+	}
+}
+
+func TestAblateHardwareSteps(t *testing.T) {
+	rows, err := AblateHardwareSteps(fast(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.LossPts < -1e-9 {
+			t.Errorf("%d steps: negative loss %v", r.Steps, r.LossPts)
+		}
+		if i > 0 && r.Savings < rows[i-1].Savings-1e-9 {
+			t.Errorf("savings decreased with finer hardware at %d steps", r.Steps)
+		}
+	}
+	if rows[len(rows)-1].LossPts > 1e-9 {
+		t.Errorf("256-step driver lost %v pts; should be lossless", rows[len(rows)-1].LossPts)
+	}
+	if rows[0].LossPts <= rows[len(rows)-1].LossPts {
+		t.Error("coarse driver not costlier than fine driver")
+	}
+}

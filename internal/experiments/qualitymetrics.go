@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/camera"
+	"repro/internal/compensate"
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/quality"
+	"repro/internal/scene"
+	"repro/internal/video"
+)
+
+// QualityRow summarises the displayed-appearance quality of one quality
+// level: camera snapshots of the original frame at full backlight vs the
+// compensated frame at the annotated level, scored with PSNR and SSIM,
+// plus the realised clipping and the flicker score of the backlight
+// schedule. QABS evaluates in PSNR terms; the paper prefers histogram
+// comparisons — this experiment provides both sides.
+type QualityRow struct {
+	Quality     float64
+	SnapPSNR    float64 // mean over sampled frames, dB
+	SnapSSIM    float64
+	MeanClipped float64
+	Flicker     float64
+}
+
+// QualityMetrics measures displayed-appearance quality across the quality
+// sweep on one clip. Every sampleEvery-th frame is photographed (the
+// camera path is the slow part).
+func QualityMetrics(opt Options, clipName string, sampleEvery int) ([]QualityRow, error) {
+	if clipName == "" {
+		clipName = "themovie"
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 4
+	}
+	clip := video.ClipByName(clipName, opt.Library)
+	if clip == nil {
+		return nil, fmt.Errorf("experiments: unknown clip %q", clipName)
+	}
+	src := core.ClipSource{Clip: clip}
+	track, _, err := core.Annotate(src, scene.DefaultConfig(clip.FPS), nil)
+	if err != nil {
+		return nil, err
+	}
+	dev := opt.Device
+	dev.BuildInverse()
+	cam := camera.Default()
+	cam.NoiseSigma = 0
+
+	rows := make([]QualityRow, 0, len(track.Quality))
+	n := clip.TotalFrames()
+	for qi, q := range track.Quality {
+		row := QualityRow{Quality: q}
+		cursor := track.NewCursor(qi)
+		level := display.MaxLevel
+		levels := make([]int, 0, n)
+		var psnrs, ssims []float64
+		var clippedSum float64
+		samples := 0
+		for i := 0; i < n; i++ {
+			target, sceneStart := cursor.Next()
+			if sceneStart {
+				level = dev.LevelFor(target)
+			}
+			levels = append(levels, level)
+			if i%sampleEvery != 0 {
+				continue
+			}
+			f := clip.Frame(i)
+			comp := core.CompensateFrame(f, target, compensate.ContrastEnhancement)
+			ref := cam.Snapshot(dev, f, display.MaxLevel)
+			got := cam.Snapshot(dev, comp, level)
+			p, err := quality.PSNR(ref, got)
+			if err != nil {
+				return nil, err
+			}
+			s, err := quality.SSIM(ref, got)
+			if err != nil {
+				return nil, err
+			}
+			psnrs = append(psnrs, p)
+			ssims = append(ssims, s)
+			plan := compensate.Plan{Target: target, K: gainFor(target)}
+			clippedSum += plan.ClippedFraction(f)
+			samples++
+		}
+		row.SnapPSNR = quality.Aggregate(psnrs).Mean
+		row.SnapSSIM = quality.Aggregate(ssims).Mean
+		row.Flicker = quality.FlickerScore(levels, clip.FPS)
+		if samples > 0 {
+			row.MeanClipped = clippedSum / float64(samples)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func gainFor(target float64) float64 {
+	if target <= 0 {
+		return 1
+	}
+	return 1 / target
+}
+
+// FprintQuality renders the quality-metrics experiment.
+func FprintQuality(w io.Writer, clip string, rows []QualityRow) {
+	fmt.Fprintf(w, "Displayed-appearance quality across quality levels (%s, camera snapshots)\n", clip)
+	fmt.Fprintf(w, "  %-8s %-12s %-10s %-12s %s\n",
+		"quality", "PSNR(dB)", "SSIM", "clipped%", "flicker")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-8.0f %-12.1f %-10.3f %-12.2f %.2f\n",
+			r.Quality*100, r.SnapPSNR, r.SnapSSIM, r.MeanClipped*100, r.Flicker)
+	}
+}

@@ -1,0 +1,126 @@
+// Package frame defines the in-memory video frame representation shared by
+// the generator, codec, compensation and display pipeline.
+//
+// A Frame stores interleaved 8-bit RGB pixels in a single backing slice so
+// that whole-frame operations (luminance scans, compensation) are a single
+// linear pass. Frames are small on the target class of device (QVGA and
+// below), so frames are copied freely where that keeps APIs simple.
+package frame
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pixel"
+)
+
+// Frame is a W×H raster of RGB pixels stored row-major.
+type Frame struct {
+	W, H int
+	Pix  []pixel.RGB // len == W*H
+}
+
+// New returns a black frame of the given dimensions.
+// It panics if either dimension is not positive, matching the hardware
+// constraint that a display raster is never empty.
+func New(w, h int) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h))
+	}
+	return &Frame{W: w, H: h, Pix: make([]pixel.RGB, w*h)}
+}
+
+// Solid returns a frame filled with the given pixel.
+func Solid(w, h int, p pixel.RGB) *Frame {
+	f := New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = p
+	}
+	return f
+}
+
+// At returns the pixel at (x, y). Callers must pass in-bounds coordinates.
+func (f *Frame) At(x, y int) pixel.RGB { return f.Pix[y*f.W+x] }
+
+// Set stores p at (x, y). Callers must pass in-bounds coordinates.
+func (f *Frame) Set(x, y int, p pixel.RGB) { f.Pix[y*f.W+x] = p }
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := &Frame{W: f.W, H: f.H, Pix: make([]pixel.RGB, len(f.Pix))}
+	copy(g.Pix, f.Pix)
+	return g
+}
+
+// MaxLuma returns the maximum pixel luminance in the frame (0..255).
+func (f *Frame) MaxLuma() float64 {
+	max := 0.0
+	for _, p := range f.Pix {
+		if y := p.Luma(); y > max {
+			max = y
+		}
+	}
+	return max
+}
+
+// AvgLuma returns the mean pixel luminance in the frame (0..255).
+func (f *Frame) AvgLuma() float64 {
+	sum := 0.0
+	for _, p := range f.Pix {
+		sum += p.Luma()
+	}
+	return sum / float64(len(f.Pix))
+}
+
+// Map returns a new frame with fn applied to every pixel.
+func (f *Frame) Map(fn func(pixel.RGB) pixel.RGB) *Frame {
+	g := New(f.W, f.H)
+	for i, p := range f.Pix {
+		g.Pix[i] = fn(p)
+	}
+	return g
+}
+
+// MapInPlace applies fn to every pixel of f.
+func (f *Frame) MapInPlace(fn func(pixel.RGB) pixel.RGB) {
+	for i, p := range f.Pix {
+		f.Pix[i] = fn(p)
+	}
+}
+
+// Equal reports whether f and g have identical dimensions and pixels.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.W != g.W || f.H != g.H {
+		return false
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != g.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PSNR returns the peak signal-to-noise ratio of g relative to reference f,
+// in dB, computed over all RGB channels. Identical frames return +Inf
+// (represented as a large sentinel, 99 dB, the convention used by video
+// quality tooling to keep aggregates finite).
+func (f *Frame) PSNR(g *Frame) float64 {
+	if f.W != g.W || f.H != g.H {
+		panic("frame: PSNR dimension mismatch")
+	}
+	var se float64
+	for i := range f.Pix {
+		a, b := f.Pix[i], g.Pix[i]
+		dr := float64(a.R) - float64(b.R)
+		dg := float64(a.G) - float64(b.G)
+		db := float64(a.B) - float64(b.B)
+		se += dr*dr + dg*dg + db*db
+	}
+	n := float64(3 * len(f.Pix))
+	mse := se / n
+	if mse == 0 {
+		return 99
+	}
+	return 10 * math.Log10(255*255/mse)
+}

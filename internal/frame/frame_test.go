@@ -1,0 +1,203 @@
+package frame
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pixel"
+)
+
+func TestNewIsBlack(t *testing.T) {
+	f := New(4, 3)
+	if f.W != 4 || f.H != 3 || len(f.Pix) != 12 {
+		t.Fatalf("New(4,3) shape = %dx%d/%d", f.W, f.H, len(f.Pix))
+	}
+	for i, p := range f.Pix {
+		if p != (pixel.RGB{}) {
+			t.Fatalf("pixel %d = %v, want black", i, p)
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	f := New(5, 4)
+	p := pixel.RGB{R: 1, G: 2, B: 3}
+	f.Set(3, 2, p)
+	if got := f.At(3, 2); got != p {
+		t.Errorf("At(3,2) = %v, want %v", got, p)
+	}
+	if got := f.Pix[2*5+3]; got != p {
+		t.Errorf("backing slice index mismatch: %v", got)
+	}
+}
+
+func TestSolid(t *testing.T) {
+	p := pixel.Gray(200)
+	f := Solid(3, 3, p)
+	for _, q := range f.Pix {
+		if q != p {
+			t.Fatalf("Solid pixel = %v, want %v", q, p)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := Solid(2, 2, pixel.Gray(10))
+	g := f.Clone()
+	g.Set(0, 0, pixel.Gray(99))
+	if f.At(0, 0) != pixel.Gray(10) {
+		t.Error("Clone shares backing storage")
+	}
+	if !f.Equal(f.Clone()) {
+		t.Error("Clone not equal to original")
+	}
+}
+
+func TestMaxAvgLuma(t *testing.T) {
+	f := New(2, 1)
+	f.Set(0, 0, pixel.Gray(100))
+	f.Set(1, 0, pixel.Gray(50))
+	if got := f.MaxLuma(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("MaxLuma = %v, want 100", got)
+	}
+	if got := f.AvgLuma(); math.Abs(got-75) > 1e-9 {
+		t.Errorf("AvgLuma = %v, want 75", got)
+	}
+}
+
+func TestMapDoesNotMutate(t *testing.T) {
+	f := Solid(2, 2, pixel.Gray(10))
+	g := f.Map(func(p pixel.RGB) pixel.RGB { return p.Scale(2) })
+	if f.At(0, 0) != pixel.Gray(10) {
+		t.Error("Map mutated the receiver")
+	}
+	if g.At(0, 0) != pixel.Gray(20) {
+		t.Errorf("Map result = %v, want gray 20", g.At(0, 0))
+	}
+}
+
+func TestMapInPlace(t *testing.T) {
+	f := Solid(2, 2, pixel.Gray(10))
+	f.MapInPlace(func(p pixel.RGB) pixel.RGB { return p.Add(5) })
+	if f.At(1, 1) != pixel.Gray(15) {
+		t.Errorf("MapInPlace result = %v, want gray 15", f.At(1, 1))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Solid(2, 2, pixel.Gray(7))
+	b := Solid(2, 2, pixel.Gray(7))
+	if !a.Equal(b) {
+		t.Error("identical frames not Equal")
+	}
+	b.Set(0, 1, pixel.Gray(8))
+	if a.Equal(b) {
+		t.Error("different frames Equal")
+	}
+	c := Solid(2, 3, pixel.Gray(7))
+	if a.Equal(c) {
+		t.Error("different shapes Equal")
+	}
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	f := Solid(4, 4, pixel.Gray(128))
+	if got := f.PSNR(f.Clone()); got != 99 {
+		t.Errorf("PSNR(identical) = %v, want 99 sentinel", got)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	f := Solid(4, 4, pixel.Gray(100))
+	g := Solid(4, 4, pixel.Gray(110))
+	// MSE = 100 on every channel -> PSNR = 10*log10(255^2/100) ~ 28.13 dB.
+	want := 10 * math.Log10(255*255/100.0)
+	if got := f.PSNR(g); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestPSNRPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PSNR with mismatched dims did not panic")
+		}
+	}()
+	New(2, 2).PSNR(New(3, 2))
+}
+
+// Property: MaxLuma is an upper bound for AvgLuma and both lie in 0..255.
+func TestLumaBoundsProperty(t *testing.T) {
+	f := func(vals [9]uint8) bool {
+		fr := New(3, 3)
+		for i, v := range vals {
+			fr.Pix[i] = pixel.RGB{R: v, G: vals[(i+1)%9], B: vals[(i+2)%9]}
+		}
+		max, avg := fr.MaxLuma(), fr.AvgLuma()
+		return avg <= max+1e-9 && max <= 255 && avg >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PSNR is symmetric.
+func TestPSNRSymmetricProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		fa := Solid(2, 2, pixel.Gray(a))
+		fb := Solid(2, 2, pixel.Gray(b))
+		return math.Abs(fa.PSNR(fb)-fb.PSNR(fa)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPPMRoundTrip(t *testing.T) {
+	f := New(5, 3)
+	for i := range f.Pix {
+		f.Pix[i] = pixel.RGB{R: uint8(i * 11), G: uint8(i * 7), B: uint8(255 - i*13)}
+	}
+	var buf bytes.Buffer
+	if err := f.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPPM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(got) {
+		t.Error("PPM round trip altered pixels")
+	}
+}
+
+func TestReadPPMRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"P5\n2 2\n255\n",
+		"P6\n0 2\n255\n",
+		"P6\n2 2\n65535\n",
+		"P6\n2 2\n255\nxx", // truncated pixels
+	}
+	for i, s := range cases {
+		if _, err := ReadPPM(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

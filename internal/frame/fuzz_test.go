@@ -1,0 +1,34 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/pixel"
+)
+
+// FuzzReadPPM drives the PPM parser with arbitrary bytes.
+func FuzzReadPPM(f *testing.F) {
+	img := Solid(3, 2, pixel.Gray(100))
+	var buf bytes.Buffer
+	if err := img.WritePPM(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("P6\n1 1\n255\nabc"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadPPM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WritePPM(&out); err != nil {
+			t.Fatalf("re-encode of accepted PPM failed: %v", err)
+		}
+		back, err := ReadPPM(&out)
+		if err != nil || !back.Equal(got) {
+			t.Fatal("PPM re-encode not stable")
+		}
+	})
+}

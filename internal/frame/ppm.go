@@ -1,0 +1,60 @@
+package frame
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePPM serialises the frame as a binary PPM (P6) image — the simplest
+// portable way to eyeball generated, compensated or snapshot frames with
+// any image viewer.
+func (f *Frame) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	for _, p := range f.Pix {
+		if _, err := bw.Write([]byte{p.R, p.G, p.B}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPPM parses a binary PPM (P6) image with 8-bit samples.
+func ReadPPM(r io.Reader) (*Frame, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("frame: reading PPM magic: %w", err)
+	}
+	if magic != "P6" {
+		return nil, fmt.Errorf("frame: unsupported PPM magic %q", magic)
+	}
+	var w, h, maxVal int
+	if _, err := fmt.Fscan(br, &w, &h, &maxVal); err != nil {
+		return nil, fmt.Errorf("frame: reading PPM header: %w", err)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("frame: implausible PPM dimensions %dx%d", w, h)
+	}
+	if maxVal != 255 {
+		return nil, fmt.Errorf("frame: unsupported PPM max value %d", maxVal)
+	}
+	// Single whitespace byte after the header.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("frame: reading PPM separator: %w", err)
+	}
+	f := New(w, h)
+	buf := make([]byte, 3*w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("frame: reading PPM pixels: %w", err)
+	}
+	for i := range f.Pix {
+		f.Pix[i].R = buf[3*i]
+		f.Pix[i].G = buf[3*i+1]
+		f.Pix[i].B = buf[3*i+2]
+	}
+	return f, nil
+}

@@ -1,0 +1,28 @@
+package histogram_test
+
+import (
+	"fmt"
+
+	"repro/internal/histogram"
+)
+
+// The clipping-budget computation at the heart of the quality levels:
+// sacrificing the brightest pixels lowers the luminance the scene needs.
+func ExampleH_ClipLevel() {
+	// 90 dark pixels, 10 bright highlights.
+	luma := make([]uint8, 0, 100)
+	for i := 0; i < 90; i++ {
+		luma = append(luma, 60)
+	}
+	for i := 0; i < 10; i++ {
+		luma = append(luma, 250)
+	}
+	h := histogram.FromLuma(luma)
+	fmt.Println("lossless ceiling:", h.ClipLevel(0))
+	fmt.Println("with 10% budget: ", h.ClipLevel(0.10))
+	fmt.Println("pixels lost:     ", h.ClippedFraction(h.ClipLevel(0.10)))
+	// Output:
+	// lossless ceiling: 250
+	// with 10% budget:  60
+	// pixels lost:      0.1
+}

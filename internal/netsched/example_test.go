@@ -1,0 +1,27 @@
+package netsched_test
+
+import (
+	"fmt"
+
+	"repro/internal/netsched"
+)
+
+// With per-scene byte counts annotated in advance, the client receives
+// each scene in one burst and sleeps the radio for the rest of it.
+func ExampleWNIC_Compare() {
+	wnic := netsched.DefaultWNIC()
+	scenes := []netsched.Scene{
+		{Bytes: 300_000, Seconds: 5},
+		{Bytes: 450_000, Seconds: 7},
+		{Bytes: 250_000, Seconds: 4},
+	}
+	results, _ := wnic.Compare(scenes, 0.1)
+	for _, r := range results {
+		fmt.Printf("%-10s %5.1f J (%.0f%% saved, %d wakeups)\n",
+			r.Policy, r.EnergyJoules, r.Savings*100, r.Wakeups)
+	}
+	// Output:
+	// always-on   12.1 J (0% saved, 0 wakeups)
+	// psm          2.5 J (79% saved, 160 wakeups)
+	// annotated    2.1 J (83% saved, 3 wakeups)
+}

@@ -1,0 +1,301 @@
+package netsched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// stream is a 60s clip at a typical trailer bitrate (~500 kbit/s).
+func stream() []Scene {
+	return []Scene{
+		{Bytes: 250_000, Seconds: 4},
+		{Bytes: 180_000, Seconds: 3},
+		{Bytes: 400_000, Seconds: 6},
+		{Bytes: 300_000, Seconds: 5},
+		{Bytes: 600_000, Seconds: 10},
+		{Bytes: 2_000_000, Seconds: 32},
+	}
+}
+
+func TestDefaultWNICValidates(t *testing.T) {
+	if err := DefaultWNIC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadWNIC(t *testing.T) {
+	mutations := []func(*WNIC){
+		func(w *WNIC) { w.RxWatts = 0 },
+		func(w *WNIC) { w.IdleWatts = 0 },
+		func(w *WNIC) { w.SleepWatts = -1 },
+		func(w *WNIC) { w.SleepWatts = w.IdleWatts },
+		func(w *WNIC) { w.IdleWatts = w.RxWatts + 1 },
+		func(w *WNIC) { w.Mbps = 0 },
+		func(w *WNIC) { w.WakeSeconds = -1 },
+	}
+	for i, mutate := range mutations {
+		w := DefaultWNIC()
+		mutate(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSceneAnnotationRoundTrip(t *testing.T) {
+	scenes := stream()
+	got, err := DecodeScenes(EncodeScenes(scenes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(scenes) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range scenes {
+		if got[i].Bytes != scenes[i].Bytes {
+			t.Errorf("scene %d bytes = %d, want %d", i, got[i].Bytes, scenes[i].Bytes)
+		}
+		if math.Abs(got[i].Seconds-scenes[i].Seconds) > 0.001 {
+			t.Errorf("scene %d seconds = %v, want %v", i, got[i].Seconds, scenes[i].Seconds)
+		}
+	}
+}
+
+func TestDecodeScenesRejectsGarbage(t *testing.T) {
+	for i, data := range [][]byte{nil, {1, 2}, {0, 0, 0, 3, 5}, {255, 255, 255, 255}} {
+		if _, err := DecodeScenes(data); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeScenesNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		DecodeScenes(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlwaysOnEnergy(t *testing.T) {
+	w := DefaultWNIC()
+	scenes := []Scene{{Bytes: 625_000, Seconds: 10}} // exactly 1s of rx at 5Mbps
+	res := w.AlwaysOn(scenes)
+	want := w.RxWatts*1 + w.IdleWatts*9
+	if math.Abs(res.EnergyJoules-want) > 1e-9 {
+		t.Errorf("always-on energy = %v, want %v", res.EnergyJoules, want)
+	}
+}
+
+func TestAnnotatedBeatsAlwaysOnAndPSM(t *testing.T) {
+	w := DefaultWNIC()
+	results, err := w.Compare(stream(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Policy] = r
+	}
+	on, psm, ann := byName["always-on"], byName["psm"], byName["annotated"]
+	if ann.EnergyJoules >= psm.EnergyJoules {
+		t.Errorf("annotated %v J not below PSM %v J", ann.EnergyJoules, psm.EnergyJoules)
+	}
+	if psm.EnergyJoules >= on.EnergyJoules {
+		t.Errorf("PSM %v J not below always-on %v J", psm.EnergyJoules, on.EnergyJoules)
+	}
+	if ann.Savings < 0.5 {
+		t.Errorf("annotated savings = %v, want large at trailer bitrates", ann.Savings)
+	}
+	if on.Savings != 0 {
+		t.Errorf("always-on savings = %v", on.Savings)
+	}
+	// Annotated wakes once per scene; PSM once per beacon.
+	if ann.Wakeups != len(stream()) {
+		t.Errorf("annotated wakeups = %d, want %d", ann.Wakeups, len(stream()))
+	}
+	if psm.Wakeups <= ann.Wakeups {
+		t.Errorf("PSM wakeups %d not above annotated %d", psm.Wakeups, ann.Wakeups)
+	}
+}
+
+func TestAnnotatedSleepsMostOfTheTime(t *testing.T) {
+	w := DefaultWNIC()
+	res := w.Annotated(stream())
+	if res.SleepFraction < 0.8 {
+		t.Errorf("sleep fraction = %v; trailer bitrates should allow deep sleep", res.SleepFraction)
+	}
+}
+
+func TestAnnotatedDenseSceneStaysAwake(t *testing.T) {
+	w := DefaultWNIC()
+	// Scene needs more rx time than its duration: no sleep possible.
+	scenes := []Scene{{Bytes: 10_000_000, Seconds: 1}}
+	res := w.Annotated(scenes)
+	if res.SleepFraction != 0 {
+		t.Errorf("dense scene slept %v", res.SleepFraction)
+	}
+	if res.EnergyJoules <= 0 {
+		t.Error("no energy accounted")
+	}
+}
+
+func TestPSMValidation(t *testing.T) {
+	w := DefaultWNIC()
+	if _, err := w.PSM(stream(), 0); err == nil {
+		t.Error("zero beacon accepted")
+	}
+	bad := DefaultWNIC()
+	bad.Mbps = 0
+	if _, err := bad.Compare(stream(), 0.1); err == nil {
+		t.Error("invalid WNIC accepted by Compare")
+	}
+}
+
+func TestPSMBeaconGranularityTradeoff(t *testing.T) {
+	w := DefaultWNIC()
+	coarse, err := w.PSM(stream(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := w.PSM(stream(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer beacons wake more often and pay more wake overhead.
+	if fine.Wakeups <= coarse.Wakeups {
+		t.Errorf("fine beacons woke %d times, coarse %d", fine.Wakeups, coarse.Wakeups)
+	}
+}
+
+// Property: energies are non-negative and annotated never exceeds
+// always-on for any feasible stream.
+func TestPolicyOrderingProperty(t *testing.T) {
+	w := DefaultWNIC()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		scenes := make([]Scene, len(raw))
+		for i, r := range raw {
+			scenes[i] = Scene{Bytes: int(r) * 100, Seconds: 1 + float64(r%7)}
+		}
+		results, err := w.Compare(scenes, 0.1)
+		if err != nil {
+			return false
+		}
+		for _, res := range results {
+			if res.EnergyJoules < 0 {
+				return false
+			}
+		}
+		return results[2].EnergyJoules <= results[0].EnergyJoules+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func playoutScenes() []Scene {
+	return []Scene{
+		{Bytes: 300_000, Seconds: 5},
+		{Bytes: 400_000, Seconds: 6},
+		{Bytes: 350_000, Seconds: 5},
+		{Bytes: 800_000, Seconds: 5}, // high-bitrate action scene
+		{Bytes: 500_000, Seconds: 8},
+	}
+}
+
+func TestPlayoutAmpleBandwidthNoStalls(t *testing.T) {
+	link := Link{Mbps: 5, Seed: 1}
+	for _, policy := range []PlayoutPolicy{Greedy, Burst} {
+		res, err := SimulatePlayout(link, playoutScenes(), PlayoutConfig{
+			Policy: policy, LeadSeconds: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rebuffers != 0 || res.StallSeconds > 0 {
+			t.Errorf("policy %d: stalled %v (%d rebuffers) with ample bandwidth",
+				policy, res.StallSeconds, res.Rebuffers)
+		}
+		if res.StartupSeconds <= 0 {
+			t.Errorf("policy %d: zero startup delay", policy)
+		}
+	}
+}
+
+func TestPlayoutBurstSleepsRadioMore(t *testing.T) {
+	link := Link{Mbps: 5, Seed: 2}
+	greedy, err := SimulatePlayout(link, playoutScenes(), PlayoutConfig{Policy: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := SimulatePlayout(link, playoutScenes(), PlayoutConfig{Policy: Burst, LeadSeconds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy front-loads the download: its radio-on time equals the
+	// transfer time too, but it never sleeps while data remains; with a
+	// fast link both finish early, so compare awake time directly.
+	if burst.AwakeSeconds > greedy.AwakeSeconds+0.5 {
+		t.Errorf("burst awake %vs vs greedy %vs", burst.AwakeSeconds, greedy.AwakeSeconds)
+	}
+}
+
+func TestPlayoutTightLinkBurstNeedsLead(t *testing.T) {
+	// Link barely above the stream bitrate: bursting with no lead stalls;
+	// a generous lead recovers.
+	link := Link{Mbps: 0.6, JitterFrac: 0.3, Seed: 3}
+	noLead, err := SimulatePlayout(link, playoutScenes(), PlayoutConfig{Policy: Burst, LeadSeconds: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withLead, err := SimulatePlayout(link, playoutScenes(), PlayoutConfig{Policy: Burst, LeadSeconds: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noLead.StallSeconds <= withLead.StallSeconds {
+		t.Errorf("lead did not help: %vs stalls without vs %vs with",
+			noLead.StallSeconds, withLead.StallSeconds)
+	}
+}
+
+func TestPlayoutValidation(t *testing.T) {
+	if _, err := SimulatePlayout(Link{Mbps: 0}, playoutScenes(), PlayoutConfig{}); err == nil {
+		t.Error("zero-rate link accepted")
+	}
+	if _, err := SimulatePlayout(Link{Mbps: 1, JitterFrac: 1.5}, playoutScenes(), PlayoutConfig{}); err == nil {
+		t.Error("absurd jitter accepted")
+	}
+	if _, err := SimulatePlayout(Link{Mbps: 1}, nil, PlayoutConfig{}); err == nil {
+		t.Error("empty scenes accepted")
+	}
+}
+
+func TestPlayoutDeterministic(t *testing.T) {
+	link := Link{Mbps: 1, JitterFrac: 0.2, Seed: 9}
+	cfg := PlayoutConfig{Policy: Burst, LeadSeconds: 2}
+	a, err := SimulatePlayout(link, playoutScenes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulatePlayout(link, playoutScenes(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same-seed playout differs: %+v vs %+v", a, b)
+	}
+}

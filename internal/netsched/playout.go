@@ -1,0 +1,194 @@
+package netsched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Playout simulation: burst scheduling saves radio energy, but a client
+// that sleeps between bursts gambles that the link will deliver each
+// scene's bytes before playback reaches it. This simulation quantifies
+// that robustness trade-off under bandwidth jitter — startup delay,
+// rebuffering events and stall time — for the burst policy at a given
+// prefetch lead versus a greedy always-filling receiver.
+
+// Link models a wireless link with multiplicative rate jitter.
+type Link struct {
+	// Mbps is the nominal throughput.
+	Mbps float64
+	// JitterFrac is the ± fraction of rate variation per step.
+	JitterFrac float64
+	// Seed makes the jitter deterministic.
+	Seed int64
+}
+
+// rate returns the link rate (bytes/second) for one step.
+func (l Link) rateBytes(rng *rand.Rand) float64 {
+	r := l.Mbps * 1e6 / 8
+	if l.JitterFrac > 0 {
+		r *= 1 + l.JitterFrac*(rng.Float64()*2-1)
+	}
+	return r
+}
+
+// PlayoutPolicy selects the receive strategy for the playout simulation.
+type PlayoutPolicy int
+
+const (
+	// Greedy keeps the radio on and fills the buffer as fast as the link
+	// allows (maximum robustness, maximum energy).
+	Greedy PlayoutPolicy = iota
+	// Burst wakes LeadSeconds before each scene and fetches exactly that
+	// scene (the annotated schedule), sleeping otherwise.
+	Burst
+)
+
+// PlayoutConfig tunes the simulation.
+type PlayoutConfig struct {
+	Policy PlayoutPolicy
+	// LeadSeconds is how early a burst starts before its scene plays.
+	LeadSeconds float64
+	// StartupPrebuffer is the fraction of the first scene that must be
+	// buffered before playback starts (default 1.0: the whole scene).
+	StartupPrebuffer float64
+	// Step is the simulation step in seconds (default 0.01).
+	Step float64
+}
+
+// PlayoutResult reports the user-visible outcome.
+type PlayoutResult struct {
+	StartupSeconds float64
+	Rebuffers      int
+	StallSeconds   float64
+	// AwakeSeconds is the radio-on time (energy proxy; exact energy
+	// comes from the WNIC model).
+	AwakeSeconds float64
+}
+
+// SimulatePlayout plays the scene schedule over the link under the given
+// policy and returns startup/stall behaviour.
+func SimulatePlayout(link Link, scenes []Scene, cfg PlayoutConfig) (PlayoutResult, error) {
+	if link.Mbps <= 0 {
+		return PlayoutResult{}, fmt.Errorf("netsched: non-positive link rate")
+	}
+	if link.JitterFrac < 0 || link.JitterFrac >= 1 {
+		return PlayoutResult{}, fmt.Errorf("netsched: jitter fraction %v outside [0,1)", link.JitterFrac)
+	}
+	if len(scenes) == 0 {
+		return PlayoutResult{}, fmt.Errorf("netsched: no scenes")
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 0.01
+	}
+	if cfg.StartupPrebuffer <= 0 || cfg.StartupPrebuffer > 1 {
+		cfg.StartupPrebuffer = 1
+	}
+	rng := rand.New(rand.NewSource(link.Seed))
+
+	// Per-scene byte positions and playback start times.
+	type sceneInfo struct {
+		startByte   float64 // cumulative bytes before this scene
+		bytes       float64
+		startPlay   float64 // playback time the scene begins at
+		consumeRate float64 // bytes per playback second
+	}
+	infos := make([]sceneInfo, len(scenes))
+	var cumBytes, cumTime float64
+	for i, s := range scenes {
+		infos[i] = sceneInfo{
+			startByte: cumBytes,
+			bytes:     float64(s.Bytes),
+			startPlay: cumTime,
+		}
+		if s.Seconds > 0 {
+			infos[i].consumeRate = float64(s.Bytes) / s.Seconds
+		}
+		cumBytes += float64(s.Bytes)
+		cumTime += s.Seconds
+	}
+	totalBytes := cumBytes
+	totalPlay := cumTime
+
+	var res PlayoutResult
+	received := 0.0 // contiguous bytes received
+	playPos := 0.0  // playback position in seconds
+	started := false
+	startupNeed := infos[0].startByte + infos[0].bytes*cfg.StartupPrebuffer
+
+	// byteAtPlayPos returns the stream byte offset playback has consumed
+	// up to time p.
+	byteAtPlayPos := func(p float64) float64 {
+		var b float64
+		for _, inf := range infos {
+			if p <= inf.startPlay {
+				break
+			}
+			dur := inf.bytes / maxf(inf.consumeRate, 1e-9)
+			elapsed := p - inf.startPlay
+			if elapsed >= dur {
+				b = inf.startByte + inf.bytes
+			} else {
+				b = inf.startByte + elapsed*inf.consumeRate
+				break
+			}
+		}
+		return b
+	}
+
+	// wantReceiving decides whether the radio is on this step.
+	wantReceiving := func(now float64) bool {
+		if received >= totalBytes {
+			return false
+		}
+		if cfg.Policy == Greedy {
+			return true
+		}
+		// Burst: on when inside any scene's fetch window (its playback
+		// start minus lead, until its bytes are in).
+		for _, inf := range infos {
+			if received < inf.startByte+inf.bytes && now >= inf.startPlay-cfg.LeadSeconds {
+				// Fetch scenes in order; only the first incomplete
+				// scene matters.
+				return received < inf.startByte+inf.bytes
+			}
+		}
+		return false
+	}
+
+	const maxSimSeconds = 24 * 3600
+	now := 0.0
+	stalledLastStep := false
+	for playPos < totalPlay && now < maxSimSeconds {
+		if wantReceiving(now) {
+			received += link.rateBytes(rng) * cfg.Step
+			if received > totalBytes {
+				received = totalBytes
+			}
+			res.AwakeSeconds += cfg.Step
+		}
+		if !started {
+			if received >= startupNeed {
+				started = true
+			} else {
+				res.StartupSeconds += cfg.Step
+			}
+		} else {
+			// Playback advances only if the next chunk is buffered.
+			needed := byteAtPlayPos(playPos + cfg.Step)
+			if received+1e-6 >= needed {
+				playPos += cfg.Step
+				stalledLastStep = false
+			} else {
+				if !stalledLastStep {
+					res.Rebuffers++
+				}
+				res.StallSeconds += cfg.Step
+				stalledLastStep = true
+				now += cfg.Step
+				continue
+			}
+		}
+		now += cfg.Step
+	}
+	return res, nil
+}

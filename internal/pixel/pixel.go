@@ -1,0 +1,117 @@
+// Package pixel provides the colour arithmetic underlying the backlight
+// scaling pipeline: RGB representations, YCbCr conversion and the luminance
+// formula Y = rR + gG + bB used throughout the paper.
+//
+// All computations follow ITU-R BT.601, the colorimetry used by the MPEG-1
+// era toolchain (Berkeley MPEG tools) that the original implementation was
+// built on. Pixel component values are 8-bit (0..255) in storage and
+// normalised float64 (0..1) in analysis code.
+package pixel
+
+// BT.601 luma weights. Y = LumaR*R + LumaG*G + LumaB*B.
+const (
+	LumaR = 0.299
+	LumaG = 0.587
+	LumaB = 0.114
+)
+
+// RGB is an 8-bit-per-channel pixel as stored in frames.
+type RGB struct {
+	R, G, B uint8
+}
+
+// Luma returns the BT.601 luminance of p in 0..255 as a float64.
+func (p RGB) Luma() float64 {
+	return LumaR*float64(p.R) + LumaG*float64(p.G) + LumaB*float64(p.B)
+}
+
+// Luma8 returns the luminance rounded to a 0..255 integer.
+func (p RGB) Luma8() uint8 {
+	return ClampU8(p.Luma())
+}
+
+// Normalized returns the channels scaled to 0..1.
+func (p RGB) Normalized() (r, g, b float64) {
+	return float64(p.R) / 255, float64(p.G) / 255, float64(p.B) / 255
+}
+
+// FromNormalized builds an RGB pixel from normalised channel values,
+// saturating each channel to [0,1] first.
+func FromNormalized(r, g, b float64) RGB {
+	return RGB{
+		R: ClampU8(r * 255),
+		G: ClampU8(g * 255),
+		B: ClampU8(b * 255),
+	}
+}
+
+// ClampU8 rounds v to the nearest integer and saturates it to 0..255.
+func ClampU8(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// Clamp01 saturates v to the unit interval.
+func Clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Scale multiplies each channel by k and saturates, implementing the
+// paper's contrast enhancement C' = min(1, C·k) on a single pixel.
+// All three channels are scaled by the same amount so hue is preserved.
+func (p RGB) Scale(k float64) RGB {
+	return RGB{
+		R: ClampU8(float64(p.R) * k),
+		G: ClampU8(float64(p.G) * k),
+		B: ClampU8(float64(p.B) * k),
+	}
+}
+
+// Add adds delta (in 0..255 units) to each channel and saturates,
+// implementing the paper's brightness compensation C' = min(1, C+δC).
+func (p RGB) Add(delta float64) RGB {
+	return RGB{
+		R: ClampU8(float64(p.R) + delta),
+		G: ClampU8(float64(p.G) + delta),
+		B: ClampU8(float64(p.B) + delta),
+	}
+}
+
+// YCbCr holds BT.601 full-range luma/chroma components as used by the codec.
+type YCbCr struct {
+	Y, Cb, Cr uint8
+}
+
+// ToYCbCr converts an RGB pixel to full-range BT.601 YCbCr.
+func ToYCbCr(p RGB) YCbCr {
+	r, g, b := float64(p.R), float64(p.G), float64(p.B)
+	y := LumaR*r + LumaG*g + LumaB*b
+	cb := 128 + (b-y)/1.772
+	cr := 128 + (r-y)/1.402
+	return YCbCr{Y: ClampU8(y), Cb: ClampU8(cb), Cr: ClampU8(cr)}
+}
+
+// ToRGB converts a full-range BT.601 YCbCr pixel back to RGB.
+func ToRGB(p YCbCr) RGB {
+	y := float64(p.Y)
+	cb := float64(p.Cb) - 128
+	cr := float64(p.Cr) - 128
+	r := y + 1.402*cr
+	b := y + 1.772*cb
+	g := (y - LumaR*r - LumaB*b) / LumaG
+	return RGB{R: ClampU8(r), G: ClampU8(g), B: ClampU8(b)}
+}
+
+// Gray returns the gray pixel with all channels equal to v.
+func Gray(v uint8) RGB { return RGB{R: v, G: v, B: v} }

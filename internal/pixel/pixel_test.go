@@ -1,0 +1,187 @@
+package pixel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLumaWeightsSumToOne(t *testing.T) {
+	if got := LumaR + LumaG + LumaB; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("luma weights sum to %v, want 1", got)
+	}
+}
+
+func TestLumaExtremes(t *testing.T) {
+	if got := (RGB{}).Luma(); got != 0 {
+		t.Errorf("black luma = %v, want 0", got)
+	}
+	if got := (RGB{255, 255, 255}).Luma(); math.Abs(got-255) > 1e-9 {
+		t.Errorf("white luma = %v, want 255", got)
+	}
+}
+
+func TestLumaChannelWeights(t *testing.T) {
+	cases := []struct {
+		p    RGB
+		want float64
+	}{
+		{RGB{R: 255}, 255 * LumaR},
+		{RGB{G: 255}, 255 * LumaG},
+		{RGB{B: 255}, 255 * LumaB},
+		{RGB{R: 100, G: 100, B: 100}, 100},
+	}
+	for _, c := range cases {
+		if got := c.p.Luma(); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Luma(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestClampU8(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint8
+	}{
+		{-1, 0}, {0, 0}, {0.4, 0}, {0.5, 1}, {127.5, 128},
+		{254.4, 254}, {255, 255}, {300, 255},
+		{math.Inf(1), 255}, {math.Inf(-1), 0},
+	}
+	for _, c := range cases {
+		if got := ClampU8(c.in); got != c.want {
+			t.Errorf("ClampU8(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClamp01(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.25, 0.25}, {1, 1}, {1.5, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp01(c.in); got != c.want {
+			t.Errorf("Clamp01(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestScaleIdentity(t *testing.T) {
+	p := RGB{10, 200, 97}
+	if got := p.Scale(1); got != p {
+		t.Errorf("Scale(1) = %v, want %v", got, p)
+	}
+}
+
+func TestScaleSaturates(t *testing.T) {
+	p := RGB{200, 10, 128}
+	got := p.Scale(2)
+	want := RGB{255, 20, 255}
+	if got != want {
+		t.Errorf("Scale(2) = %v, want %v", got, want)
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	p := RGB{250, 0, 128}
+	got := p.Add(10)
+	want := RGB{255, 10, 138}
+	if got != want {
+		t.Errorf("Add(10) = %v, want %v", got, want)
+	}
+	got = p.Add(-20)
+	want = RGB{230, 0, 108}
+	if got != want {
+		t.Errorf("Add(-20) = %v, want %v", got, want)
+	}
+}
+
+func TestFromNormalizedRoundTrip(t *testing.T) {
+	p := RGB{13, 77, 240}
+	r, g, b := p.Normalized()
+	if got := FromNormalized(r, g, b); got != p {
+		t.Errorf("round trip = %v, want %v", got, p)
+	}
+}
+
+func TestYCbCrGrayIsNeutral(t *testing.T) {
+	for _, v := range []uint8{0, 1, 64, 128, 200, 255} {
+		yc := ToYCbCr(Gray(v))
+		if yc.Y != v {
+			t.Errorf("gray %d: Y = %d, want %d", v, yc.Y, v)
+		}
+		if yc.Cb != 128 || yc.Cr != 128 {
+			t.Errorf("gray %d: chroma = (%d,%d), want (128,128)", v, yc.Cb, yc.Cr)
+		}
+	}
+}
+
+func TestYCbCrRoundTripTolerance(t *testing.T) {
+	// Full-range BT.601 conversion should round-trip within quantisation
+	// error (±2 per channel after double 8-bit rounding).
+	for r := 0; r < 256; r += 17 {
+		for g := 0; g < 256; g += 17 {
+			for b := 0; b < 256; b += 17 {
+				p := RGB{uint8(r), uint8(g), uint8(b)}
+				q := ToRGB(ToYCbCr(p))
+				if absDiff(p.R, q.R) > 2 || absDiff(p.G, q.G) > 2 || absDiff(p.B, q.B) > 2 {
+					t.Fatalf("round trip %v -> %v exceeds tolerance", p, q)
+				}
+			}
+		}
+	}
+}
+
+func absDiff(a, b uint8) int {
+	d := int(a) - int(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// Property: scaling by k>=1 never decreases any channel (monotone
+// brightening), the core safety property behind contrast enhancement.
+func TestScaleMonotoneProperty(t *testing.T) {
+	f := func(r, g, b uint8, kRaw uint16) bool {
+		k := 1 + float64(kRaw)/8192 // k in [1, ~9]
+		p := RGB{r, g, b}
+		q := p.Scale(k)
+		return q.R >= p.R && q.G >= p.G && q.B >= p.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: luminance is linear in uniform scaling before saturation.
+func TestLumaScaleLinearProperty(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		p := RGB{r / 2, g / 2, b / 2} // keep headroom so Scale(2) cannot clip
+		got := p.Scale(2).Luma()
+		want := 2 * p.Luma()
+		return math.Abs(got-want) <= 1.5*3 // rounding of 3 channels
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ClampU8 output always equals input when input is an integer in range.
+func TestClampU8IdentityProperty(t *testing.T) {
+	f := func(v uint8) bool { return ClampU8(float64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: YCbCr conversion preserves luminance within rounding.
+func TestYCbCrPreservesLumaProperty(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		p := RGB{r, g, b}
+		yc := ToYCbCr(p)
+		return math.Abs(float64(yc.Y)-p.Luma()) <= 0.5+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

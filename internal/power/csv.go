@@ -1,0 +1,72 @@
+package power
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the trace as time-series rows (t_start, seconds,
+// decoding, network, backlight, watts) for external plotting — the way
+// the paper's DAQ logs would be post-processed.
+func (m *Model) WriteCSV(w io.Writer, t *Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_start_s", "seconds", "decoding", "network", "backlight", "watts"}); err != nil {
+		return err
+	}
+	pos := 0.0
+	for _, seg := range t.Segments {
+		row := []string{
+			strconv.FormatFloat(pos, 'f', 4, 64),
+			strconv.FormatFloat(seg.Seconds, 'f', 4, 64),
+			strconv.FormatBool(seg.State.Decoding),
+			strconv.FormatBool(seg.State.NetworkActive),
+			strconv.Itoa(seg.State.BacklightLevel),
+			strconv.FormatFloat(m.Instant(seg.State), 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+		pos += seg.Seconds
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace exported by WriteCSV (the power columns are
+// ignored; state is reconstructed and power recomputed by the model).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("power: reading trace CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("power: empty trace CSV")
+	}
+	tr := &Trace{}
+	for i, row := range rows[1:] {
+		if len(row) != 6 {
+			return nil, fmt.Errorf("power: row %d has %d columns", i+1, len(row))
+		}
+		seconds, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("power: row %d seconds: %w", i+1, err)
+		}
+		decoding, err := strconv.ParseBool(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("power: row %d decoding: %w", i+1, err)
+		}
+		network, err := strconv.ParseBool(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("power: row %d network: %w", i+1, err)
+		}
+		level, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("power: row %d backlight: %w", i+1, err)
+		}
+		tr.Append(seconds, State{Decoding: decoding, NetworkActive: network, BacklightLevel: level})
+	}
+	return tr, nil
+}

@@ -1,0 +1,270 @@
+package power
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/display"
+)
+
+func model() *Model { return DefaultModel(display.IPAQ5555()) }
+
+func fullState() State {
+	return State{Decoding: true, NetworkActive: true, BacklightLevel: display.MaxLevel}
+}
+
+func TestInstantComposition(t *testing.T) {
+	m := model()
+	s := fullState()
+	want := m.BaseWatts + m.Device.PanelWatts + m.Device.BacklightPower(255) +
+		m.CPUDecodeWatts + m.NetworkWatts
+	if got := m.Instant(s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Instant = %v, want %v", got, want)
+	}
+	idle := State{BacklightLevel: 0}
+	wantIdle := m.BaseWatts + m.Device.PanelWatts + m.Device.BacklightPower(0) + m.CPUIdleWatts
+	if got := m.Instant(idle); math.Abs(got-wantIdle) > 1e-12 {
+		t.Errorf("idle Instant = %v, want %v", got, wantIdle)
+	}
+}
+
+func TestBacklightShareMatchesPaper(t *testing.T) {
+	// §4: "the backlight dominates other components, with about 25-30%
+	// of total power consumption" on a typical PDA.
+	for _, dev := range display.Devices() {
+		share := DefaultModel(dev).BacklightShare()
+		if share < 0.22 || share > 0.33 {
+			t.Errorf("%s: backlight share %v outside 25-30%% band", dev.Name, share)
+		}
+	}
+}
+
+func TestTraceAppendMergesEqualStates(t *testing.T) {
+	var tr Trace
+	s := fullState()
+	tr.Append(1, s)
+	tr.Append(2, s)
+	if len(tr.Segments) != 1 || tr.Segments[0].Seconds != 3 {
+		t.Errorf("segments = %+v, want one merged 3s segment", tr.Segments)
+	}
+	tr.Append(0, s)
+	tr.Append(-1, s)
+	if tr.Duration() != 3 {
+		t.Errorf("Duration = %v, want 3", tr.Duration())
+	}
+	tr.Append(1, State{BacklightLevel: 10})
+	if len(tr.Segments) != 2 {
+		t.Errorf("state change did not start new segment: %+v", tr.Segments)
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	m := model()
+	var tr Trace
+	tr.Append(10, fullState())
+	want := m.Instant(fullState()) * 10
+	if got := m.Energy(&tr); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", got, want)
+	}
+	if got := m.AveragePower(&tr); math.Abs(got-m.Instant(fullState())) > 1e-9 {
+		t.Errorf("AveragePower = %v", got)
+	}
+	if got := m.AveragePower(&Trace{}); got != 0 {
+		t.Errorf("empty AveragePower = %v, want 0", got)
+	}
+}
+
+func TestBacklightEnergyOnlyBacklight(t *testing.T) {
+	m := model()
+	var tr Trace
+	tr.Append(5, State{Decoding: true, BacklightLevel: 255})
+	want := m.Device.BacklightPower(255) * 5
+	if got := m.BacklightEnergy(&tr); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BacklightEnergy = %v, want %v", got, want)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	m := model()
+	var ref, dim Trace
+	ref.Append(10, fullState())
+	s := fullState()
+	s.BacklightLevel = 0
+	dim.Append(10, s)
+	got := m.Savings(&ref, &dim)
+	wantBacklightCut := m.Device.BacklightPower(255) - m.Device.BacklightPower(0)
+	want := wantBacklightCut / m.Instant(fullState())
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Savings = %v, want %v", got, want)
+	}
+	if m.Savings(&Trace{}, &dim) != 0 {
+		t.Error("Savings with empty reference should be 0")
+	}
+	if bs := m.BacklightSavings(&ref, &dim); bs < 0.9 {
+		t.Errorf("BacklightSavings = %v, want ~0.97 (idle power only)", bs)
+	}
+}
+
+func TestDAQMeasureAccuracy(t *testing.T) {
+	m := model()
+	d := DefaultDAQ()
+	var tr Trace
+	tr.Append(1.0, fullState())
+	meas, err := d.Measure(m, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas.Samples != 20000 {
+		t.Errorf("Samples = %d, want 20000 (1s at 20kS/s)", meas.Samples)
+	}
+	truth := m.Energy(&tr)
+	if rel := math.Abs(meas.EnergyJoules-truth) / truth; rel > 0.01 {
+		t.Errorf("DAQ energy %v vs true %v: relative error %v > 1%%",
+			meas.EnergyJoules, truth, rel)
+	}
+}
+
+func TestDAQDeterministic(t *testing.T) {
+	m := model()
+	var tr Trace
+	tr.Append(0.1, fullState())
+	a, err := DefaultDAQ().Measure(m, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DefaultDAQ().Measure(m, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same-seed measurements differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestDAQRejectsBadConfig(t *testing.T) {
+	m := model()
+	var tr Trace
+	tr.Append(0.01, fullState())
+	bad := []*DAQ{
+		{SampleRate: 0, SupplyVolts: 5, ShuntOhms: 0.1, Bits: 12},
+		{SampleRate: 1000, SupplyVolts: 0, ShuntOhms: 0.1, Bits: 12},
+		{SampleRate: 1000, SupplyVolts: 5, ShuntOhms: 0, Bits: 12},
+		{SampleRate: 1000, SupplyVolts: 5, ShuntOhms: 0.1, Bits: 0},
+		{SampleRate: 1000, SupplyVolts: 5, ShuntOhms: 0.1, Bits: 30},
+	}
+	for i, d := range bad {
+		if _, err := d.Measure(m, &tr); err == nil {
+			t.Errorf("case %d: bad DAQ accepted", i)
+		}
+	}
+}
+
+func TestMeasuredSavingsTracksAnalytic(t *testing.T) {
+	m := model()
+	d := DefaultDAQ()
+	var ref, dim Trace
+	ref.Append(2, fullState())
+	s := fullState()
+	s.BacklightLevel = 64
+	dim.Append(2, s)
+	meas, err := d.MeasuredSavings(m, &ref, &dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := m.Savings(&ref, &dim)
+	if math.Abs(meas-analytic) > 0.01 {
+		t.Errorf("measured savings %v vs analytic %v", meas, analytic)
+	}
+}
+
+func TestBatteryLifeHours(t *testing.T) {
+	m := model()
+	var tr Trace
+	tr.Append(10, fullState())
+	p := m.Instant(fullState())
+	want := 7.4 / p // a 2Ah 3.7V pack is ~7.4Wh
+	if got := m.BatteryLifeHours(&tr, 7.4); math.Abs(got-want) > 1e-9 {
+		t.Errorf("BatteryLifeHours = %v, want %v", got, want)
+	}
+	if got := m.BatteryLifeHours(&Trace{}, 7.4); !math.IsInf(got, 1) {
+		t.Errorf("empty trace battery life = %v, want +Inf", got)
+	}
+}
+
+// Property: measured energy is within noise bounds of analytic energy for
+// arbitrary single-segment traces.
+func TestDAQCloseToAnalyticProperty(t *testing.T) {
+	m := model()
+	d := DefaultDAQ()
+	f := func(level uint8, decode bool) bool {
+		var tr Trace
+		tr.Append(0.05, State{Decoding: decode, BacklightLevel: int(level)})
+		meas, err := d.Measure(m, &tr)
+		if err != nil {
+			return false
+		}
+		truth := m.Energy(&tr)
+		return math.Abs(meas.EnergyJoules-truth)/truth < 0.03
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lower backlight level never increases instantaneous power.
+func TestInstantMonotoneInBacklightProperty(t *testing.T) {
+	m := model()
+	f := func(a, b uint8) bool {
+		la, lb := int(a), int(b)
+		if la > lb {
+			la, lb = lb, la
+		}
+		sa := State{Decoding: true, BacklightLevel: la}
+		sb := State{Decoding: true, BacklightLevel: lb}
+		return m.Instant(sa) <= m.Instant(sb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	m := model()
+	var tr Trace
+	tr.Append(1.5, fullState())
+	s := fullState()
+	s.BacklightLevel = 64
+	tr.Append(2.25, s)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf, &tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Segments) != len(tr.Segments) {
+		t.Fatalf("segments = %d", len(got.Segments))
+	}
+	if math.Abs(m.Energy(got)-m.Energy(&tr)) > 1e-9 {
+		t.Errorf("energy changed through CSV: %v vs %v", m.Energy(got), m.Energy(&tr))
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b\n1,2\n",
+		"h1,h2,h3,h4,h5,h6\n0,x,true,true,10,1\n",
+		"h1,h2,h3,h4,h5,h6\n0,1,notabool,true,10,1\n",
+		"h1,h2,h3,h4,h5,h6\n0,1,true,true,ten,1\n",
+	}
+	for i, s := range cases {
+		if _, err := ReadCSV(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package quality_test
+
+import (
+	"fmt"
+
+	"repro/internal/frame"
+	"repro/internal/pixel"
+	"repro/internal/quality"
+)
+
+// SSIM tolerates a uniform brightness shift far better than structural
+// damage — which is why it complements PSNR for display experiments.
+func ExampleSSIM() {
+	ref := frame.New(16, 16)
+	for i := range ref.Pix {
+		ref.Pix[i] = pixel.Gray(uint8(40 + (i*7)%120))
+	}
+	shifted := ref.Map(func(p pixel.RGB) pixel.RGB { return p.Add(10) })
+	flat := frame.Solid(16, 16, pixel.Gray(uint8(ref.AvgLuma())))
+
+	s1, _ := quality.SSIM(ref, shifted)
+	s2, _ := quality.SSIM(ref, flat)
+	fmt.Printf("brightness shift: %.2f\n", s1)
+	fmt.Printf("flattened:        %.2f\n", s2)
+	// Output:
+	// brightness shift: 1.00
+	// flattened:        0.06
+}

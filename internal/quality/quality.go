@@ -1,0 +1,157 @@
+// Package quality provides the objective video-quality metrics the
+// backlight-scaling literature evaluates with: PSNR (used by QABS [Cheng
+// et al. 2005], which minimises quality degradation in PSNR terms), SSIM
+// (structural similarity, the standard successor), and a temporal flicker
+// score for backlight schedules. The paper itself argues histograms are
+// the better validation metric for display experiments (§4.2) — package
+// histogram provides those — but the comparisons against related work
+// need the pixel-domain metrics too.
+package quality
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frame"
+)
+
+// PSNR returns the luma peak signal-to-noise ratio of got relative to ref
+// in dB (99 dB sentinel for identical content).
+func PSNR(ref, got *frame.Frame) (float64, error) {
+	if ref.W != got.W || ref.H != got.H {
+		return 0, fmt.Errorf("quality: dimension mismatch %dx%d vs %dx%d",
+			ref.W, ref.H, got.W, got.H)
+	}
+	var se float64
+	for i := range ref.Pix {
+		d := ref.Pix[i].Luma() - got.Pix[i].Luma()
+		se += d * d
+	}
+	mse := se / float64(len(ref.Pix))
+	if mse == 0 {
+		return 99, nil
+	}
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// SSIM window size (8×8, non-overlapping, as in the fast variant used by
+// video tooling).
+const ssimWindow = 8
+
+// SSIM constants for 8-bit dynamic range.
+var (
+	ssimC1 = math.Pow(0.01*255, 2)
+	ssimC2 = math.Pow(0.03*255, 2)
+)
+
+// SSIM returns the mean structural similarity of got relative to ref over
+// the luma plane, in [-1, 1] (1 = identical). Frames smaller than the
+// window are compared as a single window.
+func SSIM(ref, got *frame.Frame) (float64, error) {
+	if ref.W != got.W || ref.H != got.H {
+		return 0, fmt.Errorf("quality: dimension mismatch %dx%d vs %dx%d",
+			ref.W, ref.H, got.W, got.H)
+	}
+	lumaR := lumaPlane(ref)
+	lumaG := lumaPlane(got)
+	var sum float64
+	windows := 0
+	stepX, stepY := ssimWindow, ssimWindow
+	if ref.W < ssimWindow {
+		stepX = ref.W
+	}
+	if ref.H < ssimWindow {
+		stepY = ref.H
+	}
+	for y := 0; y+stepY <= ref.H; y += stepY {
+		for x := 0; x+stepX <= ref.W; x += stepX {
+			sum += ssimWindowScore(lumaR, lumaG, ref.W, x, y, stepX, stepY)
+			windows++
+		}
+	}
+	if windows == 0 {
+		return 0, fmt.Errorf("quality: frame too small for SSIM")
+	}
+	return sum / float64(windows), nil
+}
+
+func lumaPlane(f *frame.Frame) []float64 {
+	out := make([]float64, len(f.Pix))
+	for i, p := range f.Pix {
+		out[i] = p.Luma()
+	}
+	return out
+}
+
+func ssimWindowScore(a, b []float64, stride, x0, y0, w, h int) float64 {
+	n := float64(w * h)
+	var muA, muB float64
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			muA += a[y*stride+x]
+			muB += b[y*stride+x]
+		}
+	}
+	muA /= n
+	muB /= n
+	var varA, varB, cov float64
+	for y := y0; y < y0+h; y++ {
+		for x := x0; x < x0+w; x++ {
+			da := a[y*stride+x] - muA
+			db := b[y*stride+x] - muB
+			varA += da * da
+			varB += db * db
+			cov += da * db
+		}
+	}
+	varA /= n - 1
+	varB /= n - 1
+	cov /= n - 1
+	return ((2*muA*muB + ssimC1) * (2*cov + ssimC2)) /
+		((muA*muA + muB*muB + ssimC1) * (varA + varB + ssimC2))
+}
+
+// FlickerScore quantifies visible backlight flicker in a level schedule:
+// the mean absolute level change per second weighted by step size
+// (large abrupt steps are what users perceive). Zero means a constant
+// backlight.
+func FlickerScore(levels []int, fps int) float64 {
+	if len(levels) < 2 || fps <= 0 {
+		return 0
+	}
+	var sum float64
+	for i := 1; i < len(levels); i++ {
+		d := float64(levels[i] - levels[i-1])
+		if d < 0 {
+			d = -d
+		}
+		// Quadratic weighting: a 128-step jump is far worse than many
+		// 1-step adjustments.
+		sum += d * d / 255
+	}
+	seconds := float64(len(levels)) / float64(fps)
+	return sum / seconds
+}
+
+// SequenceStats aggregates per-frame metric values.
+type SequenceStats struct {
+	Mean, Min float64
+	N         int
+}
+
+// Aggregate folds per-frame metric values into summary statistics.
+func Aggregate(values []float64) SequenceStats {
+	if len(values) == 0 {
+		return SequenceStats{}
+	}
+	st := SequenceStats{Min: math.Inf(1), N: len(values)}
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+	}
+	st.Mean = sum / float64(len(values))
+	return st
+}

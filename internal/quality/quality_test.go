@@ -1,0 +1,146 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+	"repro/internal/pixel"
+)
+
+func grad(w, h int, base uint8) *frame.Frame {
+	f := frame.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, pixel.Gray(uint8(int(base)+x*3%100)))
+		}
+	}
+	return f
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	f := grad(16, 16, 50)
+	got, err := PSNR(f, f.Clone())
+	if err != nil || got != 99 {
+		t.Errorf("PSNR = %v, %v", got, err)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := frame.Solid(8, 8, pixel.Gray(100))
+	b := frame.Solid(8, 8, pixel.Gray(110))
+	got, err := PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestPSNRMismatch(t *testing.T) {
+	if _, err := PSNR(frame.New(4, 4), frame.New(5, 4)); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	f := grad(32, 32, 40)
+	got, err := SSIM(f, f.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("SSIM(identical) = %v, want 1", got)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	f := grad(32, 32, 40)
+	slightly := f.Map(func(p pixel.RGB) pixel.RGB { return p.Add(4) })
+	badly := f.Map(func(p pixel.RGB) pixel.RGB { return pixel.Gray(255 - p.R) })
+	s1, err := SSIM(f, slightly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SSIM(f, badly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 <= s2 {
+		t.Errorf("slight change SSIM %v not above severe change %v", s1, s2)
+	}
+	if s1 < 0.9 {
+		t.Errorf("small brightness shift scored %v; SSIM should be tolerant", s1)
+	}
+}
+
+func TestSSIMStructuralVsBrightness(t *testing.T) {
+	// SSIM forgives a uniform brightness shift far more than structure
+	// destruction with the same MSE budget — the reason it complements
+	// PSNR here.
+	f := grad(32, 32, 60)
+	shifted := f.Map(func(p pixel.RGB) pixel.RGB { return p.Add(12) })
+	flattened := frame.Solid(32, 32, pixel.Gray(uint8(f.AvgLuma())))
+	sShift, _ := SSIM(f, shifted)
+	sFlat, _ := SSIM(f, flattened)
+	if sShift <= sFlat {
+		t.Errorf("brightness shift (%v) scored no better than flattening (%v)", sShift, sFlat)
+	}
+}
+
+func TestSSIMSmallFrames(t *testing.T) {
+	f := grad(4, 4, 10)
+	if _, err := SSIM(f, f.Clone()); err != nil {
+		t.Errorf("small-frame SSIM failed: %v", err)
+	}
+}
+
+func TestSSIMMismatch(t *testing.T) {
+	if _, err := SSIM(frame.New(8, 8), frame.New(8, 9)); err == nil {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestFlickerScore(t *testing.T) {
+	if got := FlickerScore([]int{100, 100, 100}, 10); got != 0 {
+		t.Errorf("constant schedule flicker = %v", got)
+	}
+	smooth := FlickerScore([]int{100, 101, 102, 103, 104, 105}, 10)
+	jumpy := FlickerScore([]int{100, 228, 100, 228, 100, 228}, 10)
+	if smooth >= jumpy {
+		t.Errorf("smooth %v not below jumpy %v", smooth, jumpy)
+	}
+	if FlickerScore(nil, 10) != 0 || FlickerScore([]int{1}, 10) != 0 || FlickerScore([]int{1, 2}, 0) != 0 {
+		t.Error("degenerate inputs not zero")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	st := Aggregate([]float64{3, 1, 2})
+	if st.Mean != 2 || st.Min != 1 || st.N != 3 {
+		t.Errorf("Aggregate = %+v", st)
+	}
+	if z := Aggregate(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty Aggregate = %+v", z)
+	}
+}
+
+// Property: SSIM is symmetric and bounded.
+func TestSSIMSymmetricProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		fa := grad(16, 16, a)
+		fb := grad(16, 16, b)
+		s1, err1 := SSIM(fa, fb)
+		s2, err2 := SSIM(fb, fa)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(s1-s2) < 1e-9 && s1 <= 1+1e-9 && s1 >= -1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

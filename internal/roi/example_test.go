@@ -1,0 +1,32 @@
+package roi_test
+
+import (
+	"fmt"
+
+	"repro/internal/compensate"
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/pixel"
+	"repro/internal/roi"
+)
+
+// Protecting a region of interest keeps its pixels below the clip level
+// regardless of the budget — the fix for the paper's end-credits failure.
+func ExampleMask_FrameTarget() {
+	// Dark frame with a bright title band across the top two rows.
+	f := frame.Solid(10, 10, pixel.Gray(30))
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 10; x++ {
+			f.Set(x, y, pixel.Gray(240))
+		}
+	}
+	unprotected := compensate.SceneTarget(histogram.FromFrame(f), 0.20)
+
+	title := roi.Rect(10, 10, 0, 0, 10, 2)
+	protected, _ := title.FrameTarget(f, 0.20)
+	fmt.Printf("unprotected target: %.2f (title clipped away)\n", unprotected)
+	fmt.Printf("protected target:   %.2f (title intact)\n", protected)
+	// Output:
+	// unprotected target: 0.12 (title clipped away)
+	// protected target:   0.94 (title intact)
+}

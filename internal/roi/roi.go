@@ -1,0 +1,209 @@
+// Package roi implements user-supervised annotations (§3: "the user may
+// specify which parts or objects of the video stream are more important in
+// a power-quality trade-off scenario") and addresses the one failure mode
+// the paper reports for its fixed-percentage clipping heuristic: end
+// credits, where clipped text over a uniform background is immediately
+// visible ("this is subject of future study", §4.3).
+//
+// A region of interest is a pixel mask per scene. The clipping budget is
+// applied only to pixels outside the mask; pixels inside it are never
+// clipped, so the scene's luminance target is at least the ROI's own
+// maximum. Power savings shrink accordingly — but only on scenes where
+// the protected content is actually bright.
+package roi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/annotation"
+	"repro/internal/compensate"
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/scene"
+)
+
+// Mask marks the protected pixels of a raster.
+type Mask struct {
+	W, H int
+	bits []bool
+}
+
+// NewMask returns an empty (nothing protected) mask.
+func NewMask(w, h int) *Mask {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("roi: invalid mask dimensions %dx%d", w, h))
+	}
+	return &Mask{W: w, H: h, bits: make([]bool, w*h)}
+}
+
+// Rect returns a mask protecting the rectangle [x0,x1)×[y0,y1), clamped to
+// the raster.
+func Rect(w, h, x0, y0, x1, y1 int) *Mask {
+	m := NewMask(w, h)
+	for y := max(y0, 0); y < min(y1, h); y++ {
+		for x := max(x0, 0); x < min(x1, w); x++ {
+			m.bits[y*w+x] = true
+		}
+	}
+	return m
+}
+
+// At reports whether (x, y) is protected.
+func (m *Mask) At(x, y int) bool { return m.bits[y*m.W+x] }
+
+// Set marks (x, y) as protected (out-of-bounds ignored).
+func (m *Mask) Set(x, y int) {
+	if x < 0 || x >= m.W || y < 0 || y >= m.H {
+		return
+	}
+	m.bits[y*m.W+x] = true
+}
+
+// Coverage returns the protected fraction of the raster.
+func (m *Mask) Coverage() float64 {
+	n := 0
+	for _, b := range m.bits {
+		if b {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.bits))
+}
+
+// Split builds separate luminance histograms for the protected and
+// unprotected pixels of f. The mask must match the frame's raster.
+func (m *Mask) Split(f *frame.Frame) (inside, outside *histogram.H, err error) {
+	if f.W != m.W || f.H != m.H {
+		return nil, nil, fmt.Errorf("roi: mask %dx%d does not match frame %dx%d",
+			m.W, m.H, f.W, f.H)
+	}
+	inside, outside = &histogram.H{}, &histogram.H{}
+	for i, p := range f.Pix {
+		if m.bits[i] {
+			inside.Count[p.Luma8()]++
+			inside.Total++
+		} else {
+			outside.Count[p.Luma8()]++
+			outside.Total++
+		}
+	}
+	return inside, outside, nil
+}
+
+// FrameTarget returns the luminance target for one frame at the given
+// clipping budget with the mask protected: the budget applies only to
+// unprotected pixels, and the target never drops below the brightest
+// protected pixel.
+func (m *Mask) FrameTarget(f *frame.Frame, budget float64) (float64, error) {
+	inside, outside, err := m.Split(f)
+	if err != nil {
+		return 0, err
+	}
+	target := compensate.SceneTarget(outside, budget)
+	if inside.Total > 0 {
+		roiCeil := float64(inside.Max()) / 255
+		if roiCeil > target {
+			target = roiCeil
+		}
+	}
+	return target, nil
+}
+
+// MaskFunc supplies the protection mask for a frame index; returning nil
+// means the frame has no protected region.
+type MaskFunc func(frameIdx int) *Mask
+
+// Source is the subset of core.Source the annotator needs (duplicated
+// here to avoid an import cycle with core).
+type Source interface {
+	Size() (w, h int)
+	FPS() int
+	TotalFrames() int
+	Frame(i int) *frame.Frame
+}
+
+// Annotate runs the offline analysis with ROI protection: scene detection
+// is unchanged (max-luminance heuristic), but each scene's per-quality
+// targets honour the mask on every frame.
+func Annotate(src Source, maskOf MaskFunc, cfg scene.Config, quality []float64) (*annotation.Track, []scene.Scene, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if quality == nil {
+		quality = compensate.QualityLevels
+	}
+	n := src.TotalFrames()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("roi: empty source")
+	}
+	det := scene.NewDetector(cfg)
+	// frameTargets[q][i] is frame i's protected target at quality q.
+	frameTargets := make([][]float64, len(quality))
+	for q := range frameTargets {
+		frameTargets[q] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		f := src.Frame(i)
+		det.Feed(scene.StatsOf(f))
+		mask := maskOf(i)
+		for qi, q := range quality {
+			var t float64
+			if mask == nil {
+				t = compensate.SceneTarget(histogram.FromFrame(f), q)
+			} else {
+				var err error
+				t, err = mask.FrameTarget(f, q)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			frameTargets[qi][i] = t
+		}
+	}
+	scenes := det.Finish()
+	track := &annotation.Track{FPS: src.FPS(), Quality: quality}
+	for _, s := range scenes {
+		r := annotation.Record{Frames: s.Len(), Targets: make([]uint8, len(quality))}
+		for qi := range quality {
+			var target float64
+			for i := s.Start; i < s.End; i++ {
+				if frameTargets[qi][i] > target {
+					target = frameTargets[qi][i]
+				}
+			}
+			r.Targets[qi] = uint8(math.Ceil(target * 255))
+		}
+		track.Records = append(track.Records, r)
+	}
+	return track, scenes, nil
+}
+
+// ClippedInROI returns the fraction of protected pixels of f that clip
+// when the frame is compensated for the given target — the text-distortion
+// metric for the credits scenario. Zero means the protected content
+// survives intact.
+func ClippedInROI(m *Mask, f *frame.Frame, target float64) (float64, error) {
+	inside, _, err := m.Split(f)
+	if err != nil {
+		return 0, err
+	}
+	if inside.Total == 0 {
+		return 0, nil
+	}
+	return inside.ClippedFraction(int(target*255 + 0.5)), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

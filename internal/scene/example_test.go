@@ -1,0 +1,24 @@
+package scene_test
+
+import (
+	"fmt"
+
+	"repro/internal/scene"
+)
+
+// The paper's heuristic: a >=10% change in frame maximum luminance starts
+// a new scene, rate-limited by the minimum interval.
+func ExampleDetect() {
+	var stats []scene.FrameStats
+	for _, max := range []float64{100, 101, 99, 100, 180, 182, 181, 90, 91} {
+		stats = append(stats, scene.FrameStats{MaxLuma: max})
+	}
+	scenes := scene.Detect(scene.Config{Threshold: 0.10, MinInterval: 2}, stats)
+	for i, s := range scenes {
+		fmt.Printf("scene %d: frames [%d,%d) max %.0f\n", i, s.Start, s.End, s.MaxLuma)
+	}
+	// Output:
+	// scene 0: frames [0,4) max 101
+	// scene 1: frames [4,7) max 182
+	// scene 2: frames [7,9) max 91
+}

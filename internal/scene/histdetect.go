@@ -1,0 +1,136 @@
+package scene
+
+import (
+	"repro/internal/histogram"
+)
+
+// HistogramDetector is an alternative boundary detector that fires on
+// whole-histogram change (earth mover's distance between consecutive
+// frames) rather than on the maximum-luminance change the paper's
+// heuristic uses. EMD is used rather than a bin-wise distance because
+// within-scene luminance flicker shifts the whole histogram by a few
+// levels — a small move of mass — while a cut reshapes the distribution.
+// The paper's detector is the right tool for backlight scaling — the
+// backlight target *is* a max-luminance statistic — but it is blind to
+// cuts between scenes that share a peak while differing everywhere else.
+// The ablation benches quantify that trade-off against generator ground
+// truth.
+type HistogramDetector struct {
+	// Threshold is the earth mover's distance (in luminance levels)
+	// that signals a cut.
+	Threshold float64
+	// MinInterval rate-limits boundaries, like the paper's detector.
+	MinInterval int
+
+	scenes  []Scene
+	cur     *Scene
+	prev    *histogram.H
+	prevMax float64
+	n       int
+}
+
+// NewHistogramDetector returns a detector with the given thresholds.
+// Threshold must be in (0, 255]; MinInterval at least 1.
+func NewHistogramDetector(threshold float64, minInterval int) *HistogramDetector {
+	if threshold <= 0 || threshold > 255 {
+		panic("scene: histogram threshold outside (0,255]")
+	}
+	if minInterval < 1 {
+		panic("scene: min interval < 1")
+	}
+	return &HistogramDetector{Threshold: threshold, MinInterval: minInterval}
+}
+
+// Feed consumes the next frame's statistics (Hist must be non-nil).
+func (d *HistogramDetector) Feed(st FrameStats) {
+	if st.Hist == nil {
+		panic("scene: histogram detector needs frame histograms")
+	}
+	if d.cur == nil {
+		d.cur = &Scene{Start: d.n, End: d.n, MaxLuma: st.MaxLuma, Hist: &histogram.H{}}
+	} else {
+		dist := histogram.EMD(d.prev, st.Hist)
+		if dist >= d.Threshold && d.cur.Len() >= d.MinInterval {
+			d.scenes = append(d.scenes, *d.cur)
+			d.cur = &Scene{Start: d.n, End: d.n, MaxLuma: st.MaxLuma, Hist: &histogram.H{}}
+		}
+	}
+	if st.MaxLuma > d.cur.MaxLuma {
+		d.cur.MaxLuma = st.MaxLuma
+	}
+	d.cur.Hist.Add(st.Hist)
+	d.cur.End = d.n + 1
+	d.prev = st.Hist
+	d.prevMax = st.MaxLuma
+	d.n++
+}
+
+// Finish flushes the open scene and returns all detected scenes.
+func (d *HistogramDetector) Finish() []Scene {
+	if d.cur != nil {
+		d.scenes = append(d.scenes, *d.cur)
+		d.cur = nil
+	}
+	return d.scenes
+}
+
+// DetectHistogram runs the histogram detector over a stats sequence.
+func DetectHistogram(threshold float64, minInterval int, stats []FrameStats) []Scene {
+	d := NewHistogramDetector(threshold, minInterval)
+	for _, st := range stats {
+		d.Feed(st)
+	}
+	return d.Finish()
+}
+
+// BoundaryScore compares detected scene boundaries against ground truth
+// with a tolerance (frames). It returns precision (detected boundaries
+// that are real) and recall (real boundaries that were detected). The
+// implicit boundary at frame 0 is excluded.
+func BoundaryScore(detected, truth []int, tolerance int) (precision, recall float64) {
+	match := func(b int, ref []int) bool {
+		for _, r := range ref {
+			if abs(b-r) <= tolerance {
+				return true
+			}
+		}
+		return false
+	}
+	if len(detected) > 0 {
+		hits := 0
+		for _, b := range detected {
+			if match(b, truth) {
+				hits++
+			}
+		}
+		precision = float64(hits) / float64(len(detected))
+	}
+	if len(truth) > 0 {
+		hits := 0
+		for _, r := range truth {
+			if match(r, detected) {
+				hits++
+			}
+		}
+		recall = float64(hits) / float64(len(truth))
+	}
+	return precision, recall
+}
+
+// Boundaries extracts the start frames of all scenes but the first.
+func Boundaries(scenes []Scene) []int {
+	var out []int
+	for i, s := range scenes {
+		if i > 0 {
+			out = append(out, s.Start)
+		}
+	}
+	return out
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

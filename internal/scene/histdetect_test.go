@@ -1,0 +1,137 @@
+package scene
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/histogram"
+	"repro/internal/video"
+)
+
+func clipStats(t *testing.T, c *video.Clip) []FrameStats {
+	t.Helper()
+	stats := make([]FrameStats, c.TotalFrames())
+	for i := range stats {
+		stats[i] = StatsOf(c.Frame(i))
+	}
+	return stats
+}
+
+func TestHistogramDetectorFindsContentCuts(t *testing.T) {
+	// Two scenes with the SAME maximum luminance but different
+	// backgrounds: invisible to the max-luminance heuristic, obvious to
+	// the histogram detector.
+	c := video.MustNew("same-peak", 24, 18, 10, 3, []video.SceneSpec{
+		{Frames: 10, BaseLuma: 0.15, LumaSpread: 0.1, MaxLuma: 0.9, HighlightFrac: 0.01},
+		{Frames: 10, BaseLuma: 0.55, LumaSpread: 0.1, MaxLuma: 0.9, HighlightFrac: 0.01},
+	})
+	stats := clipStats(t, c)
+
+	maxLuma := Detect(DefaultConfig(c.FPS), stats)
+	hist := DetectHistogram(10, 2, stats)
+
+	if len(maxLuma) != 1 {
+		t.Errorf("max-luminance heuristic found %d scenes; equal peaks should merge", len(maxLuma))
+	}
+	if len(hist) != 2 {
+		t.Fatalf("histogram detector found %d scenes, want 2", len(hist))
+	}
+	if hist[1].Start != 10 {
+		t.Errorf("histogram boundary at %d, want 10", hist[1].Start)
+	}
+}
+
+func TestHistogramDetectorRecoversLibraryBoundaries(t *testing.T) {
+	opt := video.LibraryOptions{W: 48, H: 36, FPS: 8, DurationScale: 0.2}
+	c := video.ClipByName("returnoftheking", opt)
+	stats := clipStats(t, c)
+	detected := DetectHistogram(10, 2, stats)
+	var truth []int
+	for i := 1; i < len(c.Scenes); i++ {
+		truth = append(truth, c.SceneStart(i))
+	}
+	precision, recall := BoundaryScore(Boundaries(detected), truth, 1)
+	if recall < 0.7 {
+		t.Errorf("histogram detector recall = %v on clean cuts", recall)
+	}
+	if precision < 0.9 {
+		t.Errorf("histogram detector precision = %v", precision)
+	}
+}
+
+func TestHistogramDetectorValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogramDetector(0, 1) },
+		func() { NewHistogramDetector(300, 1) },
+		func() { NewHistogramDetector(10, 0) },
+		func() { NewHistogramDetector(10, 1).Feed(FrameStats{MaxLuma: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBoundaryScore(t *testing.T) {
+	precision, recall := BoundaryScore([]int{10, 20, 31}, []int{10, 20, 30, 40}, 1)
+	if precision != 1 {
+		t.Errorf("precision = %v, want 1 (31 matches 30 within tolerance)", precision)
+	}
+	if recall != 0.75 {
+		t.Errorf("recall = %v, want 0.75 (40 missed)", recall)
+	}
+	p0, r0 := BoundaryScore(nil, nil, 1)
+	if p0 != 0 || r0 != 0 {
+		t.Errorf("empty score = %v/%v", p0, r0)
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	scenes := []Scene{{Start: 0, End: 5}, {Start: 5, End: 9}, {Start: 9, End: 12}}
+	got := Boundaries(scenes)
+	if len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Errorf("Boundaries = %v", got)
+	}
+	if Boundaries(nil) != nil {
+		t.Error("Boundaries(nil) not nil")
+	}
+}
+
+// Property: the histogram detector partitions the frame range and
+// respects the minimum interval.
+func TestHistogramDetectorPartitionProperty(t *testing.T) {
+	f := func(lumas []uint8, thRaw, miRaw uint8) bool {
+		if len(lumas) == 0 {
+			return true
+		}
+		th := 1 + float64(thRaw)/255*40
+		mi := 1 + int(miRaw)%5
+		stats := make([]FrameStats, len(lumas))
+		for i, l := range lumas {
+			stats[i] = FrameStats{
+				MaxLuma: float64(l),
+				Hist:    histogram.FromLuma([]uint8{l, l / 2}),
+			}
+		}
+		scenes := DetectHistogram(th, mi, stats)
+		pos := 0
+		for i, s := range scenes {
+			if s.Start != pos || s.End <= s.Start {
+				return false
+			}
+			if i < len(scenes)-1 && s.Len() < mi {
+				return false
+			}
+			pos = s.End
+		}
+		return pos == len(lumas)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

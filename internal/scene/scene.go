@@ -1,0 +1,130 @@
+// Package scene implements the paper's scene-detection heuristic (§4.3,
+// Figure 6): frames are grouped into scenes by the stability of their
+// maximum luminance. "A change of 10% or more in frame maximum luminance
+// level is considered a scene change, but only if it does not occur more
+// frequently than a threshold interval" — the interval rate-limit is what
+// prevents visible backlight flicker. Both thresholds were experimentally
+// set in the paper; they are configuration here so the ablation benches can
+// sweep them.
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/histogram"
+)
+
+// Config holds the two experimentally set thresholds.
+type Config struct {
+	// Threshold is the normalised change in frame maximum luminance
+	// (fraction of full scale) that signals a scene change. Paper: 0.10.
+	Threshold float64
+	// MinInterval is the minimum scene length in frames; changes arriving
+	// sooner are absorbed into the current scene to avoid flicker.
+	MinInterval int
+}
+
+// DefaultConfig returns the paper's settings at the given frame rate:
+// a 10% threshold and a half-second minimum interval.
+func DefaultConfig(fps int) Config {
+	min := fps / 2
+	if min < 1 {
+		min = 1
+	}
+	return Config{Threshold: 0.10, MinInterval: min}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Threshold <= 0 || c.Threshold > 1 {
+		return fmt.Errorf("scene: threshold %v outside (0,1]", c.Threshold)
+	}
+	if c.MinInterval < 1 {
+		return fmt.Errorf("scene: min interval %d < 1", c.MinInterval)
+	}
+	return nil
+}
+
+// FrameStats is the per-frame information the detector consumes. Only
+// luminance statistics are needed — never the pixels — which is what lets
+// the server run detection as a single streaming pass.
+type FrameStats struct {
+	MaxLuma float64      // 0..255
+	Hist    *histogram.H // luminance histogram of the frame
+}
+
+// StatsOf extracts FrameStats from a rendered frame.
+func StatsOf(f *frame.Frame) FrameStats {
+	return FrameStats{MaxLuma: f.MaxLuma(), Hist: histogram.FromFrame(f)}
+}
+
+// Scene is a detected group of frames with similar maximum luminance.
+type Scene struct {
+	Start, End int     // frame range [Start, End)
+	MaxLuma    float64 // maximum frame luminance over the scene, 0..255
+	Hist       *histogram.H
+}
+
+// Len returns the scene length in frames.
+func (s Scene) Len() int { return s.End - s.Start }
+
+// Detector incrementally groups frames into scenes.
+type Detector struct {
+	cfg     Config
+	scenes  []Scene
+	cur     *Scene
+	prevMax float64
+	n       int
+}
+
+// NewDetector returns a detector with the given thresholds.
+// It panics on an invalid configuration; configurations are static.
+func NewDetector(cfg Config) *Detector {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Feed consumes the next frame's statistics.
+func (d *Detector) Feed(st FrameStats) {
+	if d.cur == nil {
+		d.cur = &Scene{Start: d.n, End: d.n, MaxLuma: st.MaxLuma, Hist: &histogram.H{}}
+	} else {
+		change := math.Abs(st.MaxLuma-d.prevMax) / 255
+		if change >= d.cfg.Threshold && d.cur.Len() >= d.cfg.MinInterval {
+			d.scenes = append(d.scenes, *d.cur)
+			d.cur = &Scene{Start: d.n, End: d.n, MaxLuma: st.MaxLuma, Hist: &histogram.H{}}
+		}
+	}
+	if st.MaxLuma > d.cur.MaxLuma {
+		d.cur.MaxLuma = st.MaxLuma
+	}
+	if st.Hist != nil {
+		d.cur.Hist.Add(st.Hist)
+	}
+	d.cur.End = d.n + 1
+	d.prevMax = st.MaxLuma
+	d.n++
+}
+
+// Finish flushes the open scene and returns all detected scenes. The
+// detector may continue to be fed afterwards only by creating a new one.
+func (d *Detector) Finish() []Scene {
+	if d.cur != nil {
+		d.scenes = append(d.scenes, *d.cur)
+		d.cur = nil
+	}
+	return d.scenes
+}
+
+// Detect runs the detector over a sequence of per-frame statistics.
+func Detect(cfg Config, stats []FrameStats) []Scene {
+	d := NewDetector(cfg)
+	for _, st := range stats {
+		d.Feed(st)
+	}
+	return d.Finish()
+}

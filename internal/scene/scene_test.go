@@ -1,0 +1,230 @@
+package scene
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+	"repro/internal/histogram"
+	"repro/internal/pixel"
+	"repro/internal/video"
+)
+
+func stats(maxes ...float64) []FrameStats {
+	s := make([]FrameStats, len(maxes))
+	for i, m := range maxes {
+		s[i] = FrameStats{MaxLuma: m, Hist: histogram.FromLuma([]uint8{uint8(m)})}
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Threshold: 0.1, MinInterval: 3}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []Config{
+		{Threshold: 0, MinInterval: 1},
+		{Threshold: 1.5, MinInterval: 1},
+		{Threshold: 0.1, MinInterval: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid config %+v accepted", bad)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(10)
+	if c.Threshold != 0.10 || c.MinInterval != 5 {
+		t.Errorf("DefaultConfig(10) = %+v", c)
+	}
+	if DefaultConfig(1).MinInterval != 1 {
+		t.Error("DefaultConfig(1) min interval must clamp to 1")
+	}
+}
+
+func TestSingleSceneWhenStable(t *testing.T) {
+	got := Detect(Config{Threshold: 0.1, MinInterval: 2},
+		stats(100, 102, 98, 101, 100))
+	if len(got) != 1 {
+		t.Fatalf("detected %d scenes, want 1", len(got))
+	}
+	s := got[0]
+	if s.Start != 0 || s.End != 5 || s.Len() != 5 {
+		t.Errorf("scene bounds = [%d,%d)", s.Start, s.End)
+	}
+	if s.MaxLuma != 102 {
+		t.Errorf("scene MaxLuma = %v, want 102", s.MaxLuma)
+	}
+}
+
+func TestSplitsOnLargeChange(t *testing.T) {
+	// 100 -> 180 is a 31% change: must split (min interval satisfied).
+	got := Detect(Config{Threshold: 0.1, MinInterval: 2},
+		stats(100, 100, 100, 180, 180))
+	if len(got) != 2 {
+		t.Fatalf("detected %d scenes, want 2", len(got))
+	}
+	if got[0].End != 3 || got[1].Start != 3 {
+		t.Errorf("split at %d/%d, want 3", got[0].End, got[1].Start)
+	}
+	if got[1].MaxLuma != 180 {
+		t.Errorf("second scene max = %v", got[1].MaxLuma)
+	}
+}
+
+func TestSmallChangeDoesNotSplit(t *testing.T) {
+	// 100 -> 120 is ~7.8% of full scale: below the 10% threshold.
+	got := Detect(Config{Threshold: 0.1, MinInterval: 1},
+		stats(100, 120, 100, 120))
+	if len(got) != 1 {
+		t.Fatalf("detected %d scenes, want 1", len(got))
+	}
+}
+
+func TestMinIntervalSuppressesFlicker(t *testing.T) {
+	// Alternating 50/200 would split every frame without the rate limit.
+	cfg := Config{Threshold: 0.1, MinInterval: 4}
+	got := Detect(cfg, stats(50, 200, 50, 200, 50, 200, 50, 200))
+	for _, s := range got[:len(got)-1] {
+		if s.Len() < cfg.MinInterval {
+			t.Errorf("scene [%d,%d) shorter than min interval", s.Start, s.End)
+		}
+	}
+}
+
+func TestSceneHistAggregates(t *testing.T) {
+	got := Detect(Config{Threshold: 0.1, MinInterval: 1}, stats(10, 20, 30))
+	if len(got) != 1 {
+		t.Fatalf("detected %d scenes, want 1", len(got))
+	}
+	if got[0].Hist.Total != 3 {
+		t.Errorf("scene hist total = %d, want 3", got[0].Hist.Total)
+	}
+}
+
+func TestNilHistAccepted(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.1, MinInterval: 1})
+	d.Feed(FrameStats{MaxLuma: 50})
+	d.Feed(FrameStats{MaxLuma: 55})
+	got := d.Finish()
+	if len(got) != 1 || got[0].Hist.Total != 0 {
+		t.Errorf("unexpected scenes %+v", got)
+	}
+}
+
+func TestFinishEmpty(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.1, MinInterval: 1})
+	if got := d.Finish(); len(got) != 0 {
+		t.Errorf("Finish on empty detector = %v", got)
+	}
+}
+
+func TestNewDetectorPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDetector accepted invalid config")
+		}
+	}()
+	NewDetector(Config{})
+}
+
+func TestStatsOf(t *testing.T) {
+	f := frame.Solid(4, 4, pixel.Gray(77))
+	st := StatsOf(f)
+	if math.Abs(st.MaxLuma-77) > 1e-9 {
+		t.Errorf("MaxLuma = %v, want 77", st.MaxLuma)
+	}
+	if st.Hist.Total != 16 || st.Hist.Count[77] != 16 {
+		t.Errorf("hist = %v", st.Hist)
+	}
+}
+
+// Detection on a synthetic library clip should land near the ground-truth
+// scene boundaries when scene maxima differ enough.
+func TestDetectRecoversClipScenes(t *testing.T) {
+	c := video.MustNew("scenes", 24, 18, 10, 7, []video.SceneSpec{
+		{Frames: 12, BaseLuma: 0.15, LumaSpread: 0.1, MaxLuma: 0.45, HighlightFrac: 0.01},
+		{Frames: 12, BaseLuma: 0.5, LumaSpread: 0.1, MaxLuma: 0.95, HighlightFrac: 0.05},
+		{Frames: 12, BaseLuma: 0.2, LumaSpread: 0.1, MaxLuma: 0.60, HighlightFrac: 0.01},
+	})
+	var st []FrameStats
+	for i := 0; i < c.TotalFrames(); i++ {
+		st = append(st, StatsOf(c.Frame(i)))
+	}
+	got := Detect(DefaultConfig(c.FPS), st)
+	if len(got) != 3 {
+		t.Fatalf("detected %d scenes, want 3: %+v", len(got), got)
+	}
+	wantStarts := []int{0, 12, 24}
+	for i, s := range got {
+		if s.Start != wantStarts[i] {
+			t.Errorf("scene %d starts at %d, want %d", i, s.Start, wantStarts[i])
+		}
+	}
+}
+
+// Property: scenes partition the frame range exactly.
+func TestScenesPartitionProperty(t *testing.T) {
+	f := func(maxes []uint8, thRaw, minRaw uint8) bool {
+		if len(maxes) == 0 {
+			return true
+		}
+		cfg := Config{
+			Threshold:   0.02 + float64(thRaw)/255*0.5,
+			MinInterval: 1 + int(minRaw)%8,
+		}
+		st := make([]FrameStats, len(maxes))
+		for i, m := range maxes {
+			st[i] = FrameStats{MaxLuma: float64(m)}
+		}
+		scenes := Detect(cfg, st)
+		pos := 0
+		for _, s := range scenes {
+			if s.Start != pos || s.End <= s.Start {
+				return false
+			}
+			pos = s.End
+		}
+		return pos == len(maxes)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every scene except the last respects the minimum interval, and
+// scene MaxLuma equals the max of its frames.
+func TestSceneInvariantsProperty(t *testing.T) {
+	f := func(maxes []uint8, minRaw uint8) bool {
+		if len(maxes) == 0 {
+			return true
+		}
+		cfg := Config{Threshold: 0.1, MinInterval: 1 + int(minRaw)%6}
+		st := make([]FrameStats, len(maxes))
+		for i, m := range maxes {
+			st[i] = FrameStats{MaxLuma: float64(m)}
+		}
+		scenes := Detect(cfg, st)
+		for i, s := range scenes {
+			if i < len(scenes)-1 && s.Len() < cfg.MinInterval {
+				return false
+			}
+			want := 0.0
+			for _, m := range maxes[s.Start:s.End] {
+				if float64(m) > want {
+					want = float64(m)
+				}
+			}
+			if s.MaxLuma != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

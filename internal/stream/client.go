@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/annotation"
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/display"
+	"repro/internal/dvs"
+	"repro/internal/frame"
+	"repro/internal/netsched"
+	"repro/internal/power"
+)
+
+// PlayResult is what a client session produces: decoded playback plus the
+// power accounting of the run.
+type PlayResult struct {
+	Frames      int
+	Scenes      int
+	Annotated   bool
+	AvgLevel    float64
+	Switches    int
+	BytesStream int
+	BytesAnn    int
+	// BacklightSavings and TotalSavings are the analytic savings of the
+	// session vs full backlight.
+	BacklightSavings float64
+	TotalSavings     float64
+	// DecodedAvgLuma is the mean luminance of decoded frames, a sanity
+	// signal that compensation brightened the stream.
+	DecodedAvgLuma float64
+	Trace, Ref     *power.Trace
+	// DecodeCycles holds the stream's per-frame decode-complexity
+	// annotations (nil when the server sent none); a DVS-capable client
+	// hands them to its frequency governor.
+	DecodeCycles []uint32
+	// NetScenes holds the per-scene byte-count annotations (nil when
+	// absent); a PSM-capable client hands them to its radio scheduler.
+	NetScenes []netsched.Scene
+	// ServerLevels reports whether the backlight levels came from the
+	// server's negotiation-time table rather than the client's own LUT.
+	ServerLevels bool
+}
+
+// countingReader counts bytes received (the stream overhead accounting).
+type countingReader struct {
+	r io.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+// Client plays annotated streams on a device profile.
+type Client struct {
+	Device *display.Profile
+	// OnFrame, when set, observes every decoded frame (examples use it).
+	OnFrame func(i int, f *frame.Frame, backlight int)
+}
+
+// Play connects to addr, negotiates the given clip and quality, and plays
+// the stream to completion, returning the session accounting.
+func (c *Client) Play(addr, clip string, quality float64) (*PlayResult, error) {
+	if c.Device == nil {
+		return nil, fmt.Errorf("stream: client has no device profile")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req := Request{Clip: clip, Quality: quality, Device: c.Device.Name, Mode: ModeAnnotated}
+	if err := WriteRequest(conn, req); err != nil {
+		return nil, err
+	}
+	return c.play(conn, quality)
+}
+
+// play consumes a response stream (already-negotiated connection).
+func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
+	cr := &countingReader{r: r}
+	magic, remoteErr, err := ReadResponseMagic(cr)
+	if err != nil {
+		return nil, err
+	}
+	if remoteErr != nil {
+		return nil, remoteErr
+	}
+	reader, err := container.NewReader(io.MultiReader(bytes.NewReader(magic[:]), cr))
+	if err != nil {
+		return nil, err
+	}
+	hdr := reader.Header()
+	dec, err := codec.NewDecoder(hdr.W, hdr.H)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &PlayResult{Trace: &power.Trace{}, Ref: &power.Trace{}}
+	model := power.DefaultModel(c.Device)
+	frameSeconds := 1 / float64(hdr.FPS)
+
+	var cursor *annotation.Cursor
+	qi := 0
+	if hdr.Annotations != nil {
+		res.Annotated = true
+		res.Scenes = len(hdr.Annotations.Records)
+		res.BytesAnn = hdr.Annotations.Size()
+		qi = hdr.Annotations.QualityIndex(quality)
+		cursor = hdr.Annotations.NewCursor(qi)
+	}
+	// Device-specific level table from the server's negotiation, if sent
+	// (§4.3: levels "can be computed by either the server/proxy ... or by
+	// the client itself").
+	var serverLevels [][]int
+	if data, ok := hdr.Extra[container.ChunkDeviceLevels]; ok {
+		levels, err := annotation.DecodeLevels(data)
+		if err != nil {
+			return nil, fmt.Errorf("stream: bad device-level table: %w", err)
+		}
+		if hdr.Annotations != nil && len(levels) == len(hdr.Annotations.Records) {
+			serverLevels = levels
+			res.ServerLevels = true
+		}
+	}
+	if data, ok := hdr.Extra[container.ChunkDecodeCycles]; ok {
+		cycles, err := dvs.DecodeCycles(data)
+		if err != nil {
+			return nil, fmt.Errorf("stream: bad decode-cycle annotations: %w", err)
+		}
+		res.DecodeCycles = cycles
+	}
+	if data, ok := hdr.Extra[container.ChunkSceneBytes]; ok {
+		scenes, err := netsched.DecodeScenes(data)
+		if err != nil {
+			return nil, fmt.Errorf("stream: bad scene-byte annotations: %w", err)
+		}
+		res.NetScenes = scenes
+	}
+
+	level := display.MaxLevel
+	prev := -1
+	sceneIdx := 0
+	var levelSum, lumaSum float64
+	for {
+		ef, err := reader.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		f, err := dec.Decode(ef)
+		if err != nil {
+			return nil, err
+		}
+		if cursor != nil {
+			target, sceneStart := cursor.Next()
+			if sceneStart {
+				if serverLevels != nil && sceneIdx < len(serverLevels) {
+					// Server resolved our device's levels during
+					// negotiation: a plain table read.
+					level = serverLevels[sceneIdx][qi]
+					sceneIdx++
+				} else {
+					// The client's whole runtime obligation: one
+					// multiply + LUT lookup, then set the backlight.
+					level = c.Device.LevelFor(target)
+				}
+			}
+		}
+		if prev >= 0 && level != prev {
+			res.Switches++
+		}
+		prev = level
+		levelSum += float64(level)
+		lumaSum += f.AvgLuma()
+
+		state := power.State{Decoding: true, NetworkActive: true, BacklightLevel: level}
+		res.Trace.Append(frameSeconds, state)
+		refState := state
+		refState.BacklightLevel = display.MaxLevel
+		res.Ref.Append(frameSeconds, refState)
+
+		if c.OnFrame != nil {
+			c.OnFrame(res.Frames, f, level)
+		}
+		res.Frames++
+	}
+	if res.Frames == 0 {
+		return nil, fmt.Errorf("stream: empty stream")
+	}
+	res.AvgLevel = levelSum / float64(res.Frames)
+	res.DecodedAvgLuma = lumaSum / float64(res.Frames)
+	res.BytesStream = cr.n
+	res.BacklightSavings = model.BacklightSavings(res.Ref, res.Trace)
+	res.TotalSavings = model.Savings(res.Ref, res.Trace)
+	return res, nil
+}

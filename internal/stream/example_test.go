@@ -1,0 +1,42 @@
+package stream_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/stream"
+	"repro/internal/video"
+)
+
+// A complete streaming session on loopback TCP: a server stores a clip,
+// a client negotiates it at a quality level and plays it, receiving the
+// annotation side channels before the first frame.
+func Example() {
+	clip := video.MustNew("night", 32, 24, 8, 31, []video.SceneSpec{
+		{Frames: 10, BaseLuma: 0.15, LumaSpread: 0.1, MaxLuma: 0.75, HighlightFrac: 0.01},
+		{Frames: 10, BaseLuma: 0.2, LumaSpread: 0.12, MaxLuma: 0.95, HighlightFrac: 0.01},
+	})
+	server := stream.NewServer(map[string]core.Source{
+		"night": core.ClipSource{Clip: clip},
+	})
+	server.SetLogf(func(string, ...any) {})
+	addr, err := server.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+
+	client := &stream.Client{Device: display.IPAQ5555()}
+	res, err := client.Play(addr.String(), "night", 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d frames in %d scenes, annotated=%v\n", res.Frames, res.Scenes, res.Annotated)
+	fmt.Printf("side channels: %d cycle annotations, %d scene-byte annotations\n",
+		len(res.DecodeCycles), len(res.NetScenes))
+	// Output:
+	// 20 frames in 2 scenes, annotated=true
+	// side channels: 20 cycle annotations, 2 scene-byte annotations
+}

@@ -1,0 +1,130 @@
+// Package stream implements the paper's system model (Figure 1): a media
+// server storing annotated clips, an optional proxy node that can annotate
+// and compensate a stream on the fly, and low-power mobile clients. The
+// entities speak a small TCP protocol with an initial negotiation phase in
+// which the client names the clip, the quality level it accepts, and its
+// device ("client characteristics are sent during the initial negotiation
+// phase", §4.3); the server answers with an annotated container stream
+// whose frames are already compensated, so the client's only extra runtime
+// work is the periodic backlight adjustment.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Mode selects what the server sends.
+type Mode uint8
+
+const (
+	// ModeAnnotated requests an annotated, compensated stream (what
+	// clients use).
+	ModeAnnotated Mode = iota
+	// ModeRaw requests the stored stream untouched (what a proxy asks an
+	// upstream server for, so it can do the processing itself).
+	ModeRaw
+)
+
+// Request is the negotiation message a client opens a session with.
+type Request struct {
+	Clip string
+	// Quality is the clipping budget the user accepts (0..1).
+	Quality float64
+	// Device is the client's device name; the server uses it to log and
+	// could use it to resolve device-specific backlight levels.
+	Device string
+	Mode   Mode
+}
+
+var reqMagic = [4]byte{'R', 'Q', 'S', '1'}
+var errMagic = [4]byte{'E', 'R', 'R', '1'}
+
+// ErrProtocol reports malformed protocol traffic.
+var ErrProtocol = errors.New("stream: protocol error")
+
+// WriteRequest serialises the negotiation request.
+func WriteRequest(w io.Writer, r Request) error {
+	if len(r.Clip) > 255 || len(r.Device) > 255 {
+		return fmt.Errorf("%w: name too long", ErrProtocol)
+	}
+	if r.Quality < 0 || r.Quality > 1 {
+		return fmt.Errorf("%w: quality %v outside [0,1]", ErrProtocol, r.Quality)
+	}
+	buf := append([]byte{}, reqMagic[:]...)
+	buf = append(buf, uint8(r.Quality*255+0.5), uint8(r.Mode), uint8(len(r.Clip)))
+	buf = append(buf, r.Clip...)
+	buf = append(buf, uint8(len(r.Device)))
+	buf = append(buf, r.Device...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadRequest parses a negotiation request.
+func ReadRequest(r io.Reader) (Request, error) {
+	var head [7]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return Request{}, fmt.Errorf("%w: short request: %v", ErrProtocol, err)
+	}
+	if [4]byte(head[:4]) != reqMagic {
+		return Request{}, fmt.Errorf("%w: bad request magic", ErrProtocol)
+	}
+	req := Request{
+		Quality: float64(head[4]) / 255,
+		Mode:    Mode(head[5]),
+	}
+	if req.Mode != ModeAnnotated && req.Mode != ModeRaw {
+		return Request{}, fmt.Errorf("%w: unknown mode %d", ErrProtocol, head[5])
+	}
+	clip := make([]byte, head[6])
+	if _, err := io.ReadFull(r, clip); err != nil {
+		return Request{}, fmt.Errorf("%w: short clip name: %v", ErrProtocol, err)
+	}
+	req.Clip = string(clip)
+	var dl [1]byte
+	if _, err := io.ReadFull(r, dl[:]); err != nil {
+		return Request{}, fmt.Errorf("%w: short device length: %v", ErrProtocol, err)
+	}
+	dev := make([]byte, dl[0])
+	if _, err := io.ReadFull(r, dev); err != nil {
+		return Request{}, fmt.Errorf("%w: short device name: %v", ErrProtocol, err)
+	}
+	req.Device = string(dev)
+	return req, nil
+}
+
+// WriteError sends an error response in place of a stream.
+func WriteError(w io.Writer, msg string) error {
+	if len(msg) > 0xFFFF {
+		msg = msg[:0xFFFF]
+	}
+	buf := append([]byte{}, errMagic[:]...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(msg)))
+	buf = append(buf, msg...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadResponseMagic reads the 4-byte response discriminator. If it is an
+// error response, the error message is read and returned as err with
+// isErr true; otherwise the caller should continue parsing a container
+// stream whose magic has already been consumed (use the returned bytes).
+func ReadResponseMagic(r io.Reader) (magic [4]byte, remoteErr error, err error) {
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return magic, nil, fmt.Errorf("%w: short response: %v", ErrProtocol, err)
+	}
+	if magic == errMagic {
+		var n [2]byte
+		if _, err := io.ReadFull(r, n[:]); err != nil {
+			return magic, nil, fmt.Errorf("%w: short error length: %v", ErrProtocol, err)
+		}
+		msg := make([]byte, binary.BigEndian.Uint16(n[:]))
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return magic, nil, fmt.Errorf("%w: short error message: %v", ErrProtocol, err)
+		}
+		return magic, fmt.Errorf("stream: server error: %s", msg), nil
+	}
+	return magic, nil, nil
+}

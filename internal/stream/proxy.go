@@ -1,0 +1,172 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/codec"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/scene"
+)
+
+// Proxy is the optional intermediary of Figure 1: "a high-end machine with
+// the ability to process the video stream in real-time, on-the-fly". It
+// pulls the raw stream from an upstream server, performs the annotation
+// analysis and compensation itself, and serves clients exactly what the
+// annotating server would have — demonstrating that "either the proxy or
+// the server node suffices" (§3).
+type Proxy struct {
+	upstream string
+	enc      EncodeConfig
+	logf     func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy builds a proxy forwarding to the upstream server address.
+func NewProxy(upstream string) *Proxy {
+	return &Proxy{upstream: upstream, logf: log.Printf}
+}
+
+// SetLogf replaces the proxy's logger.
+func (p *Proxy) SetLogf(f func(string, ...any)) { p.logf = f }
+
+// Listen starts accepting client connections.
+func (p *Proxy) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.ln = ln
+	p.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				defer conn.Close()
+				if err := p.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+					p.logf("stream proxy: %v", err)
+				}
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the proxy listener and waits for active sessions.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Proxy) handle(conn net.Conn) error {
+	req, err := ReadRequest(conn)
+	if err != nil {
+		WriteError(conn, "bad request")
+		return err
+	}
+	src, err := p.fetchRaw(req.Clip, req.Device)
+	if err != nil {
+		WriteError(conn, err.Error())
+		return err
+	}
+	// The proxy's transcoder role: analyse, annotate, compensate, re-encode.
+	track, _, err := core.Annotate(src, scene.DefaultConfig(src.FPS()), nil)
+	if err != nil {
+		WriteError(conn, "annotation failed")
+		return err
+	}
+	return writeAnnotatedStream(conn, src, track, req.Quality, p.enc.withDefaults(src.FPS()), req.Device)
+}
+
+// fetchRaw pulls the unannotated stream from upstream and buffers the
+// decoded frames.
+func (p *Proxy) fetchRaw(clip, device string) (core.Source, error) {
+	conn, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		return nil, fmt.Errorf("upstream unreachable: %w", err)
+	}
+	defer conn.Close()
+	if err := WriteRequest(conn, Request{Clip: clip, Device: device, Mode: ModeRaw}); err != nil {
+		return nil, err
+	}
+	magic, remoteErr, err := ReadResponseMagic(conn)
+	if err != nil {
+		return nil, err
+	}
+	if remoteErr != nil {
+		return nil, remoteErr
+	}
+	reader, err := container.NewReader(io.MultiReader(magicReader(magic), conn))
+	if err != nil {
+		return nil, err
+	}
+	hdr := reader.Header()
+	dec, err := codec.NewDecoder(hdr.W, hdr.H)
+	if err != nil {
+		return nil, err
+	}
+	mem := &memSource{w: hdr.W, h: hdr.H, fps: hdr.FPS}
+	for {
+		ef, err := reader.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		f, err := dec.Decode(ef)
+		if err != nil {
+			return nil, err
+		}
+		mem.frames = append(mem.frames, f)
+	}
+	if len(mem.frames) == 0 {
+		return nil, fmt.Errorf("upstream sent empty stream")
+	}
+	return mem, nil
+}
+
+// memSource is a decoded in-memory clip.
+type memSource struct {
+	w, h, fps int
+	frames    []*frame.Frame
+}
+
+func (m *memSource) Size() (int, int)         { return m.w, m.h }
+func (m *memSource) FPS() int                 { return m.fps }
+func (m *memSource) TotalFrames() int         { return len(m.frames) }
+func (m *memSource) Frame(i int) *frame.Frame { return m.frames[i] }
+
+func magicReader(m [4]byte) io.Reader { return &sliceReader{b: m[:]} }
+
+type sliceReader struct{ b []byte }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b)
+	s.b = s.b[n:]
+	return n, nil
+}

@@ -1,0 +1,328 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/annotation"
+	"repro/internal/codec"
+	"repro/internal/compensate"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/dvs"
+	"repro/internal/netsched"
+	"repro/internal/scene"
+)
+
+// EncodeConfig controls the codec parameters the server streams with.
+type EncodeConfig struct {
+	GOP    int // I-frame interval (defaults to one second of frames)
+	QScale int // quantiser scale (defaults to 4)
+}
+
+func (c EncodeConfig) withDefaults(fps int) EncodeConfig {
+	if c.GOP <= 0 {
+		c.GOP = fps
+	}
+	if c.QScale <= 0 {
+		c.QScale = 4
+	}
+	return c
+}
+
+// Server stores clips and streams them, annotated and compensated, to
+// clients. It plays the role of the multimedia server of Figure 1.
+type Server struct {
+	catalog map[string]core.Source
+	scene   func(fps int) scene.Config
+	enc     EncodeConfig
+	logf    func(format string, args ...any)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	handlers sync.WaitGroup
+
+	// annotation cache: analysis is an offline step done once per clip.
+	annMu  sync.Mutex
+	tracks map[string]*annotation.Track
+	// variant cache: the paper's server "provides a number of different
+	// video qualities" — each (clip, quality index) is encoded once and
+	// served from memory afterwards.
+	variants map[string]*variant
+}
+
+// variant is one pre-encoded quality level of a clip.
+type variant struct {
+	frames      []*codec.EncodedFrame
+	cyclesChunk []byte
+	scenesChunk []byte
+}
+
+// NewServer builds a server over the given catalog.
+func NewServer(catalog map[string]core.Source) *Server {
+	return &Server{
+		catalog:  catalog,
+		scene:    scene.DefaultConfig,
+		enc:      EncodeConfig{},
+		logf:     log.Printf,
+		conns:    map[net.Conn]struct{}{},
+		tracks:   map[string]*annotation.Track{},
+		variants: map[string]*variant{},
+	}
+}
+
+// SetLogf replaces the server's logger (tests silence it).
+func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+
+// SetEncodeConfig overrides codec parameters.
+func (s *Server) SetEncodeConfig(c EncodeConfig) { s.enc = c }
+
+// Listen starts accepting connections on addr and returns the bound
+// address (useful with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.handlers.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.logf("stream server: %v", err)
+			}
+		}()
+	}
+}
+
+// Close stops the listener and closes active sessions.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.handlers.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) error {
+	req, err := ReadRequest(conn)
+	if err != nil {
+		WriteError(conn, "bad request")
+		return err
+	}
+	src, ok := s.catalog[req.Clip]
+	if !ok {
+		WriteError(conn, fmt.Sprintf("unknown clip %q", req.Clip))
+		return fmt.Errorf("unknown clip %q requested by %q", req.Clip, req.Device)
+	}
+	switch req.Mode {
+	case ModeRaw:
+		return s.streamRaw(conn, src)
+	default:
+		return s.streamAnnotated(conn, src, req)
+	}
+}
+
+// track returns the clip's annotation track, computing and caching it on
+// first use (the offline analysis step).
+func (s *Server) track(name string, src core.Source) (*annotation.Track, error) {
+	s.annMu.Lock()
+	defer s.annMu.Unlock()
+	if t, ok := s.tracks[name]; ok {
+		return t, nil
+	}
+	t, _, err := core.Annotate(src, s.scene(src.FPS()), nil)
+	if err != nil {
+		return nil, err
+	}
+	s.tracks[name] = t
+	return t, nil
+}
+
+// streamAnnotated sends the annotated, compensated stream: the paper's
+// server role. Variants are encoded once per (clip, quality index) and
+// cached; the device-levels side channel is resolved per request.
+func (s *Server) streamAnnotated(w io.Writer, src core.Source, req Request) error {
+	track, err := s.track(req.Clip, src)
+	if err != nil {
+		WriteError(w, "annotation failed")
+		return err
+	}
+	qi := track.QualityIndex(req.Quality)
+	key := fmt.Sprintf("%s@%d", req.Clip, qi)
+	s.annMu.Lock()
+	v, ok := s.variants[key]
+	s.annMu.Unlock()
+	if !ok {
+		v, err = prepareVariant(src, track, qi, s.enc.withDefaults(src.FPS()))
+		if err != nil {
+			WriteError(w, "encoding failed")
+			return err
+		}
+		s.annMu.Lock()
+		s.variants[key] = v
+		s.annMu.Unlock()
+	}
+	return sendVariant(w, src, track, v, req.Device)
+}
+
+// prepareVariant compensates and encodes src at quality index qi and
+// computes the decode-cycle and scene-byte side channels. The whole
+// stream is encoded before anything is sent so that all annotations are
+// available to the client before it decodes anything — the point of
+// annotating ahead of time (§3).
+func prepareVariant(src core.Source, track *annotation.Track, qi int, cfg EncodeConfig) (*variant, error) {
+	width, height := src.Size()
+	enc, err := codec.NewEncoder(width, height, cfg.GOP, cfg.QScale)
+	if err != nil {
+		return nil, err
+	}
+	cursor := track.NewCursor(qi)
+	n := src.TotalFrames()
+	frames := make([]*codec.EncodedFrame, 0, n)
+	for i := 0; i < n; i++ {
+		target, _ := cursor.Next()
+		f := core.CompensateFrame(src.Frame(i), target, compensate.ContrastEnhancement)
+		ef, err := enc.Encode(f)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, ef)
+	}
+
+	// Decode-complexity annotations (ChunkDecodeCycles).
+	model := dvs.DefaultCycleModel()
+	estimates := make([]float64, n)
+	for i, ef := range frames {
+		estimates[i] = model.Estimate(ef, width, height)
+	}
+	cycles := dvs.Annotate(estimates, 0.10)
+
+	// Per-scene byte counts (ChunkSceneBytes), aligned with the
+	// annotation track's records.
+	var nsScenes []netsched.Scene
+	pos := 0
+	for _, rec := range track.Records {
+		bytes := 0
+		for i := pos; i < pos+rec.Frames && i < n; i++ {
+			bytes += len(frames[i].Data)
+		}
+		nsScenes = append(nsScenes, netsched.Scene{
+			Bytes:   bytes,
+			Seconds: float64(rec.Frames) / float64(src.FPS()),
+		})
+		pos += rec.Frames
+	}
+	return &variant{
+		frames:      frames,
+		cyclesChunk: dvs.EncodeCycles(cycles),
+		scenesChunk: netsched.EncodeScenes(nsScenes),
+	}, nil
+}
+
+// sendVariant writes the annotated container for a prepared variant. When
+// the client's device name is known, the server also resolves the
+// device-specific backlight level table and ships it as a side channel
+// (§4.3's negotiation option).
+func sendVariant(w io.Writer, src core.Source, track *annotation.Track, v *variant, deviceName string) error {
+	width, height := src.Size()
+	extra := map[uint8][]byte{
+		container.ChunkDecodeCycles: v.cyclesChunk,
+		container.ChunkSceneBytes:   v.scenesChunk,
+	}
+	if dev := display.ByName(deviceName); dev != nil {
+		if levels, err := annotation.EncodeLevels(track.LevelsFor(dev)); err == nil {
+			extra[container.ChunkDeviceLevels] = levels
+		}
+	}
+	cw, err := container.NewWriter(w, container.Header{
+		W: width, H: height, FPS: src.FPS(),
+		FrameCount:  len(v.frames),
+		Annotations: track,
+		Extra:       extra,
+	})
+	if err != nil {
+		return err
+	}
+	for _, ef := range v.frames {
+		if err := cw.WriteFrame(ef); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeAnnotatedStream is the uncached path the proxy uses: prepare the
+// variant and send it in one step.
+func writeAnnotatedStream(w io.Writer, src core.Source, track *annotation.Track, quality float64, cfg EncodeConfig, deviceName string) error {
+	v, err := prepareVariant(src, track, track.QualityIndex(quality), cfg)
+	if err != nil {
+		return err
+	}
+	return sendVariant(w, src, track, v, deviceName)
+}
+
+// streamRaw sends the stored clip untouched (for proxies).
+func (s *Server) streamRaw(w io.Writer, src core.Source) error {
+	width, height := src.Size()
+	cw, err := container.NewWriter(w, container.Header{
+		W: width, H: height, FPS: src.FPS(), FrameCount: src.TotalFrames(),
+	})
+	if err != nil {
+		return err
+	}
+	cfg := s.enc.withDefaults(src.FPS())
+	enc, err := codec.NewEncoder(width, height, cfg.GOP, cfg.QScale)
+	if err != nil {
+		return err
+	}
+	n := src.TotalFrames()
+	for i := 0; i < n; i++ {
+		ef, err := enc.Encode(src.Frame(i))
+		if err != nil {
+			return err
+		}
+		if err := cw.WriteFrame(ef); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package video
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+// FuzzReadY4M drives the Y4M parser with arbitrary bytes.
+func FuzzReadY4M(f *testing.F) {
+	src := MustNew("seed", 8, 6, 10, 1, []SceneSpec{
+		{Frames: 2, BaseLuma: 0.3, LumaSpread: 0.1, MaxLuma: 0.8, HighlightFrac: 0.02},
+	})
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, clipSizeAdapter{src}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("YUV4MPEG2 W2 H2 F30:1 C444\nFRAME\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clip, err := ReadY4M(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if clip.TotalFrames() == 0 {
+			t.Fatal("accepted stream with zero frames")
+		}
+		_ = clip.Frame(0)
+	})
+}
+
+type clipSizeAdapter struct{ c *Clip }
+
+func (a clipSizeAdapter) Size() (int, int)         { return a.c.W, a.c.H }
+func (a clipSizeAdapter) FPS() int                 { return a.c.FPS }
+func (a clipSizeAdapter) TotalFrames() int         { return a.c.TotalFrames() }
+func (a clipSizeAdapter) Frame(i int) *frame.Frame { return a.c.Frame(i) }

@@ -1,0 +1,233 @@
+package video
+
+import (
+	"math/rand"
+)
+
+// The ten clips of the paper's evaluation (§5, Figures 9–10), modelled by
+// their luminance character:
+//
+//   - most clips are dark-scene heavy with sparse bright highlights
+//     (street lights, specular points), which is what makes annotation-
+//     driven scaling effective;
+//   - hunter_subres and ice_age have bright backgrounds ("pixels are
+//     concentrated in the high luminance range"), so clipping buys little;
+//   - lengths range from 30 seconds to 3 minutes.
+//
+// Scene lists are synthesised deterministically from a per-clip profile so
+// every run sees identical content.
+
+// profile describes a clip's statistical character.
+type profile struct {
+	name     string
+	seconds  int
+	dark     float64 // fraction of dark scenes
+	mid      float64 // fraction of mid scenes (rest is bright)
+	seed     int64
+	motion   float64 // typical background drift, px/frame
+	minScene float64 // min scene length, seconds
+	maxScene float64 // max scene length, seconds
+}
+
+var profiles = []profile{
+	{name: "themovie", seconds: 120, dark: 0.55, mid: 0.30, seed: 101, motion: 0.7, minScene: 2, maxScene: 6},
+	{name: "catwoman", seconds: 150, dark: 0.60, mid: 0.30, seed: 102, motion: 1.2, minScene: 1.5, maxScene: 5},
+	{name: "hunter_subres", seconds: 45, dark: 0.08, mid: 0.30, seed: 103, motion: 0.5, minScene: 2, maxScene: 7},
+	{name: "i_robot", seconds: 150, dark: 0.55, mid: 0.30, seed: 104, motion: 1.0, minScene: 1.5, maxScene: 5},
+	{name: "ice_age", seconds: 90, dark: 0.02, mid: 0.08, seed: 105, motion: 0.8, minScene: 2, maxScene: 6},
+	{name: "officexp", seconds: 30, dark: 0.35, mid: 0.45, seed: 106, motion: 0.3, minScene: 2, maxScene: 8},
+	{name: "returnoftheking", seconds: 180, dark: 0.65, mid: 0.25, seed: 107, motion: 0.9, minScene: 2, maxScene: 6},
+	{name: "shrek2", seconds: 135, dark: 0.40, mid: 0.40, seed: 108, motion: 0.8, minScene: 2, maxScene: 6},
+	{name: "spiderman2", seconds: 150, dark: 0.55, mid: 0.30, seed: 109, motion: 1.1, minScene: 1.5, maxScene: 5},
+	{name: "theincredibles-tlr2", seconds: 120, dark: 0.65, mid: 0.25, seed: 110, motion: 1.0, minScene: 2, maxScene: 6},
+}
+
+// LibraryOptions controls the rendered size of library clips. Smaller
+// rasters and shorter durations keep analysis fast while preserving the
+// luminance statistics the technique consumes.
+type LibraryOptions struct {
+	W, H int
+	FPS  int
+	// DurationScale scales every clip's nominal length (1.0 = the
+	// paper's 30s–3min runtimes).
+	DurationScale float64
+}
+
+// DefaultLibraryOptions renders at a PDA-proportioned quarter raster with
+// paper-scale durations.
+func DefaultLibraryOptions() LibraryOptions {
+	return LibraryOptions{W: 120, H: 90, FPS: 10, DurationScale: 1.0}
+}
+
+// Library synthesises the ten evaluation clips.
+func Library(opt LibraryOptions) []*Clip {
+	clips := make([]*Clip, 0, len(profiles))
+	for _, p := range profiles {
+		clips = append(clips, p.build(opt))
+	}
+	return clips
+}
+
+// ClipByName synthesises a single library clip, or returns nil if the name
+// is unknown.
+func ClipByName(name string, opt LibraryOptions) *Clip {
+	for _, p := range profiles {
+		if p.name == name {
+			return p.build(opt)
+		}
+	}
+	return nil
+}
+
+// ClipNames lists the library clips in the paper's Figure 9/10 order.
+func ClipNames() []string {
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.name
+	}
+	return names
+}
+
+func (p profile) build(opt LibraryOptions) *Clip {
+	if opt.DurationScale <= 0 {
+		opt.DurationScale = 1
+	}
+	rng := rand.New(rand.NewSource(p.seed))
+	targetFrames := int(float64(p.seconds) * opt.DurationScale * float64(opt.FPS))
+	if targetFrames < opt.FPS {
+		targetFrames = opt.FPS
+	}
+
+	// Carve the clip into scene slots first, then assign classes from an
+	// exactly proportioned, shuffled deck. Sampling classes independently
+	// would let short renders of a dark clip come out bright by chance;
+	// the deck keeps each clip's character at any DurationScale.
+	var lengths []int
+	total := 0
+	for total < targetFrames {
+		secs := p.minScene + rng.Float64()*(p.maxScene-p.minScene)
+		n := int(secs * float64(opt.FPS))
+		if n < 2 {
+			n = 2
+		}
+		if total+n > targetFrames {
+			n = targetFrames - total
+			if n < 2 {
+				break
+			}
+		}
+		lengths = append(lengths, n)
+		total += n
+	}
+	if len(lengths) == 0 {
+		lengths = []int{targetFrames}
+	}
+	classes := p.classDeck(rng, len(lengths))
+	scenes := make([]SceneSpec, len(lengths))
+	for i, n := range lengths {
+		scenes[i] = p.sampleScene(rng, n, classes[i])
+		// A real cut changes the brightest content abruptly; resample
+		// the scene peak until it is clearly separated from the
+		// previous scene's, so the paper's max-luminance scene
+		// detector sees the boundary.
+		if i > 0 {
+			for attempt := 0; attempt < 16 && !separated(scenes[i-1], scenes[i]); attempt++ {
+				scenes[i].MaxLuma = resampleMax(rng, classes[i])
+			}
+		}
+	}
+	return MustNew(p.name, opt.W, opt.H, opt.FPS, p.seed, scenes)
+}
+
+// minPeakSeparation is the minimum |ΔMaxLuma| between adjacent scenes,
+// comfortably above the detector's 10% threshold.
+const minPeakSeparation = 0.13
+
+func separated(a, b SceneSpec) bool {
+	d := a.MaxLuma - b.MaxLuma
+	if d < 0 {
+		d = -d
+	}
+	return d >= minPeakSeparation && b.MaxLuma >= b.BaseLuma
+}
+
+// resampleMax draws a fresh scene peak for the class.
+func resampleMax(rng *rand.Rand, class sceneClass) float64 {
+	switch class {
+	case classDark:
+		return 0.55 + rng.Float64()*0.45
+	case classMid:
+		return 0.72 + rng.Float64()*0.28
+	default:
+		return 0.86 + rng.Float64()*0.14
+	}
+}
+
+type sceneClass int
+
+const (
+	classDark sceneClass = iota
+	classMid
+	classBright
+)
+
+// classDeck builds a shuffled class assignment with exact proportions.
+func (p profile) classDeck(rng *rand.Rand, n int) []sceneClass {
+	deck := make([]sceneClass, n)
+	nDark := int(p.dark*float64(n) + 0.5)
+	nMid := int(p.mid*float64(n) + 0.5)
+	if nDark+nMid > n {
+		nMid = n - nDark
+	}
+	for i := range deck {
+		switch {
+		case i < nDark:
+			deck[i] = classDark
+		case i < nDark+nMid:
+			deck[i] = classMid
+		default:
+			deck[i] = classBright
+		}
+	}
+	rng.Shuffle(n, func(i, j int) { deck[i], deck[j] = deck[j], deck[i] })
+	return deck
+}
+
+// sampleScene draws one scene of the given class.
+func (p profile) sampleScene(rng *rand.Rand, frames int, class sceneClass) SceneSpec {
+	s := SceneSpec{
+		Frames:  frames,
+		Chroma:  0.3 + rng.Float64()*0.5,
+		Motion:  p.motion * (0.5 + rng.Float64()),
+		Flicker: rng.Float64() * 0.015,
+		Hue:     rng.Float64(),
+	}
+	switch class {
+	case classDark:
+		// Dark scene: dim background, a few bright highlight points.
+		// Lossless operation is bounded by the highlights; a small
+		// clipping budget removes them and unlocks large savings.
+		s.BaseLuma = 0.22 + rng.Float64()*0.14
+		s.LumaSpread = 0.16 + rng.Float64()*0.08
+		s.MaxLuma = 0.55 + rng.Float64()*0.45
+		s.HighlightFrac = 0.002 + rng.Float64()*0.018
+	case classMid:
+		// Mid scene: moderate background, moderately dense highlights
+		// that straddle the 5–20% clipping budgets.
+		s.BaseLuma = 0.36 + rng.Float64()*0.16
+		s.LumaSpread = 0.15 + rng.Float64()*0.05
+		s.MaxLuma = 0.72 + rng.Float64()*0.28
+		s.HighlightFrac = 0.02 + rng.Float64()*0.04
+	default:
+		// Bright scene: the histogram mass sits in the high range, so
+		// even a 20% budget barely lowers the required luminance.
+		s.BaseLuma = 0.66 + rng.Float64()*0.12
+		s.LumaSpread = 0.15 + rng.Float64()*0.05
+		s.MaxLuma = 0.86 + rng.Float64()*0.14
+		s.HighlightFrac = 0.30 + rng.Float64()*0.15
+	}
+	if s.MaxLuma > 1 {
+		s.MaxLuma = 1
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package video
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/histogram"
+)
+
+func testScenes() []SceneSpec {
+	return []SceneSpec{
+		{Frames: 10, BaseLuma: 0.2, LumaSpread: 0.1, MaxLuma: 0.8, HighlightFrac: 0.01, Chroma: 0.4, Motion: 1},
+		{Frames: 5, BaseLuma: 0.6, LumaSpread: 0.2, MaxLuma: 0.95, HighlightFrac: 0.3, Chroma: 0.2},
+	}
+}
+
+func testClip(t *testing.T) *Clip {
+	t.Helper()
+	c, err := New("test", 32, 24, 10, 42, testScenes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		w, h   int
+		fps    int
+		scenes []SceneSpec
+	}{
+		{"zero width", 0, 10, 10, testScenes()},
+		{"zero height", 10, 0, 10, testScenes()},
+		{"zero fps", 10, 10, 0, testScenes()},
+		{"no scenes", 10, 10, 10, nil},
+		{"zero-frame scene", 10, 10, 10, []SceneSpec{{Frames: 0, MaxLuma: 1}}},
+		{"max below base", 10, 10, 10, []SceneSpec{{Frames: 5, BaseLuma: 0.9, MaxLuma: 0.5}}},
+	}
+	for _, c := range cases {
+		if _, err := New("bad", c.w, c.h, c.fps, 1, c.scenes); err == nil {
+			t.Errorf("%s: New accepted invalid spec", c.name)
+		}
+	}
+}
+
+func TestTotalsAndDuration(t *testing.T) {
+	c := testClip(t)
+	if c.TotalFrames() != 15 {
+		t.Errorf("TotalFrames = %d, want 15", c.TotalFrames())
+	}
+	if got := c.Duration(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Duration = %v, want 1.5", got)
+	}
+}
+
+func TestSceneIndexAt(t *testing.T) {
+	c := testClip(t)
+	cases := []struct{ frame, scene, offset int }{
+		{0, 0, 0}, {9, 0, 9}, {10, 1, 0}, {14, 1, 4},
+	}
+	for _, cs := range cases {
+		s, off := c.SceneIndexAt(cs.frame)
+		if s != cs.scene || off != cs.offset {
+			t.Errorf("SceneIndexAt(%d) = (%d,%d), want (%d,%d)",
+				cs.frame, s, off, cs.scene, cs.offset)
+		}
+	}
+	if c.SceneStart(1) != 10 {
+		t.Errorf("SceneStart(1) = %d, want 10", c.SceneStart(1))
+	}
+}
+
+func TestSceneIndexAtPanicsOutOfRange(t *testing.T) {
+	c := testClip(t)
+	for _, i := range []int{-1, 15} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SceneIndexAt(%d) did not panic", i)
+				}
+			}()
+			c.SceneIndexAt(i)
+		}()
+	}
+}
+
+func TestFrameDeterministic(t *testing.T) {
+	c := testClip(t)
+	a := c.Frame(7)
+	b := c.Frame(7)
+	if !a.Equal(b) {
+		t.Error("Frame(7) not deterministic")
+	}
+}
+
+func TestFrameMaxLumaPinnedToScene(t *testing.T) {
+	c := testClip(t)
+	for i := 0; i < c.TotalFrames(); i++ {
+		si, _ := c.SceneIndexAt(i)
+		want := c.Scenes[si].MaxLuma * 255
+		got := c.Frame(i).MaxLuma()
+		// Flicker and chroma clamping allow a small deviation.
+		if math.Abs(got-want) > 12 {
+			t.Errorf("frame %d: max luma %v, scene max %v", i, got, want)
+		}
+	}
+}
+
+func TestSceneLuminanceCharacter(t *testing.T) {
+	c := testClip(t)
+	dark := c.Frame(2)
+	bright := c.Frame(12)
+	if dark.AvgLuma() >= bright.AvgLuma() {
+		t.Errorf("dark scene avg %v not below bright scene avg %v",
+			dark.AvgLuma(), bright.AvgLuma())
+	}
+	// The dark scene's highlights are sparse: clipping 5% of pixels
+	// must lower the ceiling a lot; in the bright scene it must not.
+	hd := histogram.FromFrame(dark)
+	hb := histogram.FromFrame(bright)
+	dropDark := float64(hd.Max() - hd.ClipLevel(0.05))
+	dropBright := float64(hb.Max() - hb.ClipLevel(0.05))
+	if dropDark < 50 {
+		t.Errorf("dark scene 5%% clip drop = %v levels, want large", dropDark)
+	}
+	if dropBright > 40 {
+		t.Errorf("bright scene 5%% clip drop = %v levels, want small", dropBright)
+	}
+}
+
+func TestSceneChangeVisibleInMaxLuma(t *testing.T) {
+	c := testClip(t)
+	before := c.Frame(9).MaxLuma()
+	after := c.Frame(10).MaxLuma()
+	if math.Abs(after-before)/255 < 0.10 {
+		t.Errorf("scene change not visible: max luma %v -> %v", before, after)
+	}
+}
+
+func TestLibraryShape(t *testing.T) {
+	opt := LibraryOptions{W: 16, H: 12, FPS: 8, DurationScale: 0.1}
+	clips := Library(opt)
+	if len(clips) != 10 {
+		t.Fatalf("library has %d clips, want 10", len(clips))
+	}
+	names := map[string]bool{}
+	for _, c := range clips {
+		names[c.Name] = true
+		if c.W != 16 || c.H != 12 || c.FPS != 8 {
+			t.Errorf("%s: unexpected raster %dx%d@%d", c.Name, c.W, c.H, c.FPS)
+		}
+		if c.TotalFrames() < 2 {
+			t.Errorf("%s: too short: %d frames", c.Name, c.TotalFrames())
+		}
+		if len(c.Scenes) < 2 {
+			t.Errorf("%s: only %d scenes", c.Name, len(c.Scenes))
+		}
+	}
+	for _, want := range []string{"themovie", "ice_age", "theincredibles-tlr2"} {
+		if !names[want] {
+			t.Errorf("library missing clip %q", want)
+		}
+	}
+}
+
+func TestLibraryDurationsMatchPaperRange(t *testing.T) {
+	opt := DefaultLibraryOptions()
+	opt.W, opt.H = 8, 6 // tiny raster; duration independent of raster
+	for _, c := range Library(opt) {
+		d := c.Duration()
+		if d < 29 || d > 181 {
+			t.Errorf("%s: duration %vs outside the paper's 30s–3min range", c.Name, d)
+		}
+	}
+}
+
+func TestLibraryBrightClipsAreBright(t *testing.T) {
+	opt := LibraryOptions{W: 24, H: 18, FPS: 6, DurationScale: 0.15}
+	avg := func(name string) float64 {
+		c := ClipByName(name, opt)
+		if c == nil {
+			t.Fatalf("clip %q missing", name)
+		}
+		var sum float64
+		n := c.TotalFrames()
+		for i := 0; i < n; i++ {
+			sum += c.Frame(i).AvgLuma()
+		}
+		return sum / float64(n)
+	}
+	iceAge := avg("ice_age")
+	hunter := avg("hunter_subres")
+	rotk := avg("returnoftheking")
+	incr := avg("theincredibles-tlr2")
+	if iceAge <= rotk || iceAge <= incr {
+		t.Errorf("ice_age avg %v not brighter than dark clips (%v, %v)", iceAge, rotk, incr)
+	}
+	if hunter <= rotk {
+		t.Errorf("hunter_subres avg %v not brighter than returnoftheking %v", hunter, rotk)
+	}
+}
+
+func TestClipByNameUnknown(t *testing.T) {
+	if c := ClipByName("matrix", DefaultLibraryOptions()); c != nil {
+		t.Error("ClipByName(matrix) returned a clip")
+	}
+}
+
+func TestClipNamesOrder(t *testing.T) {
+	names := ClipNames()
+	if len(names) != 10 || names[0] != "themovie" || names[9] != "theincredibles-tlr2" {
+		t.Errorf("ClipNames = %v", names)
+	}
+}
+
+// Property: every generated frame's pixels have luminance within the
+// scene's declared bounds (with slack for flicker and chroma clamping).
+func TestFrameLumaWithinSceneBoundsProperty(t *testing.T) {
+	c := testClip(t)
+	f := func(raw uint8) bool {
+		i := int(raw) % c.TotalFrames()
+		si, _ := c.SceneIndexAt(i)
+		s := c.Scenes[si]
+		fr := c.Frame(i)
+		min := (s.BaseLuma - s.LumaSpread - s.Flicker) * 255
+		max := (s.MaxLuma + s.Flicker) * 255
+		return fr.MaxLuma() <= max+8 && fr.AvgLuma() >= min-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

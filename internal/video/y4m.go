@@ -1,0 +1,149 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/frame"
+	"repro/internal/pixel"
+)
+
+// Y4M (YUV4MPEG2) export/import: the uncompressed interchange format every
+// video toolchain reads (mpv, ffmpeg, x264). Exporting a synthetic clip
+// lets a human actually watch what the power experiments ran on, and
+// importing lets real footage drive the pipeline.
+//
+// Frames are written as C444 (full-resolution planes, BT.601 full range)
+// to avoid a lossy subsample on export; the codec package does its own
+// 4:2:0 internally.
+
+// WriteY4M writes the frames of src as a YUV4MPEG2 stream.
+func WriteY4M(w io.Writer, src interface {
+	Size() (int, int)
+	FPS() int
+	TotalFrames() int
+	Frame(int) *frame.Frame
+}) error {
+	bw := bufio.NewWriter(w)
+	width, height := src.Size()
+	if _, err := fmt.Fprintf(bw, "YUV4MPEG2 W%d H%d F%d:1 Ip A1:1 C444\n",
+		width, height, src.FPS()); err != nil {
+		return err
+	}
+	n := src.TotalFrames()
+	plane := make([]byte, width*height)
+	for i := 0; i < n; i++ {
+		if _, err := bw.WriteString("FRAME\n"); err != nil {
+			return err
+		}
+		f := src.Frame(i)
+		// Y, then Cb, then Cr, full resolution.
+		for c := 0; c < 3; c++ {
+			for j, p := range f.Pix {
+				yc := pixel.ToYCbCr(p)
+				switch c {
+				case 0:
+					plane[j] = yc.Y
+				case 1:
+					plane[j] = yc.Cb
+				default:
+					plane[j] = yc.Cr
+				}
+			}
+			if _, err := bw.Write(plane); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Y4MClip is a decoded Y4M stream usable as a core.Source.
+type Y4MClip struct {
+	W, H   int
+	Rate   int
+	frames []*frame.Frame
+}
+
+// Size implements the source interface.
+func (c *Y4MClip) Size() (int, int) { return c.W, c.H }
+
+// FPS implements the source interface.
+func (c *Y4MClip) FPS() int { return c.Rate }
+
+// TotalFrames implements the source interface.
+func (c *Y4MClip) TotalFrames() int { return len(c.frames) }
+
+// Frame implements the source interface.
+func (c *Y4MClip) Frame(i int) *frame.Frame { return c.frames[i] }
+
+// ReadY4M parses a C444 YUV4MPEG2 stream written by WriteY4M.
+func ReadY4M(r io.Reader) (*Y4MClip, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("video: reading Y4M header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("video: not a YUV4MPEG2 stream")
+	}
+	clip := &Y4MClip{Rate: 30}
+	c444 := false
+	for _, f := range fields[1:] {
+		switch {
+		case strings.HasPrefix(f, "W"):
+			clip.W, _ = strconv.Atoi(f[1:])
+		case strings.HasPrefix(f, "H"):
+			clip.H, _ = strconv.Atoi(f[1:])
+		case strings.HasPrefix(f, "F"):
+			if num, _, ok := strings.Cut(f[1:], ":"); ok {
+				clip.Rate, _ = strconv.Atoi(num)
+			}
+		case f == "C444":
+			c444 = true
+		}
+	}
+	if clip.W <= 0 || clip.H <= 0 || clip.W*clip.H > 1<<24 {
+		return nil, fmt.Errorf("video: implausible Y4M dimensions %dx%d", clip.W, clip.H)
+	}
+	if !c444 {
+		return nil, fmt.Errorf("video: only C444 Y4M is supported")
+	}
+	if clip.Rate <= 0 {
+		clip.Rate = 30
+	}
+	planeSize := clip.W * clip.H
+	buf := make([]byte, 3*planeSize)
+	for {
+		marker, err := br.ReadString('\n')
+		if err == io.EOF && marker == "" {
+			break
+		}
+		if err != nil && marker == "" {
+			return nil, fmt.Errorf("video: reading Y4M frame marker: %w", err)
+		}
+		if !strings.HasPrefix(marker, "FRAME") {
+			return nil, fmt.Errorf("video: bad Y4M frame marker %q", strings.TrimSpace(marker))
+		}
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("video: short Y4M frame: %w", err)
+		}
+		f := frame.New(clip.W, clip.H)
+		for j := range f.Pix {
+			f.Pix[j] = pixel.ToRGB(pixel.YCbCr{
+				Y:  buf[j],
+				Cb: buf[planeSize+j],
+				Cr: buf[2*planeSize+j],
+			})
+		}
+		clip.frames = append(clip.frames, f)
+	}
+	if len(clip.frames) == 0 {
+		return nil, fmt.Errorf("video: Y4M stream has no frames")
+	}
+	return clip, nil
+}

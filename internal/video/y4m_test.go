@@ -1,0 +1,62 @@
+package video
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestY4MRoundTrip(t *testing.T) {
+	src := MustNew("y4m", 24, 18, 12, 7, []SceneSpec{
+		{Frames: 5, BaseLuma: 0.3, LumaSpread: 0.2, MaxLuma: 0.9, HighlightFrac: 0.02, Chroma: 0.5},
+	})
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, clipAdapter{src}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadY4M(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 24 || got.H != 18 || got.Rate != 12 {
+		t.Fatalf("header round trip: %dx%d@%d", got.W, got.H, got.Rate)
+	}
+	if got.TotalFrames() != 5 {
+		t.Fatalf("frames = %d", got.TotalFrames())
+	}
+	for i := 0; i < 5; i++ {
+		orig := src.Frame(i)
+		back := got.Frame(i)
+		// YCbCr round trip is lossy by ±2 per channel; PSNR stays high.
+		if psnr := orig.PSNR(back); psnr < 45 {
+			t.Errorf("frame %d PSNR = %.1f through Y4M", i, psnr)
+		}
+	}
+}
+
+// clipAdapter gives Clip the Size method the writer wants.
+type clipAdapter struct{ c *Clip }
+
+func (a clipAdapter) Size() (int, int)         { return a.c.W, a.c.H }
+func (a clipAdapter) FPS() int                 { return a.c.FPS }
+func (a clipAdapter) TotalFrames() int         { return a.c.TotalFrames() }
+func (a clipAdapter) Frame(i int) *frame.Frame { return a.c.Frame(i) }
+
+func TestReadY4MRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"MPEG4 W2 H2\n",
+		"YUV4MPEG2 W0 H2 F30:1 C444\n",
+		"YUV4MPEG2 W2 H2 F30:1 C420\n",
+		"YUV4MPEG2 W2 H2 F30:1 C444\n",          // no frames
+		"YUV4MPEG2 W2 H2 F30:1 C444\nBADMARK\n", // bad marker
+		"YUV4MPEG2 W2 H2 F30:1 C444\nFRAME\nxx", // short frame
+	}
+	for i, s := range cases {
+		if _, err := ReadY4M(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
