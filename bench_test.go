@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/adaptive"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/histogram"
 	"repro/internal/netsched"
+	"repro/internal/obs"
 	"repro/internal/pixel"
 	"repro/internal/power"
 	"repro/internal/quality"
@@ -552,5 +554,71 @@ func BenchmarkAblationDetectors(b *testing.B) {
 		if _, err := experiments.AblateDetectors(opt, ""); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- telemetry hot-path overhead (internal/obs) ---
+//
+// The no-op benchmarks prove disabled instrumentation is free: metric
+// handles from a nil registry must cost ~1ns and zero allocations per
+// operation, so the pipeline can stay instrumented unconditionally.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	r := obs.NewRegistry()
+	c := r.Counter("bench_total", "Bench.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncNop(b *testing.B) {
+	var r *obs.Registry
+	c := r.Counter("bench_total", "Bench.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+	if n := testing.AllocsPerRun(1000, c.Inc); n != 0 {
+		b.Fatalf("no-op counter allocates %v/op", n)
+	}
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	r := obs.NewRegistry()
+	g := r.Gauge("bench_gauge", "Bench.")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	r := obs.NewRegistry()
+	h := r.Histogram("bench_seconds", "Bench.", obs.DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 0.001)
+	}
+}
+
+func BenchmarkObsSpan(b *testing.B) {
+	ctx := obs.WithRegistry(context.Background(), obs.NewRegistry())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs.StartSpan(ctx, "bench.stage").End()
+	}
+}
+
+func BenchmarkObsSpanNop(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obs.StartSpan(ctx, "bench.stage").End()
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		obs.StartSpan(ctx, "bench.stage").End()
+	}); n != 0 {
+		b.Fatalf("no-op span allocates %v/op", n)
 	}
 }

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scene"
 	"repro/internal/video"
 )
@@ -40,7 +42,19 @@ func main() {
 	qscale := flag.Int("qscale", 4, "codec quantiser scale (1..31)")
 	threshold := flag.Float64("threshold", 0.10, "scene-change threshold (fraction of full scale)")
 	y4mOut := flag.String("y4m", "", "also export the raw clip as YUV4MPEG2 to this path (viewable with mpv/ffplay)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while annotating")
 	flag.Parse()
+
+	ctx := context.Background()
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		exitOn(err)
+		defer ds.Close()
+		ctx = obs.WithRegistry(ctx, reg)
+		fmt.Printf("debug endpoint on http://%s/metrics\n", ds.Addr())
+	}
 
 	if *list {
 		for _, name := range video.ClipNames() {
@@ -85,7 +99,7 @@ func main() {
 
 	cfg := scene.DefaultConfig(src.FPS())
 	cfg.Threshold = *threshold
-	track, scenes, err := core.Annotate(src, cfg, nil)
+	track, scenes, err := core.AnnotateContext(ctx, src, cfg, nil)
 	exitOn(err)
 
 	f, err := os.Create(*out)
@@ -106,6 +120,7 @@ func main() {
 	enc, err := codec.NewEncoder(width, height, gopLen, *qscale)
 	exitOn(err)
 
+	encSpan := obs.StartSpan(ctx, "annotate.encode")
 	var bytes int
 	for i := 0; i < src.TotalFrames(); i++ {
 		ef, err := enc.Encode(src.Frame(i))
@@ -113,6 +128,7 @@ func main() {
 		exitOn(cw.WriteFrame(ef))
 		bytes += ef.Size()
 	}
+	encSpan.End()
 
 	fmt.Printf("clip          %s (%dx%d @ %d fps, %.1fs)\n",
 		name, width, height, src.FPS(), float64(src.TotalFrames())/float64(src.FPS()))

@@ -7,7 +7,10 @@
 // Usage:
 //
 //	player -i rotk.avs [-device ipaq5555] [-quality 0.10] [-compensate]
-//	       [-battery 7.4]
+//	       [-battery 7.4] [-debug-addr :7402]
+//
+// With -debug-addr the player serves its decode/backlight telemetry over
+// HTTP while playing (Prometheus /metrics, /healthz, /debug/pprof).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/compensate"
 	"repro/internal/container"
 	"repro/internal/display"
+	"repro/internal/obs"
 	"repro/internal/power"
 )
 
@@ -34,7 +38,17 @@ func main() {
 	battery := flag.Float64("battery", 7.4, "battery capacity in watt-hours")
 	traceOut := flag.String("trace", "", "write the power trace as CSV to this path")
 	dumpDir := flag.String("dump-ppm", "", "dump decoded frames as PPM files into this directory")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		exitOn(err)
+		defer ds.Close()
+		fmt.Printf("debug endpoint on http://%s/metrics\n", ds.Addr())
+	}
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "player: -i is required")
@@ -79,6 +93,11 @@ func main() {
 		cursor = hdr.Annotations.NewCursor(hdr.Annotations.QualityIndex(*quality))
 	}
 
+	framesDecoded := reg.Counter("player_frames_decoded_total",
+		"Frames decoded during playback.")
+	backlightGauge := reg.Gauge("player_backlight_level",
+		"Backlight level currently set (0..255).")
+
 	level := display.MaxLevel
 	target := 1.0
 	frames, switches := 0, 0
@@ -90,20 +109,26 @@ func main() {
 			break
 		}
 		exitOn(err)
+		sp := reg.StartSpan("player.decode")
 		fr, err := dec.Decode(ef)
+		sp.End()
 		exitOn(err)
 		if cursor != nil {
 			t, sceneStart := cursor.Next()
 			if sceneStart {
 				target = t
 				level = dev.LevelFor(target)
+				backlightGauge.Set(float64(level))
 			}
 		}
 		if *doCompensate && target > 0 && target < 1 {
+			sp := reg.StartSpan("player.compensate")
 			plan := compensate.Plan{Target: target, K: 1 / target}
 			clippedSum += plan.ClippedFraction(fr)
 			plan.Apply(method, fr)
+			sp.End()
 		}
+		framesDecoded.Inc()
 		if *dumpDir != "" {
 			out, err := os.Create(filepath.Join(*dumpDir, fmt.Sprintf("frame%05d.ppm", frames)))
 			exitOn(err)

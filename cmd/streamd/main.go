@@ -7,10 +7,13 @@
 // Usage:
 //
 //	streamd [-addr 127.0.0.1:7400] [-proxy-of upstream:port]
-//	        [-w 120 -h 90 -fps 10 -scale 0.25]
+//	        [-debug-addr :7401] [-w 120 -h 90 -fps 10 -scale 0.25]
 //
 // With -proxy-of the process runs as the intermediary proxy node instead,
 // pulling raw streams from the upstream server and annotating on the fly.
+// With -debug-addr the process serves its telemetry over HTTP: /metrics
+// (Prometheus text format), /healthz, /debug/vars, /debug/pprof and
+// /debug/spans.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/video"
 )
@@ -28,6 +32,7 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
 	proxyOf := flag.String("proxy-of", "", "run as a proxy for this upstream server")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	w := flag.Int("w", 120, "frame width")
 	h := flag.Int("h", 90, "frame height")
 	fps := flag.Int("fps", 10, "frames per second")
@@ -37,8 +42,18 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
+	var reg *obs.Registry
+	if *debugAddr != "" {
+		reg = obs.NewRegistry()
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		exitOn(err)
+		defer ds.Close()
+		fmt.Printf("debug endpoint on http://%s/metrics\n", ds.Addr())
+	}
+
 	if *proxyOf != "" {
 		p := stream.NewProxy(*proxyOf)
+		p.SetObserver(reg)
 		bound, err := p.Listen(*addr)
 		exitOn(err)
 		fmt.Printf("proxy listening on %s (upstream %s)\n", bound, *proxyOf)
@@ -53,6 +68,7 @@ func main() {
 		catalog[name] = core.ClipSource{Clip: video.ClipByName(name, opt)}
 	}
 	s := stream.NewServer(catalog)
+	s.SetObserver(reg)
 	bound, err := s.Listen(*addr)
 	exitOn(err)
 	fmt.Printf("serving %d clips on %s\n", len(catalog), bound)

@@ -20,13 +20,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/annotation"
 	"repro/internal/battery"
 	"repro/internal/compensate"
 	"repro/internal/display"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/scene"
 	"repro/internal/video"
@@ -67,6 +70,14 @@ func (s ClipSource) Frame(i int) *frame.Frame { return s.Clip.Frame(i) }
 // frame of the scene, not merely in aggregate. It returns the track and
 // the detected scenes (the latter for diagnostics and figures).
 func Annotate(src Source, cfg scene.Config, quality []float64) (*annotation.Track, []scene.Scene, error) {
+	return AnnotateContext(context.Background(), src, cfg, quality)
+}
+
+// AnnotateContext is Annotate with telemetry: when the context carries
+// an obs.Registry (obs.WithRegistry), each stage of the offline pass —
+// luminance statistics, scene detection, track construction — records a
+// latency span, and frame/scene counters are advanced.
+func AnnotateContext(ctx context.Context, src Source, cfg scene.Config, quality []float64) (*annotation.Track, []scene.Scene, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -74,15 +85,32 @@ func Annotate(src Source, cfg scene.Config, quality []float64) (*annotation.Trac
 	if n == 0 {
 		return nil, nil, fmt.Errorf("core: empty source")
 	}
-	det := scene.NewDetector(cfg)
+	sp := obs.StartSpan(ctx, "annotate.luma_stats")
 	stats := make([]scene.FrameStats, 0, n)
 	for i := 0; i < n; i++ {
-		st := scene.StatsOf(src.Frame(i))
-		stats = append(stats, st)
+		stats = append(stats, scene.StatsOf(src.Frame(i)))
+	}
+	sp.End()
+
+	sp = obs.StartSpan(ctx, "annotate.scene_detect")
+	det := scene.NewDetector(cfg)
+	for _, st := range stats {
 		det.Feed(st)
 	}
 	scenes := det.Finish()
-	return annotation.FromStats(src.FPS(), scenes, stats, quality), scenes, nil
+	sp.End()
+
+	sp = obs.StartSpan(ctx, "annotate.build_track")
+	track := annotation.FromStats(src.FPS(), scenes, stats, quality)
+	sp.End()
+
+	if r := obs.FromContext(ctx); r != nil {
+		r.Counter("pipeline_frames_processed_total",
+			"Frames analysed by the offline annotation pass.").Add(uint64(n))
+		r.Counter("pipeline_scenes_detected_total",
+			"Scenes found by the offline annotation pass.").Add(uint64(len(scenes)))
+	}
+	return track, scenes, nil
 }
 
 // PlaybackOptions configures a simulated playback run.
@@ -155,6 +183,14 @@ type Report struct {
 // returns the aggregated report. The power model is the default playback
 // model for the device; the DAQ is the paper's bench configuration.
 func Play(src Source, track *annotation.Track, opt PlaybackOptions) (*Report, error) {
+	return PlayContext(context.Background(), src, track, opt)
+}
+
+// PlayContext is Play with telemetry: when the context carries an
+// obs.Registry, the simulated online path records a latency span and
+// publishes per-quality-level savings gauges (the Figure 9/10
+// quantities, live).
+func PlayContext(ctx context.Context, src Source, track *annotation.Track, opt PlaybackOptions) (*Report, error) {
 	if opt.Device == nil {
 		return nil, fmt.Errorf("core: playback needs a device profile")
 	}
@@ -191,6 +227,7 @@ func Play(src Source, track *annotation.Track, opt PlaybackOptions) (*Report, er
 	var levelSum float64
 	var clippedSum, errSum, errMax float64
 
+	sp := obs.StartSpan(ctx, "play.simulate")
 	for i := 0; i < n; i++ {
 		target, sceneStart := cursor.Next()
 		if sceneStart {
@@ -234,9 +271,20 @@ func Play(src Source, track *annotation.Track, opt PlaybackOptions) (*Report, er
 		}
 	}
 
+	sp.End()
+
 	rep.AvgLevel = levelSum / float64(n)
 	rep.BacklightSavings = model.BacklightSavings(rep.Reference, rep.Trace)
 	rep.TotalSavings = model.Savings(rep.Reference, rep.Trace)
+	if r := obs.FromContext(ctx); r != nil {
+		q := obs.L("quality", strconv.FormatFloat(rep.Quality, 'g', -1, 64))
+		r.Gauge("pipeline_backlight_savings_ratio",
+			"Backlight energy saved vs full backlight on the last playback at this quality level.", q).
+			Set(rep.BacklightSavings)
+		r.Gauge("pipeline_total_savings_ratio",
+			"Whole-device energy saved vs full backlight on the last playback at this quality level.", q).
+			Set(rep.TotalSavings)
+	}
 	if opt.EvaluateQuality {
 		rep.MeanClipped = clippedSum / float64(n)
 		rep.MeanAbsErr = errSum / float64(n)

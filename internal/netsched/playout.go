@@ -3,6 +3,8 @@ package netsched
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Playout simulation: burst scheduling saves radio energy, but a client
@@ -53,6 +55,9 @@ type PlayoutConfig struct {
 	StartupPrebuffer float64
 	// Step is the simulation step in seconds (default 0.01).
 	Step float64
+	// Obs, when set, receives playout telemetry: the buffer-depth gauge,
+	// rebuffer counter and stall-time counter.
+	Obs *obs.Registry
 }
 
 // PlayoutResult reports the user-visible outcome.
@@ -155,6 +160,13 @@ func SimulatePlayout(link Link, scenes []Scene, cfg PlayoutConfig) (PlayoutResul
 		return false
 	}
 
+	bufferGauge := cfg.Obs.Gauge("netsched_playout_buffer_bytes",
+		"Bytes received but not yet consumed by playback.")
+	rebuffers := cfg.Obs.Counter("netsched_playout_rebuffers_total",
+		"Playback stall events (buffer ran dry mid-stream).")
+	stallSteps := cfg.Obs.Counter("netsched_playout_stall_ms_total",
+		"Total milliseconds of playback stalled waiting for data.")
+
 	const maxSimSeconds = 24 * 3600
 	now := 0.0
 	stalledLastStep := false
@@ -165,6 +177,9 @@ func SimulatePlayout(link Link, scenes []Scene, cfg PlayoutConfig) (PlayoutResul
 				received = totalBytes
 			}
 			res.AwakeSeconds += cfg.Step
+		}
+		if bufferGauge != nil {
+			bufferGauge.Set(received - byteAtPlayPos(playPos))
 		}
 		if !started {
 			if received >= startupNeed {
@@ -181,8 +196,10 @@ func SimulatePlayout(link Link, scenes []Scene, cfg PlayoutConfig) (PlayoutResul
 			} else {
 				if !stalledLastStep {
 					res.Rebuffers++
+					rebuffers.Inc()
 				}
 				res.StallSeconds += cfg.Step
+				stallSteps.Add(uint64(cfg.Step*1000 + 0.5))
 				stalledLastStep = true
 				now += cfg.Step
 				continue

@@ -1,0 +1,56 @@
+package netsched
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPlayoutTelemetry(t *testing.T) {
+	scenes := []Scene{
+		{Bytes: 400_000, Seconds: 2},
+		{Bytes: 600_000, Seconds: 3},
+	}
+	reg := obs.NewRegistry()
+	// A slow, jittery link forces at least some stalling under Burst
+	// with no lead time.
+	link := Link{Mbps: 1.2, JitterFrac: 0.5, Seed: 7}
+	res, err := SimulatePlayout(link, scenes, PlayoutConfig{
+		Policy: Burst, LeadSeconds: 0, Obs: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuffers := reg.Counter("netsched_playout_rebuffers_total", "").Value()
+	if int(rebuffers) != res.Rebuffers {
+		t.Errorf("rebuffer counter = %d, result says %d", rebuffers, res.Rebuffers)
+	}
+	stallMS := reg.Counter("netsched_playout_stall_ms_total", "").Value()
+	if res.StallSeconds > 0 && stallMS == 0 {
+		t.Errorf("stall counter = 0 with %vs of stalls", res.StallSeconds)
+	}
+	// The buffer gauge was maintained (a fully drained buffer ends ~0).
+	g := reg.Gauge("netsched_playout_buffer_bytes", "")
+	if g == nil {
+		t.Fatal("buffer gauge never registered")
+	}
+	if g.Value() < 0 {
+		t.Errorf("buffer gauge = %v, want >= 0", g.Value())
+	}
+}
+
+func TestPlayoutWithoutObserverUnchanged(t *testing.T) {
+	scenes := []Scene{{Bytes: 100_000, Seconds: 1}}
+	link := Link{Mbps: 5, Seed: 1}
+	with, err := SimulatePlayout(link, scenes, PlayoutConfig{Policy: Greedy, Obs: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := SimulatePlayout(link, scenes, PlayoutConfig{Policy: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with != without {
+		t.Errorf("telemetry changed simulation results: %+v vs %+v", with, without)
+	}
+}

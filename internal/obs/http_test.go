@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "Hits.").Inc()
+	r.StartSpan("stage").End()
+	h := r.Handler()
+
+	if code, body := get(t, h, "/metrics"); code != 200 || !strings.Contains(body, "hits_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/debug/vars"); code != 200 || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d, want expvar json with memstats", code)
+	}
+	if code, body := get(t, h, "/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get(t, h, "/debug/spans"); code != 200 || !strings.Contains(body, "stage") {
+		t.Errorf("/debug/spans = %d %q", code, body)
+	}
+	if code, body := get(t, h, "/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, _ := get(t, h, "/nope"); code != 404 {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up", "Up.").Set(1)
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up 1") {
+		t.Errorf("metrics body = %q", body)
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames_total", "Frames.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "Depth.")
+	g.Set(3.5)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	if h.Count() != 3 {
+		t.Errorf("histogram count = %d, want 3", h.Count())
+	}
+	if h.Sum() != 5.55 {
+		t.Errorf("histogram sum = %v, want 5.55", h.Sum())
+	}
+}
+
+func TestGetOrCreateReturnsSameMetric(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", L("clip", "rotk"))
+	b := r.Counter("x_total", "X.", L("clip", "rotk"))
+	if a != b {
+		t.Error("same name+labels returned distinct counters")
+	}
+	c := r.Counter("x_total", "X.", L("clip", "iceage"))
+	if a == c {
+		t.Error("different labels shared a counter")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "M.")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "M.")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with-dash", "sp ace", "ünïcode"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a_total", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c_seconds", "", nil)
+	c.Inc()
+	c.Add(10)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c != nil || g != nil || h != nil {
+		t.Error("nil registry handed out non-nil metrics")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics reported non-zero values")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+	if r.RecentSpans() != nil {
+		t.Error("nil RecentSpans non-nil")
+	}
+}
+
+func TestNoOpPathIsAllocationFree(t *testing.T) {
+	var r *Registry
+	if n := testing.AllocsPerRun(100, func() {
+		r.Counter("a_total", "").Inc()
+	}); n != 0 {
+		t.Errorf("nil counter path allocates %v/op", n)
+	}
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+	}); n != 0 {
+		t.Errorf("nil metric methods allocate %v/op", n)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("frames_total", "Frames sent.", L("clip", `ro"tk`)).Add(7)
+	r.Gauge("active_conns", "Active connections.").Set(2)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP frames_total Frames sent.",
+		"# TYPE frames_total counter",
+		`frames_total{clip="ro\"tk"} 7`,
+		"# TYPE active_conns gauge",
+		"active_conns 2",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.5"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 3",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if sp := strings.LastIndexByte(line, ' '); sp <= 0 || sp == len(line)-1 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Mix registration (map path) and updates (atomic path).
+				r.Counter("shared_total", "S.").Inc()
+				r.Gauge("shared_gauge", "S.").Add(1)
+				r.Histogram("shared_seconds", "S.", []float64{0.5}).Observe(float64(i%2) * 0.9)
+				if i%100 == 0 {
+					r.Counter("worker_total", "W.", L("w", string(rune('a'+w)))).Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", "S.").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared_gauge", "S.").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared_seconds", "S.", []float64{0.5}).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+}

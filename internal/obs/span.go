@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// SpanMetric is the histogram family every span records into, one
+// series per span name (label "span").
+const SpanMetric = "span_duration_seconds"
+
+const spanRingSize = 128
+
+// SpanRecord is one completed span, kept in the registry's recent-span
+// ring for the /debug/spans endpoint.
+type SpanRecord struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+type registryKey struct{}
+
+// WithRegistry attaches a registry to a context so instrumented code
+// deep in the pipeline can find it without plumbing.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// FromContext returns the registry attached by WithRegistry, or nil.
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}
+
+// Span measures one named stretch of work. It is a value type so the
+// disabled path allocates nothing; End on the zero Span is a no-op.
+type Span struct {
+	r     *Registry
+	h     *Histogram
+	name  string
+	start time.Time
+}
+
+// StartSpan begins a span against the context's registry (no-op when
+// none is attached).
+func StartSpan(ctx context.Context, name string) Span {
+	return FromContext(ctx).StartSpan(name)
+}
+
+// StartSpan begins a span recording into the registry's
+// span_duration_seconds histogram under the given name.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	h := r.Histogram(SpanMetric, "Latency of named pipeline stages.", DefLatencyBuckets, Label{Key: "span", Value: name})
+	return Span{r: r, h: h, name: name, start: time.Now()}
+}
+
+// End records the span's duration.
+func (s Span) End() {
+	if s.h == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	s.r.recordSpan(SpanRecord{Name: s.name, Start: s.start, Duration: d})
+}
+
+func (r *Registry) recordSpan(rec SpanRecord) {
+	r.spanMu.Lock()
+	r.spanRing[r.spanN%spanRingSize] = rec
+	r.spanN++
+	r.spanMu.Unlock()
+}
+
+// RecentSpans returns up to the last spanRingSize completed spans,
+// newest first.
+func (r *Registry) RecentSpans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	n := r.spanN
+	if n > spanRingSize {
+		n = spanRingSize
+	}
+	out := make([]SpanRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.spanRing[(r.spanN-1-i)%spanRingSize])
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsIntoHistogram(t *testing.T) {
+	r := NewRegistry()
+	ctx := WithRegistry(context.Background(), r)
+	sp := StartSpan(ctx, "annotate.scene_detect")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	h := r.Histogram(SpanMetric, "", nil, L("span", "annotate.scene_detect"))
+	if h.Count() != 1 {
+		t.Fatalf("span histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Errorf("span histogram sum = %v, want > 0", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `span_duration_seconds_count{span="annotate.scene_detect"} 1`) {
+		t.Errorf("span series missing from exposition:\n%s", b.String())
+	}
+}
+
+func TestSpanNoOpWithoutRegistry(t *testing.T) {
+	sp := StartSpan(context.Background(), "x")
+	sp.End() // must not panic
+	var r *Registry
+	r.StartSpan("y").End()
+	if n := testing.AllocsPerRun(100, func() {
+		StartSpan(context.Background(), "hot.path").End()
+	}); n != 0 {
+		t.Errorf("no-op span allocates %v/op", n)
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if FromContext(nil) != nil {
+		t.Error("FromContext(nil) != nil")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("FromContext(Background) != nil")
+	}
+	r := NewRegistry()
+	if FromContext(WithRegistry(context.Background(), r)) != r {
+		t.Error("registry did not round-trip through context")
+	}
+	// Attaching nil leaves the context unchanged.
+	ctx := context.Background()
+	if WithRegistry(ctx, nil) != ctx {
+		t.Error("WithRegistry(ctx, nil) wrapped the context")
+	}
+}
+
+func TestRecentSpansRing(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < spanRingSize+10; i++ {
+		r.StartSpan("s").End()
+	}
+	spans := r.RecentSpans()
+	if len(spans) != spanRingSize {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), spanRingSize)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.After(spans[i-1].Start) {
+			t.Fatal("RecentSpans not newest-first")
+		}
+	}
+}

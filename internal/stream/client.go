@@ -13,6 +13,7 @@ import (
 	"repro/internal/dvs"
 	"repro/internal/frame"
 	"repro/internal/netsched"
+	"repro/internal/obs"
 	"repro/internal/power"
 )
 
@@ -63,6 +64,10 @@ type Client struct {
 	Device *display.Profile
 	// OnFrame, when set, observes every decoded frame (examples use it).
 	OnFrame func(i int, f *frame.Frame, backlight int)
+	// Obs, when set, receives the client's online-path telemetry:
+	// per-frame decode latency spans, frames/bytes received counters,
+	// and the current backlight level gauge.
+	Obs *obs.Registry
 }
 
 // Play connects to addr, negotiates the given clip and quality, and plays
@@ -145,6 +150,13 @@ func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
 		res.NetScenes = scenes
 	}
 
+	framesDecoded := c.Obs.Counter("client_frames_decoded_total",
+		"Frames decoded by the playback client.")
+	backlightGauge := c.Obs.Gauge("client_backlight_level",
+		"Backlight level currently set (0..255).")
+	bytesReceived := c.Obs.Counter("client_bytes_received_total",
+		"Bytes received from the stream connection.")
+
 	level := display.MaxLevel
 	prev := -1
 	sceneIdx := 0
@@ -157,13 +169,16 @@ func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		sp := c.Obs.StartSpan("client.decode")
 		f, err := dec.Decode(ef)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		if cursor != nil {
 			target, sceneStart := cursor.Next()
 			if sceneStart {
+				sp := c.Obs.StartSpan("client.backlight_set")
 				if serverLevels != nil && sceneIdx < len(serverLevels) {
 					// Server resolved our device's levels during
 					// negotiation: a plain table read.
@@ -174,8 +189,11 @@ func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
 					// multiply + LUT lookup, then set the backlight.
 					level = c.Device.LevelFor(target)
 				}
+				sp.End()
+				backlightGauge.Set(float64(level))
 			}
 		}
+		framesDecoded.Inc()
 		if prev >= 0 && level != prev {
 			res.Switches++
 		}
@@ -200,6 +218,7 @@ func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
 	res.AvgLevel = levelSum / float64(res.Frames)
 	res.DecodedAvgLuma = lumaSum / float64(res.Frames)
 	res.BytesStream = cr.n
+	bytesReceived.Add(uint64(cr.n))
 	res.BacklightSavings = model.BacklightSavings(res.Ref, res.Trace)
 	res.TotalSavings = model.Savings(res.Ref, res.Trace)
 	return res, nil

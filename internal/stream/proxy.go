@@ -1,17 +1,20 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
 	"repro/internal/frame"
+	"repro/internal/obs"
 	"repro/internal/scene"
 )
 
@@ -24,7 +27,13 @@ import (
 type Proxy struct {
 	upstream string
 	enc      EncodeConfig
-	logf     func(format string, args ...any)
+
+	logMu sync.Mutex
+	logFn func(format string, args ...any)
+
+	obsReg      *obs.Registry
+	pm          serverMetrics
+	upstreamLat *obs.Histogram
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -34,11 +43,36 @@ type Proxy struct {
 
 // NewProxy builds a proxy forwarding to the upstream server address.
 func NewProxy(upstream string) *Proxy {
-	return &Proxy{upstream: upstream, logf: log.Printf}
+	return &Proxy{upstream: upstream, logFn: log.Printf}
 }
 
-// SetLogf replaces the proxy's logger.
-func (p *Proxy) SetLogf(f func(string, ...any)) { p.logf = f }
+// SetLogf replaces the proxy's logger. Safe to call while the proxy is
+// accepting connections.
+func (p *Proxy) SetLogf(f func(string, ...any)) {
+	p.logMu.Lock()
+	p.logFn = f
+	p.logMu.Unlock()
+}
+
+// logf logs through the current logger; the mutex makes SetLogf safe
+// against concurrent session goroutines.
+func (p *Proxy) logf(format string, args ...any) {
+	p.logMu.Lock()
+	f := p.logFn
+	p.logMu.Unlock()
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// SetObserver installs a telemetry registry. Call before Listen.
+func (p *Proxy) SetObserver(r *obs.Registry) {
+	p.obsReg = r
+	p.pm = newServerMetrics(r, "proxy")
+	p.upstreamLat = r.Histogram("proxy_upstream_latency_seconds",
+		"Time to fetch and decode a whole raw clip from the upstream server.",
+		obs.DefLatencyBuckets, obs.L("role", "proxy"))
+}
 
 // Listen starts accepting client connections.
 func (p *Proxy) Listen(addr string) (net.Addr, error) {
@@ -53,13 +87,24 @@ func (p *Proxy) Listen(addr string) (net.Addr, error) {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
+				if errors.Is(err, net.ErrClosed) {
+					return // orderly shutdown, not an error
+				}
+				p.pm.acceptErrors.Inc()
+				p.logf("stream proxy: accept: %v", err)
 				return
 			}
 			p.wg.Add(1)
+			p.pm.connsTotal.Inc()
+			p.pm.activeConns.Add(1)
 			go func() {
 				defer p.wg.Done()
-				defer conn.Close()
+				defer func() {
+					conn.Close()
+					p.pm.activeConns.Add(-1)
+				}()
 				if err := p.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+					p.pm.sessErrors.Inc()
 					p.logf("stream proxy: %v", err)
 				}
 			}()
@@ -80,23 +125,26 @@ func (p *Proxy) Close() {
 }
 
 func (p *Proxy) handle(conn net.Conn) error {
+	ctx := obs.WithRegistry(context.Background(), p.obsReg)
 	req, err := ReadRequest(conn)
 	if err != nil {
 		WriteError(conn, "bad request")
 		return err
 	}
+	start := time.Now()
 	src, err := p.fetchRaw(req.Clip, req.Device)
 	if err != nil {
 		WriteError(conn, err.Error())
 		return err
 	}
+	p.upstreamLat.Observe(time.Since(start).Seconds())
 	// The proxy's transcoder role: analyse, annotate, compensate, re-encode.
-	track, _, err := core.Annotate(src, scene.DefaultConfig(src.FPS()), nil)
+	track, _, err := core.AnnotateContext(ctx, src, scene.DefaultConfig(src.FPS()), nil)
 	if err != nil {
 		WriteError(conn, "annotation failed")
 		return err
 	}
-	return writeAnnotatedStream(conn, src, track, req.Quality, p.enc.withDefaults(src.FPS()), req.Device)
+	return writeAnnotatedStream(ctx, conn, src, track, req.Quality, p.enc.withDefaults(src.FPS()), req.Device, p.pm.framesSent, p.pm.bytesSent)
 }
 
 // fetchRaw pulls the unannotated stream from upstream and buffers the

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/dvs"
 	"repro/internal/netsched"
+	"repro/internal/obs"
 	"repro/internal/scene"
 )
 
@@ -35,13 +37,61 @@ func (c EncodeConfig) withDefaults(fps int) EncodeConfig {
 	return c
 }
 
+// serverMetrics are the server's obs handles. Every field is nil until
+// SetObserver installs a registry; nil metrics no-op, so the
+// instrumentation below runs unconditionally at zero cost when
+// telemetry is disabled.
+type serverMetrics struct {
+	activeConns  *obs.Gauge
+	connsTotal   *obs.Counter
+	framesSent   *obs.Counter
+	bytesSent    *obs.Counter
+	annHits      *obs.Counter
+	annMisses    *obs.Counter
+	varHits      *obs.Counter
+	varMisses    *obs.Counter
+	acceptErrors *obs.Counter
+	sessErrors   *obs.Counter
+}
+
+func newServerMetrics(r *obs.Registry, role string) serverMetrics {
+	l := obs.L("role", role)
+	return serverMetrics{
+		activeConns: r.Gauge("stream_active_conns",
+			"Client connections currently being served.", l),
+		connsTotal: r.Counter("stream_conns_total",
+			"Client connections accepted since start.", l),
+		framesSent: r.Counter("stream_frames_sent_total",
+			"Encoded frames written to clients.", l),
+		bytesSent: r.Counter("stream_bytes_sent_total",
+			"Bytes written to clients (container payload).", l),
+		annHits: r.Counter("stream_cache_hits_total",
+			"Cache hits by cache kind.", l, obs.L("cache", "annotation")),
+		annMisses: r.Counter("stream_cache_misses_total",
+			"Cache misses by cache kind.", l, obs.L("cache", "annotation")),
+		varHits: r.Counter("stream_cache_hits_total",
+			"Cache hits by cache kind.", l, obs.L("cache", "variant")),
+		varMisses: r.Counter("stream_cache_misses_total",
+			"Cache misses by cache kind.", l, obs.L("cache", "variant")),
+		acceptErrors: r.Counter("stream_accept_errors_total",
+			"Unexpected listener accept errors.", l),
+		sessErrors: r.Counter("stream_session_errors_total",
+			"Sessions that ended with an error.", l),
+	}
+}
+
 // Server stores clips and streams them, annotated and compensated, to
 // clients. It plays the role of the multimedia server of Figure 1.
 type Server struct {
 	catalog map[string]core.Source
 	scene   func(fps int) scene.Config
 	enc     EncodeConfig
-	logf    func(format string, args ...any)
+
+	logMu sync.Mutex
+	logFn func(format string, args ...any)
+
+	obsReg *obs.Registry
+	sm     serverMetrics
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -71,15 +121,37 @@ func NewServer(catalog map[string]core.Source) *Server {
 		catalog:  catalog,
 		scene:    scene.DefaultConfig,
 		enc:      EncodeConfig{},
-		logf:     log.Printf,
+		logFn:    log.Printf,
 		conns:    map[net.Conn]struct{}{},
 		tracks:   map[string]*annotation.Track{},
 		variants: map[string]*variant{},
 	}
 }
 
-// SetLogf replaces the server's logger (tests silence it).
-func (s *Server) SetLogf(f func(string, ...any)) { s.logf = f }
+// SetLogf replaces the server's logger (tests silence it). Safe to call
+// while the server is accepting connections.
+func (s *Server) SetLogf(f func(string, ...any)) {
+	s.logMu.Lock()
+	s.logFn = f
+	s.logMu.Unlock()
+}
+
+// logf logs through the current logger; the mutex makes SetLogf safe
+// against concurrent session goroutines.
+func (s *Server) logf(format string, args ...any) {
+	s.logMu.Lock()
+	f := s.logFn
+	s.logMu.Unlock()
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// SetObserver installs a telemetry registry. Call before Listen.
+func (s *Server) SetObserver(r *obs.Registry) {
+	s.obsReg = r
+	s.sm = newServerMetrics(r, "server")
+}
 
 // SetEncodeConfig overrides codec parameters.
 func (s *Server) SetEncodeConfig(c EncodeConfig) { s.enc = c }
@@ -102,7 +174,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return // orderly shutdown, not an error
+			}
+			s.sm.acceptErrors.Inc()
+			s.logf("stream server: accept: %v", err)
+			return
 		}
 		s.mu.Lock()
 		if s.closed {
@@ -113,6 +190,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.conns[conn] = struct{}{}
 		s.handlers.Add(1)
 		s.mu.Unlock()
+		s.sm.connsTotal.Inc()
+		s.sm.activeConns.Add(1)
 		go func() {
 			defer s.handlers.Done()
 			defer func() {
@@ -120,8 +199,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				s.sm.activeConns.Add(-1)
 			}()
 			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+				s.sm.sessErrors.Inc()
 				s.logf("stream server: %v", err)
 			}
 		}()
@@ -143,6 +224,7 @@ func (s *Server) Close() {
 }
 
 func (s *Server) handle(conn net.Conn) error {
+	ctx := obs.WithRegistry(context.Background(), s.obsReg)
 	req, err := ReadRequest(conn)
 	if err != nil {
 		WriteError(conn, "bad request")
@@ -157,19 +239,21 @@ func (s *Server) handle(conn net.Conn) error {
 	case ModeRaw:
 		return s.streamRaw(conn, src)
 	default:
-		return s.streamAnnotated(conn, src, req)
+		return s.streamAnnotated(ctx, conn, src, req)
 	}
 }
 
 // track returns the clip's annotation track, computing and caching it on
 // first use (the offline analysis step).
-func (s *Server) track(name string, src core.Source) (*annotation.Track, error) {
+func (s *Server) track(ctx context.Context, name string, src core.Source) (*annotation.Track, error) {
 	s.annMu.Lock()
 	defer s.annMu.Unlock()
 	if t, ok := s.tracks[name]; ok {
+		s.sm.annHits.Inc()
 		return t, nil
 	}
-	t, _, err := core.Annotate(src, s.scene(src.FPS()), nil)
+	s.sm.annMisses.Inc()
+	t, _, err := core.AnnotateContext(ctx, src, s.scene(src.FPS()), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -180,8 +264,8 @@ func (s *Server) track(name string, src core.Source) (*annotation.Track, error) 
 // streamAnnotated sends the annotated, compensated stream: the paper's
 // server role. Variants are encoded once per (clip, quality index) and
 // cached; the device-levels side channel is resolved per request.
-func (s *Server) streamAnnotated(w io.Writer, src core.Source, req Request) error {
-	track, err := s.track(req.Clip, src)
+func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Source, req Request) error {
+	track, err := s.track(ctx, req.Clip, src)
 	if err != nil {
 		WriteError(w, "annotation failed")
 		return err
@@ -191,8 +275,11 @@ func (s *Server) streamAnnotated(w io.Writer, src core.Source, req Request) erro
 	s.annMu.Lock()
 	v, ok := s.variants[key]
 	s.annMu.Unlock()
-	if !ok {
-		v, err = prepareVariant(src, track, qi, s.enc.withDefaults(src.FPS()))
+	if ok {
+		s.sm.varHits.Inc()
+	} else {
+		s.sm.varMisses.Inc()
+		v, err = prepareVariant(ctx, src, track, qi, s.enc.withDefaults(src.FPS()))
 		if err != nil {
 			WriteError(w, "encoding failed")
 			return err
@@ -201,7 +288,7 @@ func (s *Server) streamAnnotated(w io.Writer, src core.Source, req Request) erro
 		s.variants[key] = v
 		s.annMu.Unlock()
 	}
-	return sendVariant(w, src, track, v, req.Device)
+	return sendVariant(ctx, w, src, track, v, req.Device, s.sm.framesSent, s.sm.bytesSent)
 }
 
 // prepareVariant compensates and encodes src at quality index qi and
@@ -209,12 +296,13 @@ func (s *Server) streamAnnotated(w io.Writer, src core.Source, req Request) erro
 // stream is encoded before anything is sent so that all annotations are
 // available to the client before it decodes anything — the point of
 // annotating ahead of time (§3).
-func prepareVariant(src core.Source, track *annotation.Track, qi int, cfg EncodeConfig) (*variant, error) {
+func prepareVariant(ctx context.Context, src core.Source, track *annotation.Track, qi int, cfg EncodeConfig) (*variant, error) {
 	width, height := src.Size()
 	enc, err := codec.NewEncoder(width, height, cfg.GOP, cfg.QScale)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan(ctx, "stream.compensate_encode")
 	cursor := track.NewCursor(qi)
 	n := src.TotalFrames()
 	frames := make([]*codec.EncodedFrame, 0, n)
@@ -227,8 +315,10 @@ func prepareVariant(src core.Source, track *annotation.Track, qi int, cfg Encode
 		}
 		frames = append(frames, ef)
 	}
+	sp.End()
 
 	// Decode-complexity annotations (ChunkDecodeCycles).
+	sp = obs.StartSpan(ctx, "stream.annotate_sidechannels")
 	model := dvs.DefaultCycleModel()
 	estimates := make([]float64, n)
 	for i, ef := range frames {
@@ -251,18 +341,38 @@ func prepareVariant(src core.Source, track *annotation.Track, qi int, cfg Encode
 		})
 		pos += rec.Frames
 	}
-	return &variant{
+	v := &variant{
 		frames:      frames,
 		cyclesChunk: dvs.EncodeCycles(cycles),
 		scenesChunk: netsched.EncodeScenes(nsScenes),
-	}, nil
+	}
+	sp.End()
+	return v, nil
+}
+
+// countingWriter counts bytes written (the bytes-sent accounting).
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
 }
 
 // sendVariant writes the annotated container for a prepared variant. When
 // the client's device name is known, the server also resolves the
 // device-specific backlight level table and ships it as a side channel
 // (§4.3's negotiation option).
-func sendVariant(w io.Writer, src core.Source, track *annotation.Track, v *variant, deviceName string) error {
+func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, deviceName string, framesSent, bytesSent *obs.Counter) error {
+	sp := obs.StartSpan(ctx, "stream.send")
+	defer sp.End()
+	cw0 := &countingWriter{w: w}
+	defer func() {
+		bytesSent.Add(cw0.n)
+	}()
 	width, height := src.Size()
 	extra := map[uint8][]byte{
 		container.ChunkDecodeCycles: v.cyclesChunk,
@@ -273,7 +383,7 @@ func sendVariant(w io.Writer, src core.Source, track *annotation.Track, v *varia
 			extra[container.ChunkDeviceLevels] = levels
 		}
 	}
-	cw, err := container.NewWriter(w, container.Header{
+	cw, err := container.NewWriter(cw0, container.Header{
 		W: width, H: height, FPS: src.FPS(),
 		FrameCount:  len(v.frames),
 		Annotations: track,
@@ -286,24 +396,29 @@ func sendVariant(w io.Writer, src core.Source, track *annotation.Track, v *varia
 		if err := cw.WriteFrame(ef); err != nil {
 			return err
 		}
+		framesSent.Inc()
 	}
 	return nil
 }
 
 // writeAnnotatedStream is the uncached path the proxy uses: prepare the
 // variant and send it in one step.
-func writeAnnotatedStream(w io.Writer, src core.Source, track *annotation.Track, quality float64, cfg EncodeConfig, deviceName string) error {
-	v, err := prepareVariant(src, track, track.QualityIndex(quality), cfg)
+func writeAnnotatedStream(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, quality float64, cfg EncodeConfig, deviceName string, framesSent, bytesSent *obs.Counter) error {
+	v, err := prepareVariant(ctx, src, track, track.QualityIndex(quality), cfg)
 	if err != nil {
 		return err
 	}
-	return sendVariant(w, src, track, v, deviceName)
+	return sendVariant(ctx, w, src, track, v, deviceName, framesSent, bytesSent)
 }
 
 // streamRaw sends the stored clip untouched (for proxies).
 func (s *Server) streamRaw(w io.Writer, src core.Source) error {
+	cw0 := &countingWriter{w: w}
+	defer func() {
+		s.sm.bytesSent.Add(cw0.n)
+	}()
 	width, height := src.Size()
-	cw, err := container.NewWriter(w, container.Header{
+	cw, err := container.NewWriter(cw0, container.Header{
 		W: width, H: height, FPS: src.FPS(), FrameCount: src.TotalFrames(),
 	})
 	if err != nil {
@@ -323,6 +438,7 @@ func (s *Server) streamRaw(w io.Writer, src core.Source) error {
 		if err := cw.WriteFrame(ef); err != nil {
 			return err
 		}
+		s.sm.framesSent.Inc()
 	}
 	return nil
 }
