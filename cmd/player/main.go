@@ -89,6 +89,12 @@ func main() {
 	frameSeconds := 1 / float64(hdr.FPS)
 
 	var cursor *annotation.Cursor
+	if hdr.AnnotationsErr != nil {
+		// Graceful degradation: a damaged annotation track must not
+		// stop playback — log once and keep the backlight at full.
+		fmt.Fprintf(os.Stderr, "player: annotation track damaged (%v); falling back to full backlight\n",
+			hdr.AnnotationsErr)
+	}
 	if hdr.Annotations != nil {
 		cursor = hdr.Annotations.NewCursor(hdr.Annotations.QualityIndex(*quality))
 	}
@@ -165,11 +171,14 @@ func main() {
 
 	fmt.Printf("stream            %s: %d frames, %dx%d @ %d fps\n",
 		*in, frames, hdr.W, hdr.H, hdr.FPS)
-	if hdr.Annotations != nil {
+	switch {
+	case hdr.Annotations != nil:
 		fmt.Printf("annotations       %d scenes, %d bytes, quality %.0f%%\n",
 			len(hdr.Annotations.Records), hdr.Annotations.Size(),
 			hdr.Annotations.Quality[hdr.Annotations.QualityIndex(*quality)]*100)
-	} else {
+	case hdr.AnnotationsErr != nil:
+		fmt.Printf("annotations       damaged, ignored (backlight stays at full)\n")
+	default:
 		fmt.Printf("annotations       none (backlight stays at full)\n")
 	}
 	fmt.Printf("device            %s (%s panel, %s backlight)\n", dev.Name, dev.Panel, dev.Backlight)

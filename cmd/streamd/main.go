@@ -8,22 +8,32 @@
 //
 //	streamd [-addr 127.0.0.1:7400] [-proxy-of upstream:port]
 //	        [-debug-addr :7401] [-w 120 -h 90 -fps 10 -scale 0.25]
+//	        [-max-sessions 0] [-faults latency=2ms,reset=65536,repeat,seed=7]
 //
 // With -proxy-of the process runs as the intermediary proxy node instead,
 // pulling raw streams from the upstream server and annotating on the fly.
 // With -debug-addr the process serves its telemetry over HTTP: /metrics
 // (Prometheus text format), /healthz, /debug/vars, /debug/pprof and
 // /debug/spans.
+//
+// With -faults every accepted connection is wrapped in the deterministic
+// fault injector (see internal/faults): added latency, bandwidth
+// throttling, fragmented writes, scheduled mid-stream resets and byte
+// corruption — a live chaos mode for exercising client resilience. With
+// -max-sessions the server refuses connections over the cap with a clean
+// over-capacity error that resilient clients back off and retry on.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/stream"
 	"repro/internal/video"
@@ -37,6 +47,8 @@ func main() {
 	h := flag.Int("h", 90, "frame height")
 	fps := flag.Int("fps", 10, "frames per second")
 	scale := flag.Float64("scale", 0.25, "clip duration scale")
+	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited)")
+	faultSpec := flag.String("faults", "", "inject faults into accepted connections (e.g. latency=2ms,bw=65536,short,corrupt=0.001,reset=65536,repeat,seed=7)")
 	flag.Parse()
 
 	stop := make(chan os.Signal, 1)
@@ -51,12 +63,27 @@ func main() {
 		fmt.Printf("debug endpoint on http://%s/metrics\n", ds.Addr())
 	}
 
+	faultCfg, err := faults.ParseConfig(*faultSpec)
+	exitOn(err)
+	listen := func() (net.Listener, error) {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return nil, err
+		}
+		if faultCfg.Enabled() {
+			fmt.Printf("chaos mode: injecting %s\n", faultCfg)
+			ln = faults.WrapListener(ln, faultCfg)
+		}
+		return ln, nil
+	}
+
 	if *proxyOf != "" {
 		p := stream.NewProxy(*proxyOf)
 		p.SetObserver(reg)
-		bound, err := p.Listen(*addr)
+		ln, err := listen()
 		exitOn(err)
-		fmt.Printf("proxy listening on %s (upstream %s)\n", bound, *proxyOf)
+		p.Serve(ln)
+		fmt.Printf("proxy listening on %s (upstream %s)\n", ln.Addr(), *proxyOf)
 		<-stop
 		p.Close()
 		return
@@ -69,9 +96,11 @@ func main() {
 	}
 	s := stream.NewServer(catalog)
 	s.SetObserver(reg)
-	bound, err := s.Listen(*addr)
+	s.SetMaxSessions(*maxSessions)
+	ln, err := listen()
 	exitOn(err)
-	fmt.Printf("serving %d clips on %s\n", len(catalog), bound)
+	s.Serve(ln)
+	fmt.Printf("serving %d clips on %s\n", len(catalog), ln.Addr())
 	for _, name := range video.ClipNames() {
 		fmt.Printf("  %s\n", name)
 	}

@@ -7,12 +7,19 @@
 //
 //	streamget [-addr 127.0.0.1:7400] -clip returnoftheking
 //	          [-quality 0.10] [-device ipaq5555]
+//	          [-retries 5] [-read-timeout 10s] [-no-resume]
+//
+// The client survives a lossy link: reads carry deadlines, failed
+// sessions reconnect with exponential backoff + jitter, and when the
+// server speaks protocol v2 a reconnect resumes from the last
+// fully-decoded frame instead of replaying the clip.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/display"
 	"repro/internal/dvs"
@@ -25,6 +32,9 @@ func main() {
 	clip := flag.String("clip", "", "clip to request")
 	quality := flag.Float64("quality", 0.10, "accepted clipping budget (0..0.20)")
 	deviceName := flag.String("device", "ipaq5555", "device profile")
+	retries := flag.Int("retries", 0, "max connection attempts (0 = default of 5)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-read deadline on the stream (0 = default of 10s)")
+	noResume := flag.Bool("no-resume", false, "speak protocol v1 only (failures replay from frame 0)")
 	flag.Parse()
 
 	if *clip == "" {
@@ -37,7 +47,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	client := &stream.Client{Device: dev}
+	client := &stream.Client{
+		Device:        dev,
+		Retry:         stream.RetryPolicy{MaxAttempts: *retries},
+		ReadTimeout:   *readTimeout,
+		DisableResume: *noResume,
+	}
 	res, err := client.Play(*addr, *clip, *quality)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamget:", err)
@@ -45,6 +60,13 @@ func main() {
 	}
 
 	fmt.Printf("clip              %s @ %.0f%% quality on %s\n", *clip, *quality*100, dev.Name)
+	if res.Retries > 0 || res.Resumes > 0 {
+		fmt.Printf("resilience        %d retries, %d mid-clip resumes (protocol v%d)\n",
+			res.Retries, res.Resumes, res.ProtocolVersion)
+	}
+	if len(res.Degraded) > 0 {
+		fmt.Printf("degraded          dropped side channels: %s\n", strings.Join(res.Degraded, ", "))
+	}
 	fmt.Printf("frames            %d in %d scenes\n", res.Frames, res.Scenes)
 	fmt.Printf("stream bytes      %d (backlight annotations %d bytes)\n", res.BytesStream, res.BytesAnn)
 	fmt.Printf("avg backlight     %.1f/255 (%d switches)\n", res.AvgLevel, res.Switches)

@@ -49,7 +49,26 @@ const (
 	// (§4.3: device-specific levels "can be computed by either the
 	// server/proxy ... or by the client itself").
 	ChunkDeviceLevels uint8 = 4
+	// ChunkResumeOffset carries the global index of the stream's first
+	// frame when a server honours a session-resume request: resumption
+	// must start at an I-frame, so the server rounds the requested
+	// start frame down and tells the client where the stream actually
+	// begins (a big-endian uint32).
+	ChunkResumeOffset uint8 = 5
 )
+
+// EncodeResumeOffset renders a ChunkResumeOffset payload.
+func EncodeResumeOffset(frame uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, frame)
+}
+
+// DecodeResumeOffset parses a ChunkResumeOffset payload.
+func DecodeResumeOffset(data []byte) (uint32, error) {
+	if len(data) != 4 {
+		return 0, fmt.Errorf("%w: resume offset is %d bytes, want 4", ErrFormat, len(data))
+	}
+	return binary.BigEndian.Uint32(data), nil
+}
 
 // Header describes the stream.
 type Header struct {
@@ -60,6 +79,13 @@ type Header struct {
 	// stream is not annotated (the baseline configuration). It is
 	// serialised as the ChunkLuminance side channel.
 	Annotations *annotation.Track
+	// AnnotationsErr records a ChunkLuminance payload that failed to
+	// decode. A damaged annotation track must not kill playback — the
+	// paper's scheme adds annotations "with no changes for the client",
+	// so readers degrade to full-backlight passthrough (the player) or
+	// retry the fetch (the stream client) instead of erroring out.
+	// Never set by Writer; only populated by NewReader.
+	AnnotationsErr error
 	// Extra holds additional side-channel chunks by kind (decode cycles,
 	// scene bytes, future types). ChunkLuminance must not appear here.
 	Extra map[uint8][]byte
@@ -153,14 +179,14 @@ type Reader struct {
 func NewReader(r io.Reader) (*Reader, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		return nil, fmt.Errorf("%w: %w", ErrFormat, err)
 	}
 	if m != Magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m)
 	}
 	var fixed [10]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrFormat, err)
+		return nil, fmt.Errorf("%w: short header: %w", ErrFormat, err)
 	}
 	h := Header{
 		W:          int(binary.BigEndian.Uint16(fixed[0:2])),
@@ -175,7 +201,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	for i := 0; i < chunkCount; i++ {
 		var ch [5]byte
 		if _, err := io.ReadFull(r, ch[:]); err != nil {
-			return nil, fmt.Errorf("%w: short chunk header: %v", ErrFormat, err)
+			return nil, fmt.Errorf("%w: short chunk header: %w", ErrFormat, err)
 		}
 		kind := ch[0]
 		n := binary.BigEndian.Uint32(ch[1:])
@@ -184,12 +210,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(r, data); err != nil {
-			return nil, fmt.Errorf("%w: short chunk payload: %v", ErrFormat, err)
+			return nil, fmt.Errorf("%w: short chunk payload: %w", ErrFormat, err)
 		}
 		if kind == ChunkLuminance {
 			tr, err := annotation.Decode(data)
 			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+				// Tolerate a corrupt annotation track: record the
+				// damage and keep parsing so callers can degrade
+				// gracefully instead of dying.
+				h.AnnotationsErr = fmt.Errorf("%w: %v", ErrFormat, err)
+				continue
 			}
 			h.Annotations = tr
 			continue
@@ -212,7 +242,7 @@ func (r *Reader) ReadFrame() (*codec.EncodedFrame, error) {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
-		return nil, fmt.Errorf("%w: short frame header: %v", ErrFormat, err)
+		return nil, fmt.Errorf("%w: short frame header: %w", ErrFormat, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[2:])
 	if n > maxPacket {
@@ -220,7 +250,7 @@ func (r *Reader) ReadFrame() (*codec.EncodedFrame, error) {
 	}
 	data := make([]byte, n)
 	if _, err := io.ReadFull(r.r, data); err != nil {
-		return nil, fmt.Errorf("%w: short frame payload: %v", ErrFormat, err)
+		return nil, fmt.Errorf("%w: short frame payload: %w", ErrFormat, err)
 	}
 	return &codec.EncodedFrame{
 		Type:   codec.FrameType(hdr[0]),

@@ -1,0 +1,23 @@
+package container
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeResumeOffset pins the side-channel decoder against hostile
+// payload lengths.
+func FuzzDecodeResumeOffset(f *testing.F) {
+	f.Add(EncodeResumeOffset(0))
+	f.Add(EncodeResumeOffset(1 << 30))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		off, err := DecodeResumeOffset(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeResumeOffset(off), data) {
+			t.Fatalf("resume offset %d does not round-trip", off)
+		}
+	})
+}

@@ -121,7 +121,7 @@ func TestReaderRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestReaderRejectsCorruptAnnotation(t *testing.T) {
+func TestReaderToleratesCorruptAnnotation(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf, header())
 	_ = w
@@ -129,8 +129,29 @@ func TestReaderRejectsCorruptAnnotation(t *testing.T) {
 	// Header: magic(4) + fixed(10) + chunk header(5); the annotation
 	// payload starts at offset 19. Corrupt its magic.
 	data[19] ^= 0xFF
-	if _, err := NewReader(bytes.NewReader(data)); err == nil {
-		t.Error("corrupt annotation accepted")
+	// A damaged annotation track must not kill the stream: the reader
+	// records the damage and carries on so playback can degrade to
+	// full-backlight passthrough.
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("corrupt annotation killed the reader: %v", err)
+	}
+	h := r.Header()
+	if h.Annotations != nil {
+		t.Error("corrupt annotation track decoded anyway")
+	}
+	if h.AnnotationsErr == nil {
+		t.Error("annotation damage not recorded")
+	}
+}
+
+func TestResumeOffsetRoundTrip(t *testing.T) {
+	got, err := DecodeResumeOffset(EncodeResumeOffset(1234))
+	if err != nil || got != 1234 {
+		t.Errorf("round trip: %d, %v", got, err)
+	}
+	if _, err := DecodeResumeOffset([]byte{1, 2}); err == nil {
+		t.Error("short resume offset accepted")
 	}
 }
 

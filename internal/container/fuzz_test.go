@@ -2,12 +2,14 @@ package container
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
 
 // FuzzReader drives the container parser with arbitrary bytes; it must
-// never panic and never allocate absurd buffers.
+// never panic, never allocate absurd buffers, and fail only with the
+// typed ErrFormat so stream clients can classify the damage.
 func FuzzReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, header())
@@ -25,12 +27,15 @@ func FuzzReader(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
+			if !errors.Is(err, ErrFormat) {
+				t.Fatalf("untyped header error: %v", err)
+			}
 			return
 		}
-		for i := 0; i < 32; i++ {
+		for i := 0; i < 1024; i++ {
 			if _, err := r.ReadFrame(); err != nil {
-				if err != io.EOF && err == nil {
-					t.Fatal("nil error with no frame")
+				if err != io.EOF && !errors.Is(err, ErrFormat) {
+					t.Fatalf("untyped frame error: %v", err)
 				}
 				return
 			}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	in := "latency=2ms,bw=65536,short,corrupt=0.01,reset=4096:8192,repeat,seed=7"
+	c, err := ParseConfig(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Latency != 2*time.Millisecond || c.BandwidthBPS != 65536 || !c.ShortWrites {
+		t.Errorf("parsed %+v", c)
+	}
+	if c.CorruptRate != 0.01 || c.Seed != 7 || !c.ResetRepeat {
+		t.Errorf("parsed %+v", c)
+	}
+	if len(c.ResetAfter) != 2 || c.ResetAfter[0] != 4096 || c.ResetAfter[1] != 8192 {
+		t.Errorf("reset schedule %v", c.ResetAfter)
+	}
+	// The rendered form must parse back to the same config.
+	c2, err := ParseConfig(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != c2.String() {
+		t.Errorf("round trip %q vs %q", c, c2)
+	}
+	if !c.Enabled() {
+		t.Error("config with faults reports disabled")
+	}
+}
+
+func TestParseConfigRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"latency=zzz", "bw=-1", "corrupt=2", "reset=0", "reset=a",
+		"nope=1", "short=1", "repeat=x",
+	} {
+		if _, err := ParseConfig(s); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", s)
+		}
+	}
+}
+
+func TestZeroConfigDisabled(t *testing.T) {
+	c, err := ParseConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Error("empty config enabled")
+	}
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	if WrapListener(ln, c) != ln {
+		t.Error("disabled config should not wrap the listener")
+	}
+}
+
+// pipePair returns a wrapped client end and the raw server end.
+func pipePair(cfg Config) (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	return NewInjector(cfg).Wrap(a), b
+}
+
+func TestResetAfterBudget(t *testing.T) {
+	wrapped, peer := pipePair(Config{Seed: 1, ResetAfter: []int64{100}})
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	buf := make([]byte, 64)
+	n1, err := wrapped.Write(buf)
+	if err != nil || n1 != 64 {
+		t.Fatalf("first write: n=%d err=%v", n1, err)
+	}
+	n2, err := wrapped.Write(buf)
+	if !errors.Is(err, ErrInjectedReset) || !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("second write: err=%v, want injected reset", err)
+	}
+	if n2 != 36 {
+		t.Errorf("second write delivered %d bytes before reset, want 36", n2)
+	}
+	if _, err := wrapped.Write(buf); !errors.Is(err, ErrInjectedReset) {
+		t.Errorf("write after reset: %v", err)
+	}
+}
+
+func TestResetScheduleByConnection(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, ResetAfter: []int64{10}})
+	// First connection resets, second (past the schedule) never does.
+	for i, wantReset := range []bool{true, false} {
+		a, b := net.Pipe()
+		go io.Copy(io.Discard, b)
+		w := in.Wrap(a)
+		_, err := w.Write(make([]byte, 1000))
+		gotReset := errors.Is(err, ErrInjectedReset)
+		if gotReset != wantReset {
+			t.Errorf("conn %d: reset=%v err=%v, want reset=%v", i, gotReset, err, wantReset)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+func TestShortWritesFragment(t *testing.T) {
+	wrapped, peer := pipePair(Config{Seed: 42, ShortWrites: true})
+	defer peer.Close()
+	sizes := make(chan int, 64)
+	go func() {
+		defer close(sizes)
+		buf := make([]byte, 256)
+		for {
+			n, err := peer.Read(buf)
+			if n > 0 {
+				sizes <- n
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := wrapped.Write(make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	wrapped.Close()
+	var reads, total int
+	for n := range sizes {
+		reads++
+		total += n
+		if n > 16 {
+			t.Errorf("fragment of %d bytes exceeds the 16-byte cap", n)
+		}
+	}
+	if total != 200 {
+		t.Errorf("delivered %d bytes, want 200", total)
+	}
+	if reads < 200/16 {
+		t.Errorf("only %d fragments for 200 bytes", reads)
+	}
+}
+
+func TestCorruptionFlipsOneBit(t *testing.T) {
+	wrapped, peer := pipePair(Config{Seed: 3, CorruptRate: 1})
+	defer peer.Close()
+	in := bytes.Repeat([]byte{0xAA}, 32)
+	got := make([]byte, 32)
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(peer, got)
+		done <- err
+	}()
+	if _, err := wrapped.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range in {
+		diff += popcount(in[i] ^ got[i])
+	}
+	if diff != 1 {
+		t.Errorf("%d bits differ, want exactly 1 (rate=1, one write)", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		wrapped, peer := pipePair(Config{Seed: 9, CorruptRate: 0.5, ShortWrites: true})
+		defer peer.Close()
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			io.Copy(&got, peer)
+		}()
+		wrapped.Write(bytes.Repeat([]byte{0x5C}, 128))
+		wrapped.Close()
+		<-done
+		return got.Bytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Error("same seed produced different corruption")
+	}
+}
+
+func TestWrapListenerInjects(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, Config{Seed: 1, ResetAfter: []int64{8}})
+	defer ln.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(io.Discard, c)
+	}()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_, werr := conn.Write(make([]byte, 100))
+	if !errors.Is(werr, ErrInjectedReset) {
+		t.Errorf("accepted conn write err = %v, want injected reset", werr)
+	}
+}

@@ -1,0 +1,28 @@
+package netsched
+
+import (
+	"testing"
+)
+
+// FuzzDecodeScenes hardens the scene-bytes side-channel parser: hostile
+// counts and truncated uvarints must error, never panic or over-allocate,
+// and accepted payloads must round-trip.
+func FuzzDecodeScenes(f *testing.F) {
+	f.Add(EncodeScenes([]Scene{{Bytes: 100, Seconds: 2}}))
+	f.Add(EncodeScenes([]Scene{{Bytes: 1 << 30, Seconds: 0.001}, {Bytes: 0, Seconds: 0}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scenes, err := DecodeScenes(data)
+		if err != nil {
+			return
+		}
+		re, err := DecodeScenes(EncodeScenes(scenes))
+		if err != nil {
+			t.Fatalf("accepted payload does not round-trip: %v", err)
+		}
+		if len(re) != len(scenes) {
+			t.Fatalf("round trip changed scene count: %d vs %d", len(re), len(scenes))
+		}
+	})
+}

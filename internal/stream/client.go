@@ -1,10 +1,15 @@
 package stream
 
 import (
-	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/annotation"
 	"repro/internal/codec"
@@ -45,6 +50,62 @@ type PlayResult struct {
 	// ServerLevels reports whether the backlight levels came from the
 	// server's negotiation-time table rather than the client's own LUT.
 	ServerLevels bool
+	// Retries counts reconnection attempts after a session failure.
+	Retries int
+	// Resumes counts reconnections that continued mid-clip via the v2
+	// start_frame extension instead of replaying from frame zero.
+	Resumes int
+	// ProtocolVersion is the request framing the session settled on
+	// (2, or 1 after falling back against an old server).
+	ProtocolVersion int
+	// Degraded lists the side channels the session dropped instead of
+	// failing on (e.g. a corrupt annotation track: the backlight simply
+	// stays at full). Empty for a healthy session.
+	Degraded []string
+}
+
+// RetryPolicy shapes the client's reconnect behaviour: exponential
+// backoff with jitter, bounded by MaxAttempts connection attempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of connection attempts (first try
+	// included). Default 5.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; each further retry
+	// doubles it. Default 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 2s.
+	MaxDelay time.Duration
+	// Jitter is the random fraction (0..1) added to each delay so a
+	// fleet of clients does not reconnect in lockstep. Default 0.2.
+	Jitter float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// delay returns the backoff before retry number n (n >= 1).
+func (p RetryPolicy) delay(n int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << uint(n-1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		d += time.Duration(p.Jitter * rng.Float64() * float64(d))
+	}
+	return d
 }
 
 // countingReader counts bytes received (the stream overhead accounting).
@@ -63,62 +124,284 @@ func (c *countingReader) Read(p []byte) (int, error) {
 type Client struct {
 	Device *display.Profile
 	// OnFrame, when set, observes every decoded frame (examples use it).
+	// Across a resume, every frame index is observed exactly once.
 	OnFrame func(i int, f *frame.Frame, backlight int)
 	// Obs, when set, receives the client's online-path telemetry:
 	// per-frame decode latency spans, frames/bytes received counters,
-	// and the current backlight level gauge.
+	// retry/resume/degradation counters, and the backlight level gauge.
 	Obs *obs.Registry
+	// Retry shapes reconnect behaviour; the zero value uses defaults
+	// (5 attempts, 100ms base, 2s cap, 20% jitter).
+	Retry RetryPolicy
+	// ReadTimeout is the per-read deadline on the stream connection
+	// (default 10s; a stalled link fails fast and triggers a retry).
+	ReadTimeout time.Duration
+	// DisableResume forces protocol v1 (no start_frame): failures
+	// replay the clip from the beginning.
+	DisableResume bool
+	// Dial overrides the dial function (tests inject faulty links).
+	Dial func(network, addr string) (net.Conn, error)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // Play connects to addr, negotiates the given clip and quality, and plays
 // the stream to completion, returning the session accounting.
 func (c *Client) Play(addr, clip string, quality float64) (*PlayResult, error) {
+	return c.PlayContext(context.Background(), addr, clip, quality)
+}
+
+// errDowngrade signals that the server rejected the v2 framing and the
+// attempt should be repeated with the v1 protocol.
+var errDowngrade = errors.New("stream: server wants protocol v1")
+
+// PlayContext is Play under a context: cancelling ctx aborts the
+// session, including any backoff wait. The session survives transient
+// failures by reconnecting with exponential backoff and, when the server
+// speaks protocol v2, resuming from the last fully-decoded frame.
+func (c *Client) PlayContext(ctx context.Context, addr, clip string, quality float64) (*PlayResult, error) {
 	if c.Device == nil {
 		return nil, fmt.Errorf("stream: client has no device profile")
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	retry := c.Retry.withDefaults()
+	s := &session{
+		res:     &PlayResult{Trace: &power.Trace{}, Ref: &power.Trace{}, ProtocolVersion: 2},
+		level:   display.MaxLevel,
+		prev:    -1,
+		quality: quality,
 	}
-	defer conn.Close()
-	req := Request{Clip: clip, Quality: quality, Device: c.Device.Name, Mode: ModeAnnotated}
-	if err := WriteRequest(conn, req); err != nil {
-		return nil, err
+	if c.DisableResume {
+		s.res.ProtocolVersion = 1
 	}
-	return c.play(conn, quality)
+	retriesTotal := c.Obs.Counter("stream_client_retries_total",
+		"Reconnection attempts after a stream session failure.")
+	resumesTotal := c.Obs.Counter("stream_client_resumes_total",
+		"Sessions continued mid-clip via the start_frame extension.")
+
+	var lastErr error
+	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.res.Retries++
+			retriesTotal.Inc()
+			select {
+			case <-time.After(retry.delay(attempt, c.backoffRNG())):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		resumed, err := c.attempt(ctx, s, addr, clip)
+		if resumed {
+			s.res.Resumes++
+			resumesTotal.Inc()
+		}
+		if err == nil {
+			return c.finish(s)
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if errors.Is(err, errDowngrade) {
+			// Old server: repeat immediately with the v1 framing. The
+			// downgrade consumes no retry budget — nothing failed, the
+			// peers were negotiating.
+			s.res.ProtocolVersion = 1
+			attempt--
+			continue
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("stream: giving up after %d attempts: %w", retry.MaxAttempts, lastErr)
 }
 
-// play consumes a response stream (already-negotiated connection).
-func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
+func (c *Client) backoffRNG() *rand.Rand {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return c.rng
+}
+
+// retryable classifies a session failure: truncation (short reads,
+// resets, timeouts), corruption (container/codec parse failures) and
+// over-capacity refusals are worth a reconnect; protocol mismatches and
+// definitive server errors (unknown clip) are not.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, ErrTruncatedStream),
+		errors.Is(err, ErrOverCapacity),
+		errors.Is(err, container.ErrFormat),
+		errors.Is(err, codec.ErrBitstream):
+		return true
+	case errors.Is(err, ErrBadMagic):
+		return false
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return true
+	}
+	// Dial failures (refused, unreachable, reset during connect) are
+	// transient by nature: the server may be restarting.
+	var operr *net.OpError
+	return errors.As(err, &operr)
+}
+
+// session is the state that survives reconnects: the accumulated result
+// plus the playback cursor position (which frame to resume at, current
+// backlight level, power traces).
+type session struct {
+	res     *PlayResult
+	quality float64
+	// emitted is the number of frames delivered exactly once
+	// (== res.Frames); a resume asks the server to start here.
+	emitted uint32
+	// expected is the clip's total frame count once a header reported
+	// it (0 until known). EOF before expected frames is truncation.
+	expected uint32
+	level    int
+	prev     int
+	sceneIdx int
+	levelSum float64
+	lumaSum  float64
+	degraded map[string]bool
+}
+
+// degrade records a dropped side channel once.
+func (s *session) degrade(what string, total *obs.Counter) {
+	if s.degraded == nil {
+		s.degraded = map[string]bool{}
+	}
+	if !s.degraded[what] {
+		s.degraded[what] = true
+		s.res.Degraded = append(s.res.Degraded, what)
+		total.Inc()
+	}
+}
+
+// attempt runs one connection: negotiate (resuming at s.emitted when the
+// session already delivered frames), then decode and account frames.
+// resumed reports whether this attempt continued mid-clip via v2.
+func (c *Client) attempt(ctx context.Context, s *session, addr, clip string) (resumed bool, err error) {
+	dial := c.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	rawConn, err := dial("tcp", addr)
+	if err != nil {
+		return false, err
+	}
+	defer rawConn.Close()
+	// Cancel the connection (unblocking any pending read) when ctx dies.
+	stop := context.AfterFunc(ctx, func() { rawConn.Close() })
+	defer stop()
+
+	readTimeout := c.ReadTimeout
+	if readTimeout <= 0 {
+		readTimeout = 10 * time.Second
+	}
+	conn := &deadlineConn{Conn: rawConn, readTimeout: readTimeout, writeTimeout: readTimeout}
+
+	req := Request{
+		Clip:    clip,
+		Quality: s.quality,
+		Device:  c.Device.Name,
+		Mode:    ModeAnnotated,
+		Version: s.res.ProtocolVersion,
+	}
+	if req.Version >= 2 {
+		req.StartFrame = s.emitted
+	} else if s.emitted > 0 {
+		// v1 cannot resume: replay the whole clip from scratch.
+		s.restart()
+	}
+	if err := WriteRequest(conn, req); err != nil {
+		return false, fmt.Errorf("%w: %v", ErrTruncatedStream, err)
+	}
+	resumed = req.Version >= 2 && req.StartFrame > 0
+	return resumed, c.consume(ctx, s, conn, req)
+}
+
+// restart throws away accumulated playback state (a v1 replay).
+func (s *session) restart() {
+	s.res.Frames = 0
+	s.res.Switches = 0
+	s.res.Trace = &power.Trace{}
+	s.res.Ref = &power.Trace{}
+	s.emitted = 0
+	s.level = display.MaxLevel
+	s.prev = -1
+	s.sceneIdx = 0
+	s.levelSum = 0
+	s.lumaSum = 0
+}
+
+// consume parses the response stream, emitting each clip frame exactly
+// once even when the server replays from an earlier I-frame boundary.
+func (c *Client) consume(ctx context.Context, s *session, r io.Reader, req Request) error {
+	res := s.res
 	cr := &countingReader{r: r}
 	magic, remoteErr, err := ReadResponseMagic(cr)
 	if err != nil {
-		return nil, err
+		if errors.Is(err, ErrBadMagic) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", ErrTruncatedStream, err)
 	}
 	if remoteErr != nil {
-		return nil, remoteErr
+		if req.Version >= 2 && strings.Contains(remoteErr.Error(), "bad request") {
+			// An old server cannot parse the v2 magic and answers "bad
+			// request": fall back to the v1 framing.
+			return errDowngrade
+		}
+		return remoteErr
 	}
-	reader, err := container.NewReader(io.MultiReader(bytes.NewReader(magic[:]), cr))
+	reader, err := container.NewReader(io.MultiReader(&sliceReader{b: magic[:]}, cr))
 	if err != nil {
-		return nil, err
+		return classifyStreamErr(err)
 	}
 	hdr := reader.Header()
 	dec, err := codec.NewDecoder(hdr.W, hdr.H)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
-	res := &PlayResult{Trace: &power.Trace{}, Ref: &power.Trace{}}
-	model := power.DefaultModel(c.Device)
-	frameSeconds := 1 / float64(hdr.FPS)
+	degradedTotal := c.Obs.Counter("stream_client_degraded_total",
+		"Side channels dropped in favour of degraded playback.")
+
+	// Where this connection's stream starts in clip coordinates: the
+	// server rounds a resume down to an I-frame boundary and reports it.
+	var resumeOffset uint32
+	if data, ok := hdr.Extra[container.ChunkResumeOffset]; ok {
+		off, err := container.DecodeResumeOffset(data)
+		if err != nil {
+			return classifyStreamErr(err)
+		}
+		if off > req.StartFrame {
+			return fmt.Errorf("%w: resume offset %d beyond requested frame %d",
+				ErrProtocol, off, req.StartFrame)
+		}
+		resumeOffset = off
+	}
+	if hdr.FrameCount > 0 {
+		s.expected = resumeOffset + uint32(hdr.FrameCount)
+	}
 
 	var cursor *annotation.Cursor
 	qi := 0
+	if hdr.AnnotationsErr != nil {
+		// Corrupt annotation track: play the stream at full backlight
+		// rather than dying (§3: annotations must never break playback).
+		s.degrade("annotations", degradedTotal)
+	}
 	if hdr.Annotations != nil {
 		res.Annotated = true
 		res.Scenes = len(hdr.Annotations.Records)
 		res.BytesAnn = hdr.Annotations.Size()
-		qi = hdr.Annotations.QualityIndex(quality)
+		qi = hdr.Annotations.QualityIndex(s.quality)
 		cursor = hdr.Annotations.NewCursor(qi)
 	}
 	// Device-specific level table from the server's negotiation, if sent
@@ -128,9 +411,8 @@ func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
 	if data, ok := hdr.Extra[container.ChunkDeviceLevels]; ok {
 		levels, err := annotation.DecodeLevels(data)
 		if err != nil {
-			return nil, fmt.Errorf("stream: bad device-level table: %w", err)
-		}
-		if hdr.Annotations != nil && len(levels) == len(hdr.Annotations.Records) {
+			s.degrade("device_levels", degradedTotal)
+		} else if hdr.Annotations != nil && len(levels) == len(hdr.Annotations.Records) {
 			serverLevels = levels
 			res.ServerLevels = true
 		}
@@ -138,87 +420,146 @@ func (c *Client) play(r io.Reader, quality float64) (*PlayResult, error) {
 	if data, ok := hdr.Extra[container.ChunkDecodeCycles]; ok {
 		cycles, err := dvs.DecodeCycles(data)
 		if err != nil {
-			return nil, fmt.Errorf("stream: bad decode-cycle annotations: %w", err)
+			s.degrade("decode_cycles", degradedTotal)
+		} else {
+			res.DecodeCycles = cycles
 		}
-		res.DecodeCycles = cycles
 	}
 	if data, ok := hdr.Extra[container.ChunkSceneBytes]; ok {
 		scenes, err := netsched.DecodeScenes(data)
 		if err != nil {
-			return nil, fmt.Errorf("stream: bad scene-byte annotations: %w", err)
+			s.degrade("scene_bytes", degradedTotal)
+		} else {
+			res.NetScenes = scenes
 		}
-		res.NetScenes = scenes
 	}
 
 	framesDecoded := c.Obs.Counter("client_frames_decoded_total",
 		"Frames decoded by the playback client.")
 	backlightGauge := c.Obs.Gauge("client_backlight_level",
 		"Backlight level currently set (0..255).")
-	bytesReceived := c.Obs.Counter("client_bytes_received_total",
-		"Bytes received from the stream connection.")
 
-	level := display.MaxLevel
-	prev := -1
-	sceneIdx := 0
-	var levelSum, lumaSum float64
+	frameSeconds := 1 / float64(hdr.FPS)
+
+	// A resumed connection re-plays the annotation cursor up to the
+	// stream's start so scene state (level, serverLevels index) matches
+	// what a continuous run would hold at that frame. The replay starts
+	// from scene zero because each connection resends the full track.
+	s.sceneIdx = 0
+	replayLevel := display.MaxLevel
+	for g := uint32(0); g < resumeOffset; g++ {
+		if cursor == nil {
+			break
+		}
+		target, sceneStart := cursor.Next()
+		if sceneStart {
+			if serverLevels != nil && s.sceneIdx < len(serverLevels) {
+				replayLevel = serverLevels[s.sceneIdx][qi]
+			} else {
+				replayLevel = c.Device.LevelFor(target)
+			}
+			s.sceneIdx++
+		}
+	}
+	if resumeOffset > 0 && cursor != nil {
+		s.level = replayLevel
+	}
+
+	g := resumeOffset // global (clip) frame index of the next decoded frame
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ef, err := reader.ReadFrame()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return classifyStreamErr(err)
 		}
 		sp := c.Obs.StartSpan("client.decode")
 		f, err := dec.Decode(ef)
 		sp.End()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if cursor != nil {
 			target, sceneStart := cursor.Next()
 			if sceneStart {
 				sp := c.Obs.StartSpan("client.backlight_set")
-				if serverLevels != nil && sceneIdx < len(serverLevels) {
+				if serverLevels != nil && s.sceneIdx < len(serverLevels) {
 					// Server resolved our device's levels during
 					// negotiation: a plain table read.
-					level = serverLevels[sceneIdx][qi]
-					sceneIdx++
+					s.level = serverLevels[s.sceneIdx][qi]
 				} else {
 					// The client's whole runtime obligation: one
 					// multiply + LUT lookup, then set the backlight.
-					level = c.Device.LevelFor(target)
+					s.level = c.Device.LevelFor(target)
 				}
+				s.sceneIdx++
 				sp.End()
-				backlightGauge.Set(float64(level))
+				backlightGauge.Set(float64(s.level))
 			}
 		}
+		if g < s.emitted {
+			// Replayed frame (decode warms the predictor state after an
+			// I-frame rewind); it was already delivered.
+			g++
+			continue
+		}
 		framesDecoded.Inc()
-		if prev >= 0 && level != prev {
+		if s.prev >= 0 && s.level != s.prev {
 			res.Switches++
 		}
-		prev = level
-		levelSum += float64(level)
-		lumaSum += f.AvgLuma()
+		s.prev = s.level
+		s.levelSum += float64(s.level)
+		s.lumaSum += f.AvgLuma()
 
-		state := power.State{Decoding: true, NetworkActive: true, BacklightLevel: level}
+		state := power.State{Decoding: true, NetworkActive: true, BacklightLevel: s.level}
 		res.Trace.Append(frameSeconds, state)
 		refState := state
 		refState.BacklightLevel = display.MaxLevel
 		res.Ref.Append(frameSeconds, refState)
 
 		if c.OnFrame != nil {
-			c.OnFrame(res.Frames, f, level)
+			c.OnFrame(res.Frames, f, s.level)
 		}
 		res.Frames++
+		s.emitted++
+		g++
 	}
+	res.BytesStream += cr.n
+	c.Obs.Counter("client_bytes_received_total",
+		"Bytes received from the stream connection.").Add(uint64(cr.n))
+	if s.expected > 0 && s.emitted < s.expected {
+		return fmt.Errorf("%w: got %d of %d frames", ErrTruncatedStream, s.emitted, s.expected)
+	}
+	return nil
+}
+
+// classifyStreamErr folds container/io failures into the typed
+// sentinels: truncation for short reads, the original error (which
+// wraps container.ErrFormat) for structural damage.
+func classifyStreamErr(err error) error {
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: %v", ErrTruncatedStream, err)
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTruncatedStream, err)
+	}
+	return err
+}
+
+// finish seals the accumulated session into the returned result.
+func (c *Client) finish(s *session) (*PlayResult, error) {
+	res := s.res
 	if res.Frames == 0 {
 		return nil, fmt.Errorf("stream: empty stream")
 	}
-	res.AvgLevel = levelSum / float64(res.Frames)
-	res.DecodedAvgLuma = lumaSum / float64(res.Frames)
-	res.BytesStream = cr.n
-	bytesReceived.Add(uint64(cr.n))
+	model := power.DefaultModel(c.Device)
+	res.AvgLevel = s.levelSum / float64(res.Frames)
+	res.DecodedAvgLuma = s.lumaSum / float64(res.Frames)
 	res.BacklightSavings = model.BacklightSavings(res.Ref, res.Trace)
 	res.TotalSavings = model.Savings(res.Ref, res.Trace)
 	return res, nil

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/container"
 )
 
 // Mode selects what the server sends.
@@ -37,15 +39,47 @@ type Request struct {
 	// could use it to resolve device-specific backlight levels.
 	Device string
 	Mode   Mode
+	// Version is the protocol version the request was framed with.
+	// Version 2 adds StartFrame for session resume; WriteRequest emits
+	// the old v1 framing when Version < 2 so v2-aware clients can fall
+	// back against old servers.
+	Version int
+	// StartFrame asks the server to start the stream at this frame
+	// index instead of 0 (session resume, v2 only). The server rounds
+	// down to the nearest I-frame and reports the actual start via the
+	// container's resume-offset side channel.
+	StartFrame uint32
 }
 
 var reqMagic = [4]byte{'R', 'Q', 'S', '1'}
+var reqMagicV2 = [4]byte{'R', 'Q', 'S', '2'}
 var errMagic = [4]byte{'E', 'R', 'R', '1'}
 
 // ErrProtocol reports malformed protocol traffic.
 var ErrProtocol = errors.New("stream: protocol error")
 
-// WriteRequest serialises the negotiation request.
+// Typed session-failure sentinels. The client's retry loop keys off
+// these: truncation and over-capacity are retryable, a bad magic is not.
+var (
+	// ErrTruncatedStream reports a stream that ended before the
+	// header's frame count was delivered (short read, reset, or
+	// mid-frame EOF) — distinct from a clean EOF at stream end.
+	ErrTruncatedStream = errors.New("stream: truncated stream")
+	// ErrBadMagic reports a response that is neither an error frame nor
+	// a container stream — the peer is not speaking this protocol.
+	ErrBadMagic = errors.New("stream: bad response magic")
+	// ErrOverCapacity reports the server's clean admission-control
+	// refusal; clients back off and retry.
+	ErrOverCapacity = errors.New("stream: server over capacity")
+)
+
+// overCapacityMsg is the wire form of an admission-control refusal.
+// ReadResponseMagic maps it back to ErrOverCapacity.
+const overCapacityMsg = "over capacity"
+
+// WriteRequest serialises the negotiation request, framing it as v2
+// (with the resume start frame) when r.Version >= 2 and as the original
+// v1 message otherwise.
 func WriteRequest(w io.Writer, r Request) error {
 	if len(r.Clip) > 255 || len(r.Device) > 255 {
 		return fmt.Errorf("%w: name too long", ErrProtocol)
@@ -53,27 +87,44 @@ func WriteRequest(w io.Writer, r Request) error {
 	if r.Quality < 0 || r.Quality > 1 {
 		return fmt.Errorf("%w: quality %v outside [0,1]", ErrProtocol, r.Quality)
 	}
-	buf := append([]byte{}, reqMagic[:]...)
+	magic := reqMagic
+	if r.Version >= 2 {
+		magic = reqMagicV2
+	} else if r.StartFrame != 0 {
+		return fmt.Errorf("%w: start frame requires protocol v2", ErrProtocol)
+	}
+	buf := append([]byte{}, magic[:]...)
 	buf = append(buf, uint8(r.Quality*255+0.5), uint8(r.Mode), uint8(len(r.Clip)))
 	buf = append(buf, r.Clip...)
 	buf = append(buf, uint8(len(r.Device)))
 	buf = append(buf, r.Device...)
+	if r.Version >= 2 {
+		buf = binary.BigEndian.AppendUint32(buf, r.StartFrame)
+	}
 	_, err := w.Write(buf)
 	return err
 }
 
-// ReadRequest parses a negotiation request.
+// ReadRequest parses a negotiation request, accepting both the v1 and
+// the v2 (resume-capable) framing.
 func ReadRequest(r io.Reader) (Request, error) {
 	var head [7]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return Request{}, fmt.Errorf("%w: short request: %v", ErrProtocol, err)
 	}
-	if [4]byte(head[:4]) != reqMagic {
+	version := 0
+	switch [4]byte(head[:4]) {
+	case reqMagic:
+		version = 1
+	case reqMagicV2:
+		version = 2
+	default:
 		return Request{}, fmt.Errorf("%w: bad request magic", ErrProtocol)
 	}
 	req := Request{
 		Quality: float64(head[4]) / 255,
 		Mode:    Mode(head[5]),
+		Version: version,
 	}
 	if req.Mode != ModeAnnotated && req.Mode != ModeRaw {
 		return Request{}, fmt.Errorf("%w: unknown mode %d", ErrProtocol, head[5])
@@ -92,6 +143,13 @@ func ReadRequest(r io.Reader) (Request, error) {
 		return Request{}, fmt.Errorf("%w: short device name: %v", ErrProtocol, err)
 	}
 	req.Device = string(dev)
+	if version >= 2 {
+		var sf [4]byte
+		if _, err := io.ReadFull(r, sf[:]); err != nil {
+			return Request{}, fmt.Errorf("%w: short start frame: %v", ErrProtocol, err)
+		}
+		req.StartFrame = binary.BigEndian.Uint32(sf[:])
+	}
 	return req, nil
 }
 
@@ -107,10 +165,16 @@ func WriteError(w io.Writer, msg string) error {
 	return err
 }
 
+// WriteOverCapacity sends the admission-control refusal clients map to
+// ErrOverCapacity.
+func WriteOverCapacity(w io.Writer) error { return WriteError(w, overCapacityMsg) }
+
 // ReadResponseMagic reads the 4-byte response discriminator. If it is an
-// error response, the error message is read and returned as err with
-// isErr true; otherwise the caller should continue parsing a container
-// stream whose magic has already been consumed (use the returned bytes).
+// error response, the error message is read and returned as remoteErr
+// (wrapping ErrOverCapacity for admission refusals); if it is neither an
+// error frame nor a container stream the call fails with ErrBadMagic.
+// Otherwise the caller should continue parsing a container stream whose
+// magic has already been consumed (use the returned bytes).
 func ReadResponseMagic(r io.Reader) (magic [4]byte, remoteErr error, err error) {
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return magic, nil, fmt.Errorf("%w: short response: %v", ErrProtocol, err)
@@ -124,7 +188,13 @@ func ReadResponseMagic(r io.Reader) (magic [4]byte, remoteErr error, err error) 
 		if _, err := io.ReadFull(r, msg); err != nil {
 			return magic, nil, fmt.Errorf("%w: short error message: %v", ErrProtocol, err)
 		}
+		if string(msg) == overCapacityMsg {
+			return magic, fmt.Errorf("stream: server error: %s: %w", msg, ErrOverCapacity), nil
+		}
 		return magic, fmt.Errorf("stream: server error: %s", msg), nil
+	}
+	if magic != container.Magic {
+		return magic, nil, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
 	}
 	return magic, nil, nil
 }

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/container"
+)
+
+// FuzzReadRequest hardens the negotiation parser: arbitrary bytes must
+// never panic, and anything it accepts must survive a write/read round
+// trip unchanged (both the v1 and v2 framings).
+func FuzzReadRequest(f *testing.F) {
+	for _, req := range []Request{
+		{Clip: "night", Quality: 0.10, Device: "ipaq5555", Mode: ModeAnnotated},
+		{Clip: "n", Quality: 1, Mode: ModeRaw},
+		{Clip: "night", Quality: 0.10, Device: "ipaq5555", Mode: ModeAnnotated, Version: 2, StartFrame: 7},
+	} {
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("RQS1"))
+	f.Add([]byte("RQS2\xff\x00\x01x\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ReadRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteRequest(&out, req); err != nil {
+			t.Fatalf("parsed request %+v does not re-encode: %v", req, err)
+		}
+		got, err := ReadRequest(&out)
+		if err != nil {
+			t.Fatalf("re-encoded request does not parse: %v", err)
+		}
+		if got != req {
+			t.Fatalf("round trip changed the request: %+v vs %+v", got, req)
+		}
+	})
+}
+
+// FuzzReadResponseMagic hardens the response discriminator: no panic on
+// arbitrary bytes, and the invariant that a nil-error return means the
+// container magic was seen.
+func FuzzReadResponseMagic(f *testing.F) {
+	var okResp bytes.Buffer
+	okResp.Write(container.Magic[:])
+	f.Add(okResp.Bytes())
+	var errResp bytes.Buffer
+	WriteError(&errResp, "boom")
+	f.Add(errResp.Bytes())
+	var capResp bytes.Buffer
+	WriteOverCapacity(&capResp)
+	f.Add(capResp.Bytes())
+	f.Add([]byte("ERR1\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		magic, remoteErr, err := ReadResponseMagic(bytes.NewReader(data))
+		if err == nil && remoteErr == nil && magic != container.Magic {
+			t.Fatalf("accepted magic %q", magic[:])
+		}
+		if remoteErr != nil && errors.Is(remoteErr, ErrOverCapacity) &&
+			!bytes.Contains(data, []byte(overCapacityMsg)) {
+			t.Fatalf("over-capacity verdict without the wire message in %q", data)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/annotation"
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -24,6 +25,11 @@ import (
 // analysis and compensation itself, and serves clients exactly what the
 // annotating server would have — demonstrating that "either the proxy or
 // the server node suffices" (§3).
+//
+// The proxy assumes the upstream link is unreliable: fetches carry dial
+// and per-read deadlines and are retried with backoff, and when the
+// upstream is down a previously-fetched copy of the clip is served stale
+// rather than failing the client.
 type Proxy struct {
 	upstream string
 	enc      EncodeConfig
@@ -31,9 +37,27 @@ type Proxy struct {
 	logMu sync.Mutex
 	logFn func(format string, args ...any)
 
-	obsReg      *obs.Registry
-	pm          serverMetrics
-	upstreamLat *obs.Histogram
+	obsReg          *obs.Registry
+	pm              serverMetrics
+	upstreamLat     *obs.Histogram
+	upstreamRetries *obs.Counter
+	staleServes     *obs.Counter
+
+	// Upstream fetch behaviour.
+	retry        RetryPolicy
+	dialTimeout  time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	dial         func(network, addr string) (net.Conn, error)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// cache holds the last good fetch per clip (decoded source plus its
+	// annotation track) — the stale fallback when the upstream is down,
+	// and a fast path when it is not.
+	cacheMu sync.Mutex
+	cache   map[string]*proxyEntry
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -41,9 +65,26 @@ type Proxy struct {
 	wg     sync.WaitGroup
 }
 
+// proxyEntry is one cached upstream clip.
+type proxyEntry struct {
+	src   core.Source
+	track *annotation.Track
+}
+
 // NewProxy builds a proxy forwarding to the upstream server address.
 func NewProxy(upstream string) *Proxy {
-	return &Proxy{upstream: upstream, logFn: log.Printf}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Proxy{
+		upstream:     upstream,
+		logFn:        log.Printf,
+		retry:        RetryPolicy{MaxAttempts: 3},
+		dialTimeout:  5 * time.Second,
+		readTimeout:  10 * time.Second,
+		writeTimeout: 30 * time.Second,
+		ctx:          ctx,
+		cancel:       cancel,
+		cache:        map[string]*proxyEntry{},
+	}
 }
 
 // SetLogf replaces the proxy's logger. Safe to call while the proxy is
@@ -72,6 +113,41 @@ func (p *Proxy) SetObserver(r *obs.Registry) {
 	p.upstreamLat = r.Histogram("proxy_upstream_latency_seconds",
 		"Time to fetch and decode a whole raw clip from the upstream server.",
 		obs.DefLatencyBuckets, obs.L("role", "proxy"))
+	p.upstreamRetries = r.Counter("proxy_upstream_retries_total",
+		"Upstream fetch attempts retried after a failure.", obs.L("role", "proxy"))
+	p.staleServes = r.Counter("proxy_stale_serves_total",
+		"Sessions served from the stale clip cache because the upstream was down.",
+		obs.L("role", "proxy"))
+}
+
+// SetRetryPolicy overrides the upstream fetch retry behaviour (the zero
+// value means 3 attempts with the default backoff). Call before Listen.
+func (p *Proxy) SetRetryPolicy(r RetryPolicy) {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 3
+	}
+	p.retry = r
+}
+
+// SetTimeouts overrides the upstream dial and per-read deadlines and the
+// client-facing per-write deadline. Zero keeps the current value. Call
+// before Listen.
+func (p *Proxy) SetTimeouts(dial, read, write time.Duration) {
+	if dial > 0 {
+		p.dialTimeout = dial
+	}
+	if read > 0 {
+		p.readTimeout = read
+	}
+	if write > 0 {
+		p.writeTimeout = write
+	}
+}
+
+// SetDial overrides the upstream dial function (tests inject faulty or
+// tracked links).
+func (p *Proxy) SetDial(dial func(network, addr string) (net.Conn, error)) {
+	p.dial = dial
 }
 
 // Listen starts accepting client connections.
@@ -80,6 +156,13 @@ func (p *Proxy) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve accepts client connections from a caller-provided listener
+// (chaos runs wrap a fault-injecting listener around a plain TCP one).
+func (p *Proxy) Serve(ln net.Listener) {
 	p.mu.Lock()
 	p.ln = ln
 	p.mu.Unlock()
@@ -110,11 +193,12 @@ func (p *Proxy) Listen(addr string) (net.Addr, error) {
 			}()
 		}
 	}()
-	return ln.Addr(), nil
 }
 
-// Close stops the proxy listener and waits for active sessions.
+// Close stops the proxy listener, cancels in-flight sessions and waits
+// for them.
 func (p *Proxy) Close() {
+	p.cancel()
 	p.mu.Lock()
 	p.closed = true
 	if p.ln != nil {
@@ -124,37 +208,91 @@ func (p *Proxy) Close() {
 	p.wg.Wait()
 }
 
-func (p *Proxy) handle(conn net.Conn) error {
-	ctx := obs.WithRegistry(context.Background(), p.obsReg)
+func (p *Proxy) handle(rawConn net.Conn) error {
+	ctx := obs.WithRegistry(p.ctx, p.obsReg)
+	conn := &deadlineConn{Conn: rawConn, readTimeout: p.readTimeout, writeTimeout: p.writeTimeout}
 	req, err := ReadRequest(conn)
 	if err != nil {
 		WriteError(conn, "bad request")
 		return err
 	}
-	start := time.Now()
-	src, err := p.fetchRaw(req.Clip, req.Device)
+	entry, stale, err := p.fetchSource(req.Clip, req.Device)
 	if err != nil {
 		WriteError(conn, err.Error())
 		return err
 	}
-	p.upstreamLat.Observe(time.Since(start).Seconds())
-	// The proxy's transcoder role: analyse, annotate, compensate, re-encode.
-	track, _, err := core.AnnotateContext(ctx, src, scene.DefaultConfig(src.FPS()), nil)
-	if err != nil {
-		WriteError(conn, "annotation failed")
-		return err
+	if stale {
+		p.staleServes.Inc()
+		p.logf("stream proxy: upstream down, serving %q stale", req.Clip)
 	}
-	return writeAnnotatedStream(ctx, conn, src, track, req.Quality, p.enc.withDefaults(src.FPS()), req.Device, p.pm.framesSent, p.pm.bytesSent)
+	resumed, err := writeAnnotatedStream(ctx, conn, entry.src, entry.track,
+		p.enc.withDefaults(entry.src.FPS()), req, p.pm.framesSent, p.pm.bytesSent)
+	if resumed {
+		p.pm.resumes.Inc()
+	}
+	return err
+}
+
+// fetchSource returns the clip's decoded source and annotation track,
+// fetching from the upstream with bounded retries and falling back to
+// the stale cache when every attempt fails.
+func (p *Proxy) fetchSource(clip, device string) (entry *proxyEntry, stale bool, err error) {
+	retry := p.retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			p.upstreamRetries.Inc()
+			select {
+			case <-time.After(retry.delay(attempt, newBackoffRNG())):
+			case <-p.ctx.Done():
+				return nil, false, p.ctx.Err()
+			}
+		}
+		if p.ctx.Err() != nil {
+			return nil, false, p.ctx.Err()
+		}
+		start := time.Now()
+		src, err := p.fetchRaw(clip, device)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p.upstreamLat.Observe(time.Since(start).Seconds())
+		// The proxy's transcoder role: analyse and annotate the fetch.
+		track, _, err := core.AnnotateContext(obs.WithRegistry(p.ctx, p.obsReg),
+			src, scene.DefaultConfig(src.FPS()), nil)
+		if err != nil {
+			return nil, false, fmt.Errorf("annotation failed: %w", err)
+		}
+		e := &proxyEntry{src: src, track: track}
+		p.cacheMu.Lock()
+		p.cache[clip] = e
+		p.cacheMu.Unlock()
+		return e, false, nil
+	}
+	// Upstream is down: degrade to the last good copy if we have one.
+	p.cacheMu.Lock()
+	e := p.cache[clip]
+	p.cacheMu.Unlock()
+	if e != nil {
+		return e, true, nil
+	}
+	return nil, false, fmt.Errorf("upstream unreachable after %d attempts: %v", retry.MaxAttempts, lastErr)
 }
 
 // fetchRaw pulls the unannotated stream from upstream and buffers the
-// decoded frames.
-func (p *Proxy) fetchRaw(clip, device string) (core.Source, error) {
-	conn, err := net.Dial("tcp", p.upstream)
+// decoded frames. The upstream connection is closed on every path, and
+// each read carries a deadline so a hung upstream fails the attempt
+// instead of wedging the session.
+func (p *Proxy) fetchRaw(clip, device string) (src core.Source, err error) {
+	rawConn, err := p.dialUpstream()
 	if err != nil {
 		return nil, fmt.Errorf("upstream unreachable: %w", err)
 	}
-	defer conn.Close()
+	// The single close point for every return path below — the audit
+	// for upstream connection leaks hangs off this defer.
+	defer rawConn.Close()
+	conn := &deadlineConn{Conn: rawConn, readTimeout: p.readTimeout, writeTimeout: p.writeTimeout}
 	if err := WriteRequest(conn, Request{Clip: clip, Device: device, Mode: ModeRaw}); err != nil {
 		return nil, err
 	}
@@ -192,7 +330,18 @@ func (p *Proxy) fetchRaw(clip, device string) (core.Source, error) {
 	if len(mem.frames) == 0 {
 		return nil, fmt.Errorf("upstream sent empty stream")
 	}
+	if hdr.FrameCount > 0 && len(mem.frames) < hdr.FrameCount {
+		return nil, fmt.Errorf("%w: upstream sent %d of %d frames",
+			ErrTruncatedStream, len(mem.frames), hdr.FrameCount)
+	}
 	return mem, nil
+}
+
+func (p *Proxy) dialUpstream() (net.Conn, error) {
+	if p.dial != nil {
+		return p.dial("tcp", p.upstream)
+	}
+	return net.DialTimeout("tcp", p.upstream, p.dialTimeout)
 }
 
 // memSource is a decoded in-memory clip.

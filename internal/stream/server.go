@@ -8,6 +8,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/annotation"
 	"repro/internal/codec"
@@ -52,6 +53,8 @@ type serverMetrics struct {
 	varMisses    *obs.Counter
 	acceptErrors *obs.Counter
 	sessErrors   *obs.Counter
+	refused      *obs.Counter
+	resumes      *obs.Counter
 }
 
 func newServerMetrics(r *obs.Registry, role string) serverMetrics {
@@ -77,6 +80,10 @@ func newServerMetrics(r *obs.Registry, role string) serverMetrics {
 			"Unexpected listener accept errors.", l),
 		sessErrors: r.Counter("stream_session_errors_total",
 			"Sessions that ended with an error.", l),
+		refused: r.Counter("stream_sessions_refused_total",
+			"Connections refused by the max-concurrent-sessions limit.", l),
+		resumes: r.Counter("stream_resumes_total",
+			"Sessions resumed mid-clip via the start_frame extension.", l),
 	}
 }
 
@@ -92,6 +99,22 @@ type Server struct {
 
 	obsReg *obs.Registry
 	sm     serverMetrics
+
+	// handshakeTimeout bounds reading the negotiation request;
+	// writeTimeout is re-armed before every write, so a client that
+	// stops draining its socket cannot pin a session goroutine.
+	handshakeTimeout time.Duration
+	writeTimeout     time.Duration
+	// maxSessions caps concurrent sessions (0 = unlimited); connections
+	// over the cap get a clean over-capacity refusal that resilient
+	// clients back off and retry on.
+	maxSessions int
+
+	// ctx is cancelled by Close; sessions check it between frames so a
+	// shutdown (or a client stalled past its write deadline) releases
+	// the goroutine promptly.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -117,16 +140,33 @@ type variant struct {
 
 // NewServer builds a server over the given catalog.
 func NewServer(catalog map[string]core.Source) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		catalog:  catalog,
-		scene:    scene.DefaultConfig,
-		enc:      EncodeConfig{},
-		logFn:    log.Printf,
-		conns:    map[net.Conn]struct{}{},
-		tracks:   map[string]*annotation.Track{},
-		variants: map[string]*variant{},
+		catalog:          catalog,
+		scene:            scene.DefaultConfig,
+		enc:              EncodeConfig{},
+		logFn:            log.Printf,
+		handshakeTimeout: 10 * time.Second,
+		writeTimeout:     30 * time.Second,
+		ctx:              ctx,
+		cancel:           cancel,
+		conns:            map[net.Conn]struct{}{},
+		tracks:           map[string]*annotation.Track{},
+		variants:         map[string]*variant{},
 	}
 }
+
+// SetTimeouts overrides the per-connection handshake-read and per-write
+// deadlines (zero leaves a direction unbounded). Call before Listen.
+func (s *Server) SetTimeouts(handshake, write time.Duration) {
+	s.handshakeTimeout = handshake
+	s.writeTimeout = write
+}
+
+// SetMaxSessions caps concurrent client sessions; further connections
+// receive a clean over-capacity refusal (0 = unlimited). Call before
+// Listen.
+func (s *Server) SetMaxSessions(n int) { s.maxSessions = n }
 
 // SetLogf replaces the server's logger (tests silence it). Safe to call
 // while the server is accepting connections.
@@ -163,11 +203,17 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections from a caller-provided listener (chaos runs
+// wrap a fault-injecting listener around a plain TCP one).
+func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
 	go s.acceptLoop(ln)
-	return ln.Addr(), nil
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -186,6 +232,16 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.mu.Unlock()
 			conn.Close()
 			return
+		}
+		if s.maxSessions > 0 && len(s.conns) >= s.maxSessions {
+			s.mu.Unlock()
+			// Admission control: refuse cleanly so resilient clients
+			// back off and retry instead of timing out mid-handshake.
+			s.sm.refused.Inc()
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+			WriteOverCapacity(conn)
+			conn.Close()
+			continue
 		}
 		s.conns[conn] = struct{}{}
 		s.handlers.Add(1)
@@ -209,8 +265,10 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener and closes active sessions.
+// Close stops the listener, cancels in-flight sessions and closes
+// active connections.
 func (s *Server) Close() {
+	s.cancel()
 	s.mu.Lock()
 	s.closed = true
 	if s.ln != nil {
@@ -223,8 +281,11 @@ func (s *Server) Close() {
 	s.handlers.Wait()
 }
 
-func (s *Server) handle(conn net.Conn) error {
-	ctx := obs.WithRegistry(context.Background(), s.obsReg)
+func (s *Server) handle(rawConn net.Conn) error {
+	ctx := obs.WithRegistry(s.ctx, s.obsReg)
+	// The negotiation must arrive promptly; every later write re-arms
+	// its own deadline so a stalled client cannot pin the session.
+	conn := &deadlineConn{Conn: rawConn, readTimeout: s.handshakeTimeout, writeTimeout: s.writeTimeout}
 	req, err := ReadRequest(conn)
 	if err != nil {
 		WriteError(conn, "bad request")
@@ -237,7 +298,7 @@ func (s *Server) handle(conn net.Conn) error {
 	}
 	switch req.Mode {
 	case ModeRaw:
-		return s.streamRaw(conn, src)
+		return s.streamRaw(ctx, conn, src)
 	default:
 		return s.streamAnnotated(ctx, conn, src, req)
 	}
@@ -288,7 +349,32 @@ func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Sour
 		s.variants[key] = v
 		s.annMu.Unlock()
 	}
-	return sendVariant(ctx, w, src, track, v, req.Device, s.sm.framesSent, s.sm.bytesSent)
+	from, err := resumePoint(v.frames, req)
+	if err != nil {
+		WriteError(w, err.Error())
+		return err
+	}
+	if from > 0 {
+		s.sm.resumes.Inc()
+	}
+	return sendVariant(ctx, w, src, track, v, req.Device, from, s.sm.framesSent, s.sm.bytesSent)
+}
+
+// resumePoint maps a v2 resume request onto the variant: the stream must
+// restart at an I-frame, so the requested start frame is rounded down to
+// the nearest intra boundary (frame 0 always is one).
+func resumePoint(frames []*codec.EncodedFrame, req Request) (int, error) {
+	if req.Version < 2 || req.StartFrame == 0 {
+		return 0, nil
+	}
+	if req.StartFrame >= uint32(len(frames)) {
+		return 0, fmt.Errorf("start frame %d beyond clip (%d frames)", req.StartFrame, len(frames))
+	}
+	from := int(req.StartFrame)
+	for from > 0 && frames[from].Type != codec.IFrame {
+		from--
+	}
+	return from, nil
 }
 
 // prepareVariant compensates and encodes src at quality index qi and
@@ -362,11 +448,14 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// sendVariant writes the annotated container for a prepared variant. When
-// the client's device name is known, the server also resolves the
-// device-specific backlight level table and ships it as a side channel
-// (§4.3's negotiation option).
-func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, deviceName string, framesSent, bytesSent *obs.Counter) error {
+// sendVariant writes the annotated container for a prepared variant,
+// starting at frame index from (an I-frame boundary; nonzero for a
+// resumed session, in which case the resume-offset side channel tells
+// the client where the stream picks up). When the client's device name
+// is known, the server also resolves the device-specific backlight
+// level table and ships it as a side channel (§4.3's negotiation
+// option).
+func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, deviceName string, from int, framesSent, bytesSent *obs.Counter) error {
 	sp := obs.StartSpan(ctx, "stream.send")
 	defer sp.End()
 	cw0 := &countingWriter{w: w}
@@ -378,6 +467,9 @@ func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annot
 		container.ChunkDecodeCycles: v.cyclesChunk,
 		container.ChunkSceneBytes:   v.scenesChunk,
 	}
+	if from > 0 {
+		extra[container.ChunkResumeOffset] = container.EncodeResumeOffset(uint32(from))
+	}
 	if dev := display.ByName(deviceName); dev != nil {
 		if levels, err := annotation.EncodeLevels(track.LevelsFor(dev)); err == nil {
 			extra[container.ChunkDeviceLevels] = levels
@@ -385,14 +477,17 @@ func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annot
 	}
 	cw, err := container.NewWriter(cw0, container.Header{
 		W: width, H: height, FPS: src.FPS(),
-		FrameCount:  len(v.frames),
+		FrameCount:  len(v.frames) - from,
 		Annotations: track,
 		Extra:       extra,
 	})
 	if err != nil {
 		return err
 	}
-	for _, ef := range v.frames {
+	for _, ef := range v.frames[from:] {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := cw.WriteFrame(ef); err != nil {
 			return err
 		}
@@ -402,17 +497,22 @@ func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annot
 }
 
 // writeAnnotatedStream is the uncached path the proxy uses: prepare the
-// variant and send it in one step.
-func writeAnnotatedStream(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, quality float64, cfg EncodeConfig, deviceName string, framesSent, bytesSent *obs.Counter) error {
-	v, err := prepareVariant(ctx, src, track, track.QualityIndex(quality), cfg)
+// variant and send it in one step, honouring a resume request.
+func writeAnnotatedStream(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, cfg EncodeConfig, req Request, framesSent, bytesSent *obs.Counter) (resumed bool, err error) {
+	v, err := prepareVariant(ctx, src, track, track.QualityIndex(req.Quality), cfg)
 	if err != nil {
-		return err
+		return false, err
 	}
-	return sendVariant(ctx, w, src, track, v, deviceName, framesSent, bytesSent)
+	from, err := resumePoint(v.frames, req)
+	if err != nil {
+		WriteError(w, err.Error())
+		return false, err
+	}
+	return from > 0, sendVariant(ctx, w, src, track, v, req.Device, from, framesSent, bytesSent)
 }
 
 // streamRaw sends the stored clip untouched (for proxies).
-func (s *Server) streamRaw(w io.Writer, src core.Source) error {
+func (s *Server) streamRaw(ctx context.Context, w io.Writer, src core.Source) error {
 	cw0 := &countingWriter{w: w}
 	defer func() {
 		s.sm.bytesSent.Add(cw0.n)
@@ -431,6 +531,9 @@ func (s *Server) streamRaw(w io.Writer, src core.Source) error {
 	}
 	n := src.TotalFrames()
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ef, err := enc.Encode(src.Frame(i))
 		if err != nil {
 			return err
