@@ -9,7 +9,9 @@
 package repro_test
 
 import (
+	"bytes"
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/adaptive"
@@ -182,6 +184,42 @@ func BenchmarkAnnotationOverhead(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(track.Size()), "bytes")
+}
+
+// BenchmarkAnnotatePipeline measures annotation throughput against the
+// worker count. Per-frame statistics dominate the pass and are
+// embarrassingly parallel, so throughput should scale near-linearly with
+// workers up to the core count (on a multi-core host; GOMAXPROCS=1
+// serialises the pool). Every parallel run is also checked byte-identical
+// to the sequential track — the correctness half of the contract.
+func BenchmarkAnnotatePipeline(b *testing.B) {
+	opt := benchOptions()
+	clip := video.ClipByName("returnoftheking", opt.Library)
+	src := core.ClipSource{Clip: clip}
+	cfg := scene.DefaultConfig(clip.FPS)
+	ctx := context.Background()
+	seq, _, err := core.AnnotatePipeline(ctx, src, cfg, nil, core.AnnotateOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden := seq.Encode()
+	frames := float64(src.TotalFrames())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var track *annotation.Track
+			for i := 0; i < b.N; i++ {
+				track, _, err = core.AnnotatePipeline(ctx, src, cfg, nil,
+					core.AnnotateOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !bytes.Equal(track.Encode(), golden) {
+				b.Fatal("parallel track differs from sequential")
+			}
+			b.ReportMetric(frames*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
 }
 
 // --- ablation benchmarks ---

@@ -6,6 +6,7 @@
 //
 //	annotate -clip returnoftheking -o rotk.avs [-w 120 -h 90 -fps 10]
 //	         [-scale 0.25] [-gop 10] [-qscale 4] [-threshold 0.10]
+//	         [-workers N]
 //	annotate -i footage.y4m -o footage.avs     # annotate real footage
 //	annotate -list
 //
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/codec"
 	"repro/internal/container"
@@ -41,6 +43,7 @@ func main() {
 	gop := flag.Int("gop", 0, "I-frame interval (default: one second)")
 	qscale := flag.Int("qscale", 4, "codec quantiser scale (1..31)")
 	threshold := flag.Float64("threshold", 0.10, "scene-change threshold (fraction of full scale)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "annotation pipeline workers (<=1 = sequential)")
 	y4mOut := flag.String("y4m", "", "also export the raw clip as YUV4MPEG2 to this path (viewable with mpv/ffplay)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while annotating")
 	flag.Parse()
@@ -99,7 +102,8 @@ func main() {
 
 	cfg := scene.DefaultConfig(src.FPS())
 	cfg.Threshold = *threshold
-	track, scenes, err := core.AnnotateContext(ctx, src, cfg, nil)
+	track, scenes, err := core.AnnotatePipeline(ctx, src, cfg, nil,
+		core.AnnotateOptions{Workers: *workers})
 	exitOn(err)
 
 	f, err := os.Create(*out)

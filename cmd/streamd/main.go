@@ -8,7 +8,8 @@
 //
 //	streamd [-addr 127.0.0.1:7400] [-proxy-of upstream:port]
 //	        [-debug-addr :7401] [-w 120 -h 90 -fps 10 -scale 0.25]
-//	        [-max-sessions 0] [-faults latency=2ms,reset=65536,repeat,seed=7]
+//	        [-max-sessions 0] [-workers N] [-cache-size MiB]
+//	        [-faults latency=2ms,reset=65536,repeat,seed=7]
 //
 // With -proxy-of the process runs as the intermediary proxy node instead,
 // pulling raw streams from the upstream server and annotating on the fly.
@@ -30,6 +31,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"repro/internal/core"
@@ -48,6 +50,8 @@ func main() {
 	fps := flag.Int("fps", 10, "frames per second")
 	scale := flag.Float64("scale", 0.25, "clip duration scale")
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "annotation pipeline workers (<=1 = sequential)")
+	cacheSize := flag.Int64("cache-size", 256, "annotated-artifact cache budget in MiB (0 = unlimited)")
 	faultSpec := flag.String("faults", "", "inject faults into accepted connections (e.g. latency=2ms,bw=65536,short,corrupt=0.001,reset=65536,repeat,seed=7)")
 	flag.Parse()
 
@@ -79,6 +83,8 @@ func main() {
 
 	if *proxyOf != "" {
 		p := stream.NewProxy(*proxyOf)
+		p.SetAnnotateWorkers(*workers)
+		p.SetCacheCapacity(*cacheSize << 20)
 		p.SetObserver(reg)
 		ln, err := listen()
 		exitOn(err)
@@ -95,6 +101,8 @@ func main() {
 		catalog[name] = core.ClipSource{Clip: video.ClipByName(name, opt)}
 	}
 	s := stream.NewServer(catalog)
+	s.SetAnnotateWorkers(*workers)
+	s.SetCacheCapacity(*cacheSize << 20)
 	s.SetObserver(reg)
 	s.SetMaxSessions(*maxSessions)
 	ln, err := listen()

@@ -1,0 +1,233 @@
+// Package anncache caches the artifacts the offline annotation pipeline
+// produces — encoded annotation tracks, compensated quality variants,
+// device-level side chunks, fetched clips — so the server and proxy
+// compute each one once and reuse it across clients.
+//
+// The cache is a byte-budgeted LRU keyed by (artifact kind, content
+// digest, quality index, device profile), with single-flight dedup:
+// concurrent requests for the same missing key block on one computation
+// instead of racing N copies of the pipeline. That is the scaling story
+// of the paper's §3 — annotation work happens once "at the server or a
+// proxy" and is amortised over every handheld that streams the clip.
+package anncache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Key identifies one cached artifact.
+type Key struct {
+	// Kind names the artifact class: "track", "variant", "levels",
+	// "clip", ... Metrics are partitioned by it.
+	Kind string
+	// Digest fingerprints the source content (core.SourceDigest), or is
+	// the clip name for artifacts keyed by identity rather than content.
+	Digest string
+	// Quality is the quality-level index, or -1 when not applicable.
+	Quality int
+	// Device is the display-profile name, or "" when device independent.
+	Device string
+}
+
+type entry struct {
+	key  Key
+	val  any
+	cost int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	cost int64
+	err  error
+}
+
+// Cache is a byte-budgeted LRU with single-flight computation.
+// The zero value is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64 // <= 0 means unlimited
+	used     int64
+	ll       *list.List // front = most recent; values are *entry
+	entries  map[Key]*list.Element
+	inflight map[Key]*flight
+
+	reg       *obs.Registry
+	regLabels []obs.Label
+}
+
+// New returns a cache bounded to capacityBytes of artifact cost
+// (capacityBytes <= 0 means unlimited).
+func New(capacityBytes int64) *Cache {
+	return &Cache{
+		capacity: capacityBytes,
+		ll:       list.New(),
+		entries:  make(map[Key]*list.Element),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// SetCapacity adjusts the byte budget and evicts down to it.
+func (c *Cache) SetCapacity(capacityBytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacityBytes
+	c.evictLocked()
+}
+
+// SetObserver publishes the cache's hit/miss/eviction counters and
+// occupancy gauges on r, with the given labels on every metric (e.g.
+// role=server vs role=proxy). Pass nil to detach.
+func (c *Cache) SetObserver(r *obs.Registry, labels ...obs.Label) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = r
+	c.regLabels = labels
+}
+
+// count and gauges require c.mu held (they read reg/regLabels); the
+// registry has its own lock and never calls back into the cache.
+func (c *Cache) count(name, help, kind string) {
+	if c.reg == nil {
+		return
+	}
+	labels := append([]obs.Label{obs.L("kind", kind)}, c.regLabels...)
+	c.reg.Counter(name, help, labels...).Inc()
+}
+
+func (c *Cache) gauges() {
+	if c.reg == nil {
+		return
+	}
+	c.reg.Gauge("anncache_entries", "Artifacts resident in the annotation cache.", c.regLabels...).
+		Set(float64(c.ll.Len()))
+	c.reg.Gauge("anncache_bytes", "Bytes of artifact cost resident in the annotation cache.", c.regLabels...).
+		Set(float64(c.used))
+}
+
+// GetOrCompute returns the cached value for key, computing it at most
+// once across concurrent callers. compute returns the value, its cost in
+// bytes, and an error; errors are returned to every waiter and nothing
+// is cached.
+func (c *Cache) GetOrCompute(key Key, compute func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.count("anncache_hits_total", "Annotation-cache lookups served from cache.", key.Kind)
+		c.mu.Unlock()
+		return el.Value.(*entry).val, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.count("anncache_singleflight_waits_total",
+			"Annotation-cache lookups that joined an in-flight computation.", key.Kind)
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	c.count("anncache_misses_total", "Annotation-cache lookups that had to compute.", key.Kind)
+	return c.compute(key, compute, false)
+}
+
+// Do always runs compute (joining an in-flight one), refreshing the
+// cached value on success. Unlike GetOrCompute it never serves the entry
+// without computing — callers that must revalidate an origin on every
+// request use Do, then fall back to Peek for stale data when the origin
+// is unreachable. A failed Do leaves any previously cached value intact.
+func (c *Cache) Do(key Key, compute func() (any, int64, error)) (any, error) {
+	c.mu.Lock()
+	if fl, ok := c.inflight[key]; ok {
+		c.count("anncache_singleflight_waits_total",
+			"Annotation-cache lookups that joined an in-flight computation.", key.Kind)
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	return c.compute(key, compute, true)
+}
+
+// compute runs fn for key with c.mu held on entry; it releases the lock
+// around fn and re-acquires it to publish the result.
+func (c *Cache) compute(key Key, fn func() (any, int64, error), refresh bool) (any, error) {
+	fl := &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	fl.val, fl.cost, fl.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if fl.err == nil {
+		c.putLocked(key, fl.val, fl.cost, refresh)
+	}
+	c.gauges()
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// Peek returns the cached value without recency promotion, metric bumps
+// or single-flight interaction — the stale-fallback read path.
+func (c *Cache) Peek(key Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*entry).val, true
+	}
+	return nil, false
+}
+
+func (c *Cache) putLocked(key Key, val any, cost int64, refresh bool) {
+	if cost < 0 {
+		cost = 0
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry)
+		if !refresh {
+			c.ll.MoveToFront(el)
+			return
+		}
+		c.used += cost - e.cost
+		e.val, e.cost = val, cost
+		c.ll.MoveToFront(el)
+		c.evictLocked()
+		return
+	}
+	el := c.ll.PushFront(&entry{key: key, val: val, cost: cost})
+	c.entries[key] = el
+	c.used += cost
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the budget holds.
+// The newest entry always stays so an artifact larger than the whole
+// budget is still served (it just monopolises the cache).
+func (c *Cache) evictLocked() {
+	if c.capacity <= 0 {
+		return
+	}
+	for c.used > c.capacity && c.ll.Len() > 1 {
+		el := c.ll.Back()
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.entries, e.key)
+		c.used -= e.cost
+		c.count("anncache_evictions_total", "Annotation-cache entries evicted to stay in budget.", e.key.Kind)
+	}
+}
+
+// Len returns the number of resident artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the resident artifact cost in bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,169 @@
+package anncache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func key(i int) Key { return Key{Kind: "track", Digest: fmt.Sprintf("d%d", i), Quality: -1} }
+
+func put(t *testing.T, c *Cache, k Key, val any, cost int64) {
+	t.Helper()
+	if _, err := c.GetOrCompute(k, func() (any, int64, error) { return val, cost, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitMissAndLRUEviction(t *testing.T) {
+	c := New(30)
+	for i := 0; i < 3; i++ {
+		put(t, c, key(i), i, 10)
+	}
+	if c.Len() != 3 || c.Bytes() != 30 {
+		t.Fatalf("Len=%d Bytes=%d, want 3/30", c.Len(), c.Bytes())
+	}
+	// Touch key 0 so key 1 becomes the LRU victim.
+	v, err := c.GetOrCompute(key(0), func() (any, int64, error) {
+		t.Fatal("hit must not recompute")
+		return nil, 0, nil
+	})
+	if err != nil || v.(int) != 0 {
+		t.Fatalf("hit returned (%v, %v)", v, err)
+	}
+	put(t, c, key(3), 3, 10)
+	if c.Len() != 3 {
+		t.Fatalf("Len=%d after eviction, want 3", c.Len())
+	}
+	if _, ok := c.Peek(key(1)); ok {
+		t.Fatal("key 1 should have been evicted as LRU")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Peek(key(i)); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+}
+
+func TestOversizedEntryStays(t *testing.T) {
+	c := New(10)
+	put(t, c, key(0), 0, 100) // bigger than the whole budget
+	if c.Len() != 1 {
+		t.Fatalf("oversized newest entry must stay resident, Len=%d", c.Len())
+	}
+	put(t, c, key(1), 1, 5)
+	if _, ok := c.Peek(key(0)); ok {
+		t.Fatal("oversized entry should be first out once something newer lands")
+	}
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	c := New(0)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute(key(0), func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed computation must not be cached")
+	}
+	put(t, c, key(0), 7, 1)
+	if v, _ := c.Peek(key(0)); v.(int) != 7 {
+		t.Fatal("retry after failure should cache normally")
+	}
+}
+
+func TestSingleFlightDedup(t *testing.T) {
+	c := New(0)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrCompute(key(0), func() (any, int64, error) {
+				computes.Add(1)
+				<-gate
+				return "artifact", 1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != "artifact" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+}
+
+func TestDoAlwaysComputesAndKeepsStaleOnFailure(t *testing.T) {
+	c := New(0)
+	k := Key{Kind: "clip", Digest: "night", Quality: -1}
+	var computes int
+	fresh := func() (any, int64, error) { computes++; return computes, 1, nil }
+	if v, _ := c.Do(k, fresh); v.(int) != 1 {
+		t.Fatal("first Do should compute")
+	}
+	if v, _ := c.Do(k, fresh); v.(int) != 2 {
+		t.Fatal("second Do must recompute even though the entry is cached")
+	}
+	// A failed revalidation surfaces the error but keeps the stale entry.
+	if _, err := c.Do(k, func() (any, int64, error) { return nil, 0, errors.New("upstream down") }); err == nil {
+		t.Fatal("Do must propagate compute errors")
+	}
+	if v, ok := c.Peek(k); !ok || v.(int) != 2 {
+		t.Fatalf("stale entry lost: (%v, %v)", v, ok)
+	}
+}
+
+func TestSetCapacityEvicts(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 5; i++ {
+		put(t, c, key(i), i, 10)
+	}
+	c.SetCapacity(20)
+	if c.Len() != 2 || c.Bytes() != 20 {
+		t.Fatalf("Len=%d Bytes=%d after shrink, want 2/20", c.Len(), c.Bytes())
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := New(25)
+	c.SetObserver(r, obs.L("role", "server"))
+	put(t, c, key(0), 0, 10) // miss
+	put(t, c, key(0), 0, 10) // hit
+	put(t, c, key(1), 1, 10) // miss
+	put(t, c, key(2), 2, 10) // miss, evicts key 0
+	role := obs.L("role", "server")
+	kind := obs.L("kind", "track")
+	if got := r.Counter("anncache_misses_total", "", kind, role).Value(); got != 3 {
+		t.Errorf("misses = %d, want 3", got)
+	}
+	if got := r.Counter("anncache_hits_total", "", kind, role).Value(); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := r.Counter("anncache_evictions_total", "", kind, role).Value(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	if got := r.Gauge("anncache_entries", "", role).Value(); got != 2 {
+		t.Errorf("entries gauge = %v, want 2", got)
+	}
+	if got := r.Gauge("anncache_bytes", "", role).Value(); got != 20 {
+		t.Errorf("bytes gauge = %v, want 20", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/compensate"
 	"repro/internal/display"
@@ -76,13 +77,26 @@ func FromScenes(fps int, scenes []scene.Scene, quality []float64) *Track {
 // what the server-side analysis uses. stats must cover exactly the frames
 // the scenes partition.
 func FromStats(fps int, scenes []scene.Scene, stats []scene.FrameStats, quality []float64) *Track {
+	return FromStatsParallel(fps, scenes, stats, quality, 1)
+}
+
+// FromStatsParallel is FromStats with the per-quality target columns
+// computed by up to workers goroutines — the clip-level computation is
+// independent per quality level, so the offered levels fan out across
+// cores. Output is identical to FromStats for any worker count: each
+// column is a deterministic function of (scenes, stats, quality[qi]).
+func FromStatsParallel(fps int, scenes []scene.Scene, stats []scene.FrameStats, quality []float64, workers int) *Track {
 	if quality == nil {
 		quality = compensate.QualityLevels
 	}
 	t := &Track{FPS: fps, Quality: quality}
-	for _, s := range scenes {
-		r := Record{Frames: s.Len(), Targets: make([]uint8, len(quality))}
-		for qi, q := range quality {
+	t.Records = make([]Record, len(scenes))
+	for i, s := range scenes {
+		t.Records[i] = Record{Frames: s.Len(), Targets: make([]uint8, len(quality))}
+	}
+	column := func(qi int) {
+		q := quality[qi]
+		for ri, s := range scenes {
 			var target float64
 			for _, st := range stats[s.Start:s.End] {
 				ft := s.MaxLuma / 255 // fallback when a frame has no histogram
@@ -93,10 +107,27 @@ func FromStats(fps int, scenes []scene.Scene, stats []scene.FrameStats, quality 
 					target = ft
 				}
 			}
-			r.Targets[qi] = uint8(math.Ceil(target * 255))
+			t.Records[ri].Targets[qi] = uint8(math.Ceil(target * 255))
 		}
-		t.Records = append(t.Records, r)
 	}
+	if workers <= 1 || len(quality) <= 1 {
+		for qi := range quality {
+			column(qi)
+		}
+		return t
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for qi := range quality {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(qi int) {
+			defer wg.Done()
+			column(qi)
+			<-sem
+		}(qi)
+	}
+	wg.Wait()
 	return t
 }
 
@@ -359,7 +390,10 @@ func (p *parser) rleColumn(want int) ([]uint8, error) {
 		if p.err != nil {
 			return nil, p.err
 		}
-		if n <= 0 || len(col)+n > want {
+		// Compare as "n > want-len(col)", never "len(col)+n > want":
+		// a hostile run length near MaxInt64 makes the sum wrap
+		// negative, sneaking past the bound and over-allocating.
+		if n <= 0 || n > want-len(col) {
 			return nil, fmt.Errorf("%w: RLE run overflows column", ErrCorrupt)
 		}
 		for j := 0; j < n; j++ {

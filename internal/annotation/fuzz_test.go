@@ -2,6 +2,8 @@ package annotation
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 )
 
@@ -16,6 +18,21 @@ func FuzzDecode(f *testing.F) {
 		long.Records = append(long.Records, Record{Frames: i + 1, Targets: []uint8{200, 150, 120, 100, 90}})
 	}
 	f.Add(long.Encode())
+	// Degenerate-column seeds: empty column despite records, a run longer
+	// than 2^31, and a MaxInt64 run after a partial fill (the signed-
+	// overflow regression). All must be rejected without over-allocating.
+	empty := hostileHeader()
+	f.Add(append(empty, 0, 0, 0, 0))
+	huge := hostileHeader()
+	huge = append(huge, 0, 0, 0, 1)
+	huge = binary.AppendUvarint(huge, 1<<31+5)
+	f.Add(append(huge, 9))
+	wrap := hostileHeader()
+	wrap = append(wrap, 0, 0, 0, 2)
+	wrap = binary.AppendUvarint(wrap, 1)
+	wrap = append(wrap, 0)
+	wrap = binary.AppendUvarint(wrap, math.MaxInt64)
+	f.Add(append(wrap, 1))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Decode(data)
 		if err != nil {

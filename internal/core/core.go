@@ -76,41 +76,10 @@ func Annotate(src Source, cfg scene.Config, quality []float64) (*annotation.Trac
 // AnnotateContext is Annotate with telemetry: when the context carries
 // an obs.Registry (obs.WithRegistry), each stage of the offline pass —
 // luminance statistics, scene detection, track construction — records a
-// latency span, and frame/scene counters are advanced.
+// latency span, and frame/scene counters are advanced. It runs the
+// sequential path; use AnnotatePipeline for the concurrent one.
 func AnnotateContext(ctx context.Context, src Source, cfg scene.Config, quality []float64) (*annotation.Track, []scene.Scene, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, nil, err
-	}
-	n := src.TotalFrames()
-	if n == 0 {
-		return nil, nil, fmt.Errorf("core: empty source")
-	}
-	sp := obs.StartSpan(ctx, "annotate.luma_stats")
-	stats := make([]scene.FrameStats, 0, n)
-	for i := 0; i < n; i++ {
-		stats = append(stats, scene.StatsOf(src.Frame(i)))
-	}
-	sp.End()
-
-	sp = obs.StartSpan(ctx, "annotate.scene_detect")
-	det := scene.NewDetector(cfg)
-	for _, st := range stats {
-		det.Feed(st)
-	}
-	scenes := det.Finish()
-	sp.End()
-
-	sp = obs.StartSpan(ctx, "annotate.build_track")
-	track := annotation.FromStats(src.FPS(), scenes, stats, quality)
-	sp.End()
-
-	if r := obs.FromContext(ctx); r != nil {
-		r.Counter("pipeline_frames_processed_total",
-			"Frames analysed by the offline annotation pass.").Add(uint64(n))
-		r.Counter("pipeline_scenes_detected_total",
-			"Scenes found by the offline annotation pass.").Add(uint64(len(scenes)))
-	}
-	return track, scenes, nil
+	return AnnotatePipeline(ctx, src, cfg, quality, AnnotateOptions{})
 }
 
 // PlaybackOptions configures a simulated playback run.

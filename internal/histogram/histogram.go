@@ -92,6 +92,12 @@ func (h *H) DynamicRange() int {
 	return h.Max() - h.Min()
 }
 
+// fracEps absorbs float rounding when converting a pixel fraction to an
+// absolute pixel count: products like 0.15*20 evaluate to a hair above
+// the exact integer (3.0000000000000004), and a bare Ceil or truncation
+// would then be off by a whole pixel.
+const fracEps = 1e-9
+
 // Percentile returns the smallest luminance level v such that at least
 // q (0..1) of the pixels have luminance <= v. Percentile(1) == Max().
 func (h *H) Percentile(q float64) int {
@@ -104,7 +110,7 @@ func (h *H) Percentile(q float64) int {
 	if q > 1 {
 		q = 1
 	}
-	need := uint64(math.Ceil(q * float64(h.Total)))
+	need := uint64(math.Ceil(q*float64(h.Total) - fracEps))
 	if need == 0 {
 		return h.Min()
 	}
@@ -122,7 +128,10 @@ func (h *H) Percentile(q float64) int {
 // fraction budget (0..1) of the brightest pixels is allowed to saturate:
 // the smallest level v such that the number of pixels strictly brighter
 // than v is at most budget*Total. budget==0 therefore returns Max(),
-// i.e. lossless operation.
+// i.e. lossless operation. budget>=1 returns Min(), the budget→1 limit
+// of the search (for any budget<1 the answer is at least Min, because
+// at Min every other pixel is brighter; a darker target would be
+// gratuitous).
 func (h *H) ClipLevel(budget float64) int {
 	if h.Total == 0 {
 		return 0
@@ -133,7 +142,7 @@ func (h *H) ClipLevel(budget float64) int {
 	if budget >= 1 {
 		return h.Min()
 	}
-	allowed := uint64(budget * float64(h.Total))
+	allowed := uint64(budget*float64(h.Total) + fracEps)
 	var above uint64
 	for v := Bins - 1; v > 0; v-- {
 		above += h.Count[v]

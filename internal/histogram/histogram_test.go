@@ -97,6 +97,95 @@ func TestClipLevelExtremes(t *testing.T) {
 	}
 }
 
+// TestPercentileBoundaries is the table-driven boundary audit: q=0, q=1,
+// empty and all-zero histograms, the Percentile(1) == Max() invariant,
+// and fractions whose float product lands a hair off an integer (the
+// off-by-one the cumulative-count comparison used to be exposed to:
+// 0.15*20 evaluates to 3.0000000000000004, so Ceil overshot by a pixel).
+func TestPercentileBoundaries(t *testing.T) {
+	twenty := make([]uint8, 0, 20)
+	for i := 0; i < 20; i++ {
+		twenty = append(twenty, uint8(i*10))
+	}
+	cases := []struct {
+		name string
+		h    *H
+		q    float64
+		want int
+	}{
+		{"empty q=0", &H{}, 0, 0},
+		{"empty q=1", &H{}, 1, 0},
+		{"all-zero q=0", uniform(0, 0, 0), 0, 0},
+		{"all-zero q=0.5", uniform(0, 0, 0), 0.5, 0},
+		{"all-zero q=1", uniform(0, 0, 0), 1, 0},
+		{"single q=0", uniform(77), 0, 77},
+		{"single q=1", uniform(77), 1, 77},
+		// 0.15*20 = 3.0000000000000004 in float64; want the 3rd sample.
+		{"float-rounding 0.15*20", FromLuma(twenty), 0.15, 20},
+		// 0.35*20 = 6.999999999999999; Ceil keeps it at 7 either way.
+		{"float-rounding 0.35*20", FromLuma(twenty), 0.35, 60},
+		{"q clamped below", uniform(5, 9), -3, 5},
+		{"q clamped above", uniform(5, 9), 7, 9},
+	}
+	for _, c := range cases {
+		if got := c.h.Percentile(c.q); got != c.want {
+			t.Errorf("%s: Percentile(%v) = %d, want %d", c.name, c.q, got, c.want)
+		}
+	}
+}
+
+// Invariant from the doc comment: Percentile(1) == Max() on any
+// non-empty histogram.
+func TestPercentileOneIsMaxProperty(t *testing.T) {
+	f := func(samples []uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := FromLuma(samples)
+		return h.Percentile(1) == h.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClipLevelBoundaries audits ClipLevel the same way: exact-budget
+// products that float arithmetic lands just under the true integer
+// (0.29*100 = 28.999999999999996 truncated to 28, clipping one pixel
+// fewer than the budget allows), plus the q=0/q=1/empty/all-zero edges.
+func TestClipLevelBoundaries(t *testing.T) {
+	// 100 pixels: 71 dark, 29 at full scale. A 29% budget must clip all
+	// 29 bright pixels.
+	luma := make([]uint8, 0, 100)
+	for i := 0; i < 71; i++ {
+		luma = append(luma, 40)
+	}
+	for i := 0; i < 29; i++ {
+		luma = append(luma, 255)
+	}
+	skewed := FromLuma(luma)
+	cases := []struct {
+		name   string
+		h      *H
+		budget float64
+		want   int
+	}{
+		{"empty", &H{}, 0.5, 0},
+		{"all-zero lossless", uniform(0, 0), 0, 0},
+		{"all-zero full budget", uniform(0, 0), 1, 0},
+		{"budget 0 is max", uniform(3, 250), 0, 250},
+		{"budget 1 is min", uniform(3, 250), 1, 3},
+		{"negative budget is max", uniform(3, 250), -0.5, 250},
+		{"float-rounding 0.29*100", skewed, 0.29, 40},
+		{"just under the bright mass", skewed, 0.28, 255},
+	}
+	for _, c := range cases {
+		if got := c.h.ClipLevel(c.budget); got != c.want {
+			t.Errorf("%s: ClipLevel(%v) = %d, want %d", c.name, c.budget, got, c.want)
+		}
+	}
+}
+
 func TestClippedFraction(t *testing.T) {
 	h := uniform(10, 100, 200, 250)
 	if got := h.ClippedFraction(150); math.Abs(got-0.5) > 1e-12 {

@@ -95,6 +95,106 @@ func TestMinIntervalSuppressesFlicker(t *testing.T) {
 	}
 }
 
+// --- first-frame and flush regression suite -------------------------------
+//
+// The edge cases a parallel pipeline would amplify if they were wrong:
+// boundaries landing exactly on MinInterval, clips shorter than the
+// interval, black leaders (prevMax == 0), and repeated flushes. None may
+// divide by zero or produce a zero-length scene.
+
+// A change arriving exactly MinInterval frames into the current scene is
+// the earliest split the rate limit allows — it must fire, and the
+// completed scene must be exactly MinInterval long.
+func TestSplitExactlyAtMinInterval(t *testing.T) {
+	got := Detect(Config{Threshold: 0.1, MinInterval: 3},
+		stats(100, 100, 100, 200, 200, 200))
+	if len(got) != 2 {
+		t.Fatalf("detected %d scenes, want 2", len(got))
+	}
+	if got[0].Len() != 3 || got[1].Start != 3 {
+		t.Errorf("scenes = [%d,%d) [%d,%d), want split exactly at 3",
+			got[0].Start, got[0].End, got[1].Start, got[1].End)
+	}
+	// One frame earlier the same change must be absorbed.
+	got = Detect(Config{Threshold: 0.1, MinInterval: 3},
+		stats(100, 100, 200, 200, 200, 200))
+	if len(got) != 1 {
+		t.Fatalf("change before MinInterval split anyway: %d scenes", len(got))
+	}
+}
+
+// A clip shorter than MinInterval still flushes as one (short) scene —
+// never zero scenes, never a zero-length scene.
+func TestClipShorterThanMinInterval(t *testing.T) {
+	for frames := 1; frames < 5; frames++ {
+		maxes := make([]float64, frames)
+		for i := range maxes {
+			maxes[i] = float64(40 + 60*(i%2)) // wild flicker, all absorbed
+		}
+		got := Detect(Config{Threshold: 0.1, MinInterval: 5}, stats(maxes...))
+		if len(got) != 1 {
+			t.Fatalf("%d-frame clip: detected %d scenes, want 1", frames, len(got))
+		}
+		if got[0].Start != 0 || got[0].End != frames {
+			t.Errorf("%d-frame clip: scene [%d,%d)", frames, got[0].Start, got[0].End)
+		}
+	}
+}
+
+// A black leader (MaxLuma 0) followed by content: the 0 -> bright jump is
+// a plain absolute change, no division by the zero previous maximum.
+func TestBlackLeader(t *testing.T) {
+	got := Detect(Config{Threshold: 0.1, MinInterval: 2},
+		stats(0, 0, 0, 200, 200, 200))
+	if len(got) != 2 {
+		t.Fatalf("detected %d scenes, want 2 (leader + content)", len(got))
+	}
+	if got[0].MaxLuma != 0 || got[1].MaxLuma != 200 {
+		t.Errorf("scene maxima = %v/%v, want 0/200", got[0].MaxLuma, got[1].MaxLuma)
+	}
+	// All-black clip: one scene, target computation downstream must see
+	// MaxLuma 0 without inventing frames.
+	got = Detect(Config{Threshold: 0.1, MinInterval: 2}, stats(0, 0, 0, 0))
+	if len(got) != 1 || got[0].Len() != 4 {
+		t.Fatalf("all-black clip: %+v", got)
+	}
+}
+
+// Finish is idempotent and never emits a zero-length scene; the single
+// frame case exercises the smallest possible flush.
+func TestFinishFlushSemantics(t *testing.T) {
+	d := NewDetector(Config{Threshold: 0.1, MinInterval: 4})
+	d.Feed(FrameStats{MaxLuma: 90})
+	first := d.Finish()
+	if len(first) != 1 || first[0].Len() != 1 {
+		t.Fatalf("single-frame flush = %+v", first)
+	}
+	// A second Finish must not duplicate or emit an empty scene.
+	if again := d.Finish(); len(again) != 1 {
+		t.Errorf("double Finish emitted %d scenes, want 1", len(again))
+	}
+	for _, s := range first {
+		if s.Len() <= 0 {
+			t.Errorf("zero-length scene [%d,%d)", s.Start, s.End)
+		}
+	}
+}
+
+// The histogram detector honours the same first-frame rules: no access to
+// a previous histogram on frame zero, min-interval suppression intact.
+func TestHistogramDetectorFirstFrame(t *testing.T) {
+	d := NewHistogramDetector(30, 2)
+	d.Feed(FrameStats{MaxLuma: 10, Hist: histogram.FromLuma([]uint8{10})})
+	d.Feed(FrameStats{MaxLuma: 250, Hist: histogram.FromLuma([]uint8{250})})
+	got := d.Finish()
+	if len(got) != 1 {
+		t.Fatalf("change inside min interval split anyway: %d scenes", len(got))
+	}
+	if got[0].Hist.Total != 2 {
+		t.Errorf("aggregate hist total = %d, want 2", got[0].Hist.Total)
+	}
+}
+
 func TestSceneHistAggregates(t *testing.T) {
 	got := Detect(Config{Threshold: 0.1, MinInterval: 1}, stats(10, 20, 30))
 	if len(got) != 1 {

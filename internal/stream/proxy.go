@@ -7,9 +7,11 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/anncache"
 	"repro/internal/annotation"
 	"repro/internal/codec"
 	"repro/internal/container"
@@ -54,10 +56,13 @@ type Proxy struct {
 	cancel context.CancelFunc
 
 	// cache holds the last good fetch per clip (decoded source plus its
-	// annotation track) — the stale fallback when the upstream is down,
-	// and a fast path when it is not.
-	cacheMu sync.Mutex
-	cache   map[string]*proxyEntry
+	// annotation track) as the stale fallback when the upstream is down,
+	// plus the derived artifacts — tracks keyed by content digest (a
+	// refetch of unchanged content skips re-annotation) and encoded
+	// variants shared across client sessions.
+	cache *anncache.Cache
+	// annWorkers is the annotation pipeline's worker-pool size.
+	annWorkers int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -67,8 +72,16 @@ type Proxy struct {
 
 // proxyEntry is one cached upstream clip.
 type proxyEntry struct {
-	src   core.Source
-	track *annotation.Track
+	src    core.Source
+	track  *annotation.Track
+	digest string
+}
+
+// cost approximates the entry's resident bytes: the decoded frames
+// dominate (24 bytes per RGB pixel), plus the encoded track.
+func (e *proxyEntry) cost() int64 {
+	w, h := e.src.Size()
+	return int64(e.src.TotalFrames())*int64(w)*int64(h)*24 + int64(e.track.Size())
 }
 
 // NewProxy builds a proxy forwarding to the upstream server address.
@@ -83,9 +96,18 @@ func NewProxy(upstream string) *Proxy {
 		writeTimeout: 30 * time.Second,
 		ctx:          ctx,
 		cancel:       cancel,
-		cache:        map[string]*proxyEntry{},
+		cache:        anncache.New(DefaultCacheCapacity),
+		annWorkers:   runtime.GOMAXPROCS(0),
 	}
 }
+
+// SetAnnotateWorkers sets the annotation pipeline's worker-pool size
+// (<= 1 selects the sequential path). Call before Listen.
+func (p *Proxy) SetAnnotateWorkers(n int) { p.annWorkers = n }
+
+// SetCacheCapacity bounds the artifact cache to capacityBytes (<= 0 is
+// unlimited), evicting immediately if already over.
+func (p *Proxy) SetCacheCapacity(capacityBytes int64) { p.cache.SetCapacity(capacityBytes) }
 
 // SetLogf replaces the proxy's logger. Safe to call while the proxy is
 // accepting connections.
@@ -110,6 +132,7 @@ func (p *Proxy) logf(format string, args ...any) {
 func (p *Proxy) SetObserver(r *obs.Registry) {
 	p.obsReg = r
 	p.pm = newServerMetrics(r, "proxy")
+	p.cache.SetObserver(r, obs.L("role", "proxy"))
 	p.upstreamLat = r.Histogram("proxy_upstream_latency_seconds",
 		"Time to fetch and decode a whole raw clip from the upstream server.",
 		obs.DefLatencyBuckets, obs.L("role", "proxy"))
@@ -225,18 +248,65 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 		p.staleServes.Inc()
 		p.logf("stream proxy: upstream down, serving %q stale", req.Clip)
 	}
-	resumed, err := writeAnnotatedStream(ctx, conn, entry.src, entry.track,
-		p.enc.withDefaults(entry.src.FPS()), req, p.pm.framesSent, p.pm.bytesSent)
-	if resumed {
+	track := entry.track
+	qi := track.QualityIndex(req.Quality)
+	vAny, err := p.cache.GetOrCompute(
+		anncache.Key{Kind: "variant", Digest: entry.digest, Quality: qi},
+		func() (any, int64, error) {
+			v, err := prepareVariant(ctx, entry.src, track, qi, p.enc.withDefaults(entry.src.FPS()))
+			if err != nil {
+				return nil, 0, err
+			}
+			return v, v.cost(), nil
+		})
+	if err != nil {
+		WriteError(conn, "encoding failed")
+		return err
+	}
+	v := vAny.(*variant)
+	from, err := resumePoint(v.frames, req)
+	if err != nil {
+		WriteError(conn, err.Error())
+		return err
+	}
+	if from > 0 {
 		p.pm.resumes.Inc()
 	}
-	return err
+	levels := deviceLevelsChunk(p.cache, entry.digest, req.Device, track)
+	return sendVariant(ctx, conn, entry.src, track, v, levels, from, p.pm.framesSent, p.pm.bytesSent)
 }
 
-// fetchSource returns the clip's decoded source and annotation track,
-// fetching from the upstream with bounded retries and falling back to
-// the stale cache when every attempt fails.
-func (p *Proxy) fetchSource(clip, device string) (entry *proxyEntry, stale bool, err error) {
+// fetchSource returns the clip's decoded source and annotation track.
+// Every request revalidates against the upstream (cache.Do: concurrent
+// sessions share one in-flight fetch, but a cached copy never suppresses
+// the fetch), and only when every retry fails does it degrade to the
+// stale cached copy.
+func (p *Proxy) fetchSource(clip, device string) (*proxyEntry, bool, error) {
+	key := anncache.Key{Kind: "clip", Digest: clip, Quality: -1}
+	v, err := p.cache.Do(key, func() (any, int64, error) {
+		e, err := p.fetchAndAnnotate(clip, device)
+		if err != nil {
+			return nil, 0, err
+		}
+		return e, e.cost(), nil
+	})
+	if err != nil {
+		if p.ctx.Err() != nil {
+			return nil, false, p.ctx.Err()
+		}
+		// Upstream is down: degrade to the last good copy if we have one.
+		if sv, ok := p.cache.Peek(key); ok {
+			return sv.(*proxyEntry), true, nil
+		}
+		return nil, false, err
+	}
+	return v.(*proxyEntry), false, nil
+}
+
+// fetchAndAnnotate pulls the clip from the upstream with bounded retries
+// and annotates it (the proxy's transcoder role). The track is cached by
+// content digest, so refetching unchanged content skips re-annotation.
+func (p *Proxy) fetchAndAnnotate(clip, device string) (*proxyEntry, error) {
 	retry := p.retry.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
@@ -245,11 +315,11 @@ func (p *Proxy) fetchSource(clip, device string) (entry *proxyEntry, stale bool,
 			select {
 			case <-time.After(retry.delay(attempt, newBackoffRNG())):
 			case <-p.ctx.Done():
-				return nil, false, p.ctx.Err()
+				return nil, p.ctx.Err()
 			}
 		}
 		if p.ctx.Err() != nil {
-			return nil, false, p.ctx.Err()
+			return nil, p.ctx.Err()
 		}
 		start := time.Now()
 		src, err := p.fetchRaw(clip, device)
@@ -258,26 +328,24 @@ func (p *Proxy) fetchSource(clip, device string) (entry *proxyEntry, stale bool,
 			continue
 		}
 		p.upstreamLat.Observe(time.Since(start).Seconds())
-		// The proxy's transcoder role: analyse and annotate the fetch.
-		track, _, err := core.AnnotateContext(obs.WithRegistry(p.ctx, p.obsReg),
-			src, scene.DefaultConfig(src.FPS()), nil)
+		dg := core.SourceDigest(src)
+		tAny, err := p.cache.GetOrCompute(
+			anncache.Key{Kind: "track", Digest: dg, Quality: -1},
+			func() (any, int64, error) {
+				t, _, err := core.AnnotatePipeline(obs.WithRegistry(p.ctx, p.obsReg),
+					src, scene.DefaultConfig(src.FPS()), nil,
+					core.AnnotateOptions{Workers: p.annWorkers})
+				if err != nil {
+					return nil, 0, err
+				}
+				return t, int64(t.Size()), nil
+			})
 		if err != nil {
-			return nil, false, fmt.Errorf("annotation failed: %w", err)
+			return nil, fmt.Errorf("annotation failed: %w", err)
 		}
-		e := &proxyEntry{src: src, track: track}
-		p.cacheMu.Lock()
-		p.cache[clip] = e
-		p.cacheMu.Unlock()
-		return e, false, nil
+		return &proxyEntry{src: src, track: tAny.(*annotation.Track), digest: dg}, nil
 	}
-	// Upstream is down: degrade to the last good copy if we have one.
-	p.cacheMu.Lock()
-	e := p.cache[clip]
-	p.cacheMu.Unlock()
-	if e != nil {
-		return e, true, nil
-	}
-	return nil, false, fmt.Errorf("upstream unreachable after %d attempts: %v", retry.MaxAttempts, lastErr)
+	return nil, fmt.Errorf("upstream unreachable after %d attempts: %v", retry.MaxAttempts, lastErr)
 }
 
 // fetchRaw pulls the unannotated stream from upstream and buffers the

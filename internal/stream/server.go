@@ -7,9 +7,11 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/anncache"
 	"repro/internal/annotation"
 	"repro/internal/codec"
 	"repro/internal/compensate"
@@ -21,6 +23,10 @@ import (
 	"repro/internal/obs"
 	"repro/internal/scene"
 )
+
+// DefaultCacheCapacity is the artifact-cache byte budget servers and
+// proxies start with.
+const DefaultCacheCapacity = 256 << 20
 
 // EncodeConfig controls the codec parameters the server streams with.
 type EncodeConfig struct {
@@ -47,10 +53,6 @@ type serverMetrics struct {
 	connsTotal   *obs.Counter
 	framesSent   *obs.Counter
 	bytesSent    *obs.Counter
-	annHits      *obs.Counter
-	annMisses    *obs.Counter
-	varHits      *obs.Counter
-	varMisses    *obs.Counter
 	acceptErrors *obs.Counter
 	sessErrors   *obs.Counter
 	refused      *obs.Counter
@@ -68,14 +70,6 @@ func newServerMetrics(r *obs.Registry, role string) serverMetrics {
 			"Encoded frames written to clients.", l),
 		bytesSent: r.Counter("stream_bytes_sent_total",
 			"Bytes written to clients (container payload).", l),
-		annHits: r.Counter("stream_cache_hits_total",
-			"Cache hits by cache kind.", l, obs.L("cache", "annotation")),
-		annMisses: r.Counter("stream_cache_misses_total",
-			"Cache misses by cache kind.", l, obs.L("cache", "annotation")),
-		varHits: r.Counter("stream_cache_hits_total",
-			"Cache hits by cache kind.", l, obs.L("cache", "variant")),
-		varMisses: r.Counter("stream_cache_misses_total",
-			"Cache misses by cache kind.", l, obs.L("cache", "variant")),
 		acceptErrors: r.Counter("stream_accept_errors_total",
 			"Unexpected listener accept errors.", l),
 		sessErrors: r.Counter("stream_session_errors_total",
@@ -122,13 +116,16 @@ type Server struct {
 	closed   bool
 	handlers sync.WaitGroup
 
-	// annotation cache: analysis is an offline step done once per clip.
-	annMu  sync.Mutex
-	tracks map[string]*annotation.Track
-	// variant cache: the paper's server "provides a number of different
-	// video qualities" — each (clip, quality index) is encoded once and
-	// served from memory afterwards.
-	variants map[string]*variant
+	// cache holds every artifact the offline pipeline produces —
+	// annotation tracks, encoded quality variants, device level tables —
+	// keyed by content digest, with single-flight dedup across sessions.
+	cache *anncache.Cache
+	// annWorkers is the annotation pipeline's worker-pool size.
+	annWorkers int
+	// digests memoises the content digest per catalog clip name (the
+	// catalog is immutable once the server is serving).
+	digestMu sync.Mutex
+	digests  map[string]string
 }
 
 // variant is one pre-encoded quality level of a clip.
@@ -136,6 +133,15 @@ type variant struct {
 	frames      []*codec.EncodedFrame
 	cyclesChunk []byte
 	scenesChunk []byte
+}
+
+// cost is the variant's cache cost in bytes.
+func (v *variant) cost() int64 {
+	c := int64(len(v.cyclesChunk) + len(v.scenesChunk))
+	for _, ef := range v.frames {
+		c += int64(ef.Size())
+	}
+	return c
 }
 
 // NewServer builds a server over the given catalog.
@@ -151,10 +157,19 @@ func NewServer(catalog map[string]core.Source) *Server {
 		ctx:              ctx,
 		cancel:           cancel,
 		conns:            map[net.Conn]struct{}{},
-		tracks:           map[string]*annotation.Track{},
-		variants:         map[string]*variant{},
+		cache:            anncache.New(DefaultCacheCapacity),
+		annWorkers:       runtime.GOMAXPROCS(0),
+		digests:          map[string]string{},
 	}
 }
+
+// SetAnnotateWorkers sets the annotation pipeline's worker-pool size
+// (<= 1 selects the sequential path). Call before Listen.
+func (s *Server) SetAnnotateWorkers(n int) { s.annWorkers = n }
+
+// SetCacheCapacity bounds the artifact cache to capacityBytes (<= 0 is
+// unlimited), evicting immediately if already over.
+func (s *Server) SetCacheCapacity(capacityBytes int64) { s.cache.SetCapacity(capacityBytes) }
 
 // SetTimeouts overrides the per-connection handshake-read and per-write
 // deadlines (zero leaves a direction unbounded). Call before Listen.
@@ -191,6 +206,7 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) SetObserver(r *obs.Registry) {
 	s.obsReg = r
 	s.sm = newServerMetrics(r, "server")
+	s.cache.SetObserver(r, obs.L("role", "server"))
 }
 
 // SetEncodeConfig overrides codec parameters.
@@ -304,51 +320,66 @@ func (s *Server) handle(rawConn net.Conn) error {
 	}
 }
 
-// track returns the clip's annotation track, computing and caching it on
-// first use (the offline analysis step).
-func (s *Server) track(ctx context.Context, name string, src core.Source) (*annotation.Track, error) {
-	s.annMu.Lock()
-	defer s.annMu.Unlock()
-	if t, ok := s.tracks[name]; ok {
-		s.sm.annHits.Inc()
-		return t, nil
+// digestOf memoises the content digest of a catalog clip: catalog
+// sources are immutable, so one full-decode fingerprint per name is
+// enough to key every cached artifact by content.
+func (s *Server) digestOf(name string, src core.Source) string {
+	s.digestMu.Lock()
+	defer s.digestMu.Unlock()
+	if d, ok := s.digests[name]; ok {
+		return d
 	}
-	s.sm.annMisses.Inc()
-	t, _, err := core.AnnotateContext(ctx, src, s.scene(src.FPS()), nil)
+	d := core.SourceDigest(src)
+	s.digests[name] = d
+	return d
+}
+
+// track returns the clip's annotation track, computing and caching it on
+// first use (the offline analysis step). Concurrent sessions requesting
+// an uncached clip share one pipeline run via single-flight.
+func (s *Server) track(ctx context.Context, name string, src core.Source) (*annotation.Track, error) {
+	dg := s.digestOf(name, src)
+	v, err := s.cache.GetOrCompute(
+		anncache.Key{Kind: "track", Digest: dg, Quality: -1},
+		func() (any, int64, error) {
+			t, _, err := core.AnnotatePipeline(ctx, src, s.scene(src.FPS()), nil,
+				core.AnnotateOptions{Workers: s.annWorkers})
+			if err != nil {
+				return nil, 0, err
+			}
+			return t, int64(t.Size()), nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	s.tracks[name] = t
-	return t, nil
+	return v.(*annotation.Track), nil
 }
 
 // streamAnnotated sends the annotated, compensated stream: the paper's
-// server role. Variants are encoded once per (clip, quality index) and
-// cached; the device-levels side channel is resolved per request.
+// server role. Variants are encoded once per (content digest, quality
+// index) and cached; the device-levels side channel is cached per device.
 func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Source, req Request) error {
 	track, err := s.track(ctx, req.Clip, src)
 	if err != nil {
 		WriteError(w, "annotation failed")
 		return err
 	}
+	dg := s.digestOf(req.Clip, src)
 	qi := track.QualityIndex(req.Quality)
-	key := fmt.Sprintf("%s@%d", req.Clip, qi)
-	s.annMu.Lock()
-	v, ok := s.variants[key]
-	s.annMu.Unlock()
-	if ok {
-		s.sm.varHits.Inc()
-	} else {
-		s.sm.varMisses.Inc()
-		v, err = prepareVariant(ctx, src, track, qi, s.enc.withDefaults(src.FPS()))
-		if err != nil {
-			WriteError(w, "encoding failed")
-			return err
-		}
-		s.annMu.Lock()
-		s.variants[key] = v
-		s.annMu.Unlock()
+	vAny, err := s.cache.GetOrCompute(
+		anncache.Key{Kind: "variant", Digest: dg, Quality: qi},
+		func() (any, int64, error) {
+			v, err := prepareVariant(ctx, src, track, qi, s.enc.withDefaults(src.FPS()))
+			if err != nil {
+				return nil, 0, err
+			}
+			return v, v.cost(), nil
+		})
+	if err != nil {
+		WriteError(w, "encoding failed")
+		return err
 	}
+	v := vAny.(*variant)
 	from, err := resumePoint(v.frames, req)
 	if err != nil {
 		WriteError(w, err.Error())
@@ -357,7 +388,31 @@ func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Sour
 	if from > 0 {
 		s.sm.resumes.Inc()
 	}
-	return sendVariant(ctx, w, src, track, v, req.Device, from, s.sm.framesSent, s.sm.bytesSent)
+	levels := deviceLevelsChunk(s.cache, dg, req.Device, track)
+	return sendVariant(ctx, w, src, track, v, levels, from, s.sm.framesSent, s.sm.bytesSent)
+}
+
+// deviceLevelsChunk resolves the device-specific backlight level table
+// side channel, cached per (content digest, device profile); nil when
+// the device is unknown (the chunk is optional).
+func deviceLevelsChunk(c *anncache.Cache, digest, deviceName string, track *annotation.Track) []byte {
+	dev := display.ByName(deviceName)
+	if dev == nil {
+		return nil
+	}
+	v, err := c.GetOrCompute(
+		anncache.Key{Kind: "levels", Digest: digest, Quality: -1, Device: deviceName},
+		func() (any, int64, error) {
+			levels, err := annotation.EncodeLevels(track.LevelsFor(dev))
+			if err != nil {
+				return nil, 0, err
+			}
+			return levels, int64(len(levels)), nil
+		})
+	if err != nil {
+		return nil
+	}
+	return v.([]byte)
 }
 
 // resumePoint maps a v2 resume request onto the variant: the stream must
@@ -451,11 +506,10 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // sendVariant writes the annotated container for a prepared variant,
 // starting at frame index from (an I-frame boundary; nonzero for a
 // resumed session, in which case the resume-offset side channel tells
-// the client where the stream picks up). When the client's device name
-// is known, the server also resolves the device-specific backlight
-// level table and ships it as a side channel (§4.3's negotiation
-// option).
-func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, deviceName string, from int, framesSent, bytesSent *obs.Counter) error {
+// the client where the stream picks up). A non-nil levelsChunk is the
+// device-specific backlight level table shipped as a side channel
+// (§4.3's negotiation option).
+func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, levelsChunk []byte, from int, framesSent, bytesSent *obs.Counter) error {
 	sp := obs.StartSpan(ctx, "stream.send")
 	defer sp.End()
 	cw0 := &countingWriter{w: w}
@@ -470,10 +524,8 @@ func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annot
 	if from > 0 {
 		extra[container.ChunkResumeOffset] = container.EncodeResumeOffset(uint32(from))
 	}
-	if dev := display.ByName(deviceName); dev != nil {
-		if levels, err := annotation.EncodeLevels(track.LevelsFor(dev)); err == nil {
-			extra[container.ChunkDeviceLevels] = levels
-		}
+	if levelsChunk != nil {
+		extra[container.ChunkDeviceLevels] = levelsChunk
 	}
 	cw, err := container.NewWriter(cw0, container.Header{
 		W: width, H: height, FPS: src.FPS(),
@@ -494,21 +546,6 @@ func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annot
 		framesSent.Inc()
 	}
 	return nil
-}
-
-// writeAnnotatedStream is the uncached path the proxy uses: prepare the
-// variant and send it in one step, honouring a resume request.
-func writeAnnotatedStream(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, cfg EncodeConfig, req Request, framesSent, bytesSent *obs.Counter) (resumed bool, err error) {
-	v, err := prepareVariant(ctx, src, track, track.QualityIndex(req.Quality), cfg)
-	if err != nil {
-		return false, err
-	}
-	from, err := resumePoint(v.frames, req)
-	if err != nil {
-		WriteError(w, err.Error())
-		return false, err
-	}
-	return from > 0, sendVariant(ctx, w, src, track, v, req.Device, from, framesSent, bytesSent)
 }
 
 // streamRaw sends the stored clip untouched (for proxies).

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -315,22 +316,19 @@ func TestServerAnnotationCacheIsReused(t *testing.T) {
 	if _, err := client.Play(addr, "night", 0.1); err != nil {
 		t.Fatal(err)
 	}
-	srv.annMu.Lock()
-	cached := len(srv.tracks)
-	srv.annMu.Unlock()
-	if cached != 1 {
-		t.Errorf("annotation cache has %d entries, want 1", cached)
-	}
 	// Second session must reuse the cached track (same pointer).
-	srv.annMu.Lock()
-	first := srv.tracks["night"]
-	srv.annMu.Unlock()
+	src := testCatalog()["night"]
+	first, err := srv.track(context.Background(), "night", src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := client.Play(addr, "night", 0.2); err != nil {
 		t.Fatal(err)
 	}
-	srv.annMu.Lock()
-	second := srv.tracks["night"]
-	srv.annMu.Unlock()
+	second, err := srv.track(context.Background(), "night", src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if first != second {
 		t.Error("annotation track recomputed")
 	}
@@ -371,23 +369,21 @@ func TestVariantCacheServesIdenticalStreams(t *testing.T) {
 	if _, err := client.Play(addr, "night", 0.10); err != nil {
 		t.Fatal(err)
 	}
-	srv.annMu.Lock()
-	nVariants := len(srv.variants)
-	srv.annMu.Unlock()
-	if nVariants != 1 {
-		t.Fatalf("variant cache has %d entries, want 1", nVariants)
+	// One play populates track + variant + device-levels artifacts.
+	if n := srv.cache.Len(); n != 3 {
+		t.Fatalf("artifact cache has %d entries after first play, want 3", n)
 	}
-	// Same quality again: still one variant. Different quality: two.
+	// Same quality again: nothing new. Different quality: one more variant.
 	if _, err := client.Play(addr, "night", 0.10); err != nil {
 		t.Fatal(err)
+	}
+	if n := srv.cache.Len(); n != 3 {
+		t.Errorf("artifact cache has %d entries after repeat play, want 3", n)
 	}
 	if _, err := client.Play(addr, "night", 0.20); err != nil {
 		t.Fatal(err)
 	}
-	srv.annMu.Lock()
-	nVariants = len(srv.variants)
-	srv.annMu.Unlock()
-	if nVariants != 2 {
-		t.Errorf("variant cache has %d entries, want 2", nVariants)
+	if n := srv.cache.Len(); n != 4 {
+		t.Errorf("artifact cache has %d entries after new quality, want 4", n)
 	}
 }

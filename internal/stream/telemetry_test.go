@@ -96,15 +96,18 @@ func TestServerTelemetryCounts(t *testing.T) {
 	if got := reg.Gauge("stream_active_conns", "", role).Value(); got != 0 {
 		t.Errorf("active_conns = %v after sessions ended, want 0", got)
 	}
-	hits := reg.Counter("stream_cache_hits_total", "", role, obs.L("cache", "annotation")).Value()
-	misses := reg.Counter("stream_cache_misses_total", "", role, obs.L("cache", "annotation")).Value()
-	if misses != 1 || hits != 1 {
-		t.Errorf("annotation cache hits/misses = %d/%d, want 1/1", hits, misses)
+	// Each artifact kind — track, variant, device levels — misses once on
+	// the first play and hits once on the replay.
+	for _, kind := range []string{"track", "variant", "levels"} {
+		k := obs.L("kind", kind)
+		hits := reg.Counter("anncache_hits_total", "", k, role).Value()
+		misses := reg.Counter("anncache_misses_total", "", k, role).Value()
+		if misses != 1 || hits != 1 {
+			t.Errorf("%s cache hits/misses = %d/%d, want 1/1", kind, hits, misses)
+		}
 	}
-	vhits := reg.Counter("stream_cache_hits_total", "", role, obs.L("cache", "variant")).Value()
-	vmisses := reg.Counter("stream_cache_misses_total", "", role, obs.L("cache", "variant")).Value()
-	if vmisses != 1 || vhits != 1 {
-		t.Errorf("variant cache hits/misses = %d/%d, want 1/1", vhits, vmisses)
+	if got := reg.Gauge("anncache_entries", "", role).Value(); got != 3 {
+		t.Errorf("anncache_entries = %v, want 3 (track+variant+levels)", got)
 	}
 	if got := reg.Histogram(obs.SpanMetric, "", nil, obs.L("span", "annotate.scene_detect")).Count(); got != 1 {
 		t.Errorf("annotate.scene_detect span count = %d, want 1 (cached on replay)", got)

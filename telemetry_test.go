@@ -156,10 +156,12 @@ func TestDebugEndpointScrape(t *testing.T) {
 	atLeast(`stream_frames_sent_total{role="server"}`, 60)
 	atLeast(`stream_frames_sent_total{role="proxy"}`, 20)
 	atLeast(`stream_bytes_sent_total{role="server"}`, 1000)
-	atLeast(`stream_cache_misses_total{role="server",cache="annotation"}`, 1)
-	atLeast(`stream_cache_hits_total{role="server",cache="annotation"}`, 1)
-	atLeast(`stream_cache_misses_total{role="server",cache="variant"}`, 1)
-	atLeast(`stream_cache_hits_total{role="server",cache="variant"}`, 1)
+	atLeast(`anncache_misses_total{kind="track",role="server"}`, 1)
+	atLeast(`anncache_hits_total{kind="track",role="server"}`, 1)
+	atLeast(`anncache_misses_total{kind="variant",role="server"}`, 1)
+	atLeast(`anncache_hits_total{kind="variant",role="server"}`, 1)
+	atLeast(`anncache_misses_total{kind="track",role="proxy"}`, 1)
+	atLeast(`anncache_entries{role="server"}`, 3)
 	// Offline-pipeline stage latency histograms (server + proxy ran it).
 	atLeast(`span_duration_seconds_count{span="annotate.luma_stats"}`, 2)
 	atLeast(`span_duration_seconds_count{span="annotate.scene_detect"}`, 2)
