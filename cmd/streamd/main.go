@@ -7,32 +7,46 @@
 // Usage:
 //
 //	streamd [-addr 127.0.0.1:7400] [-proxy-of upstream:port]
+//	        [-upstreams a:port,b:port] [-drain-timeout 15s]
 //	        [-debug-addr :7401] [-w 120 -h 90 -fps 10 -scale 0.25]
 //	        [-max-sessions 0] [-workers N] [-cache-size MiB]
 //	        [-faults latency=2ms,reset=65536,repeat,seed=7]
 //
-// With -proxy-of the process runs as the intermediary proxy node instead,
-// pulling raw streams from the upstream server and annotating on the fly.
-// With -debug-addr the process serves its telemetry over HTTP: /metrics
-// (Prometheus text format), /healthz, /debug/vars, /debug/pprof and
+// With -proxy-of (or -upstreams, a comma-separated failover list) the
+// process runs as the intermediary proxy node instead, pulling raw
+// streams from the upstream servers — each guarded by a circuit breaker —
+// and annotating on the fly. With -debug-addr the process serves its
+// telemetry over HTTP: /metrics (Prometheus text format), /healthz
+// (liveness), /readyz (readiness — not-ready while draining or with
+// every upstream breaker open), /debug/vars, /debug/pprof and
 // /debug/spans.
 //
 // With -faults every accepted connection is wrapped in the deterministic
 // fault injector (see internal/faults): added latency, bandwidth
 // throttling, fragmented writes, scheduled mid-stream resets and byte
 // corruption — a live chaos mode for exercising client resilience. With
-// -max-sessions the server refuses connections over the cap with a clean
+// -max-sessions the server admits up to the cap and queues a bounded
+// number of further sessions briefly before shedding them with a clean
 // over-capacity error that resilient clients back off and retry on.
+//
+// On SIGTERM/SIGINT the process drains: it stops accepting (and /readyz
+// flips not-ready immediately), lets in-flight streams finish up to
+// -drain-timeout, then force-closes whatever remains. A second signal
+// forces immediately. Exit status is 0 for a clean drain, 1 if sessions
+// had to be cut.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -44,7 +58,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
 	proxyOf := flag.String("proxy-of", "", "run as a proxy for this upstream server")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+	upstreams := flag.String("upstreams", "", "run as a proxy for these comma-separated upstreams in failover order")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to let in-flight sessions finish on SIGTERM/SIGINT")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address")
 	w := flag.Int("w", 120, "frame width")
 	h := flag.Int("h", 90, "frame height")
 	fps := flag.Int("fps", 10, "frames per second")
@@ -55,7 +71,7 @@ func main() {
 	faultSpec := flag.String("faults", "", "inject faults into accepted connections (e.g. latency=2ms,bw=65536,short,corrupt=0.001,reset=65536,repeat,seed=7)")
 	flag.Parse()
 
-	stop := make(chan os.Signal, 1)
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	var reg *obs.Registry
@@ -81,17 +97,41 @@ func main() {
 		return ln, nil
 	}
 
-	if *proxyOf != "" {
-		p := stream.NewProxy(*proxyOf)
+	// drain runs the graceful-shutdown protocol shared by both roles:
+	// stop accepting, let in-flight sessions finish within the drain
+	// timeout, force-close on timeout or a second signal.
+	drain := func(shutdown func(context.Context) error) {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		go func() {
+			<-stop // second signal: force immediately
+			cancel()
+		}()
+		fmt.Printf("draining (timeout %v)...\n", *drainTimeout)
+		if err := shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "streamd: forced shutdown:", err)
+			os.Exit(1)
+		}
+		fmt.Println("drained cleanly")
+	}
+
+	upstreamList := *upstreams
+	if upstreamList == "" {
+		upstreamList = *proxyOf
+	}
+	if upstreamList != "" {
+		p := stream.NewProxy(strings.Split(upstreamList, ",")...)
 		p.SetAnnotateWorkers(*workers)
 		p.SetCacheCapacity(*cacheSize << 20)
 		p.SetObserver(reg)
+		reg.RegisterReadiness("proxy", p.Ready)
 		ln, err := listen()
 		exitOn(err)
 		p.Serve(ln)
-		fmt.Printf("proxy listening on %s (upstream %s)\n", ln.Addr(), *proxyOf)
+		fmt.Printf("proxy listening on %s (upstreams %s)\n",
+			ln.Addr(), strings.Join(p.UpstreamAddrs(), ","))
 		<-stop
-		p.Close()
+		drain(p.Shutdown)
 		return
 	}
 
@@ -105,6 +145,7 @@ func main() {
 	s.SetCacheCapacity(*cacheSize << 20)
 	s.SetObserver(reg)
 	s.SetMaxSessions(*maxSessions)
+	reg.RegisterReadiness("server", s.Ready)
 	ln, err := listen()
 	exitOn(err)
 	s.Serve(ln)
@@ -113,7 +154,7 @@ func main() {
 		fmt.Printf("  %s\n", name)
 	}
 	<-stop
-	s.Close()
+	drain(s.Shutdown)
 }
 
 func exitOn(err error) {

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/display"
+	"repro/internal/frame"
+	"repro/internal/stream"
+)
+
+// TestDrainOnSIGTERM is the end-to-end shutdown smoke test: streamd is
+// built and started, a client opens a stream, SIGTERM lands mid-stream,
+// /readyz flips not-ready immediately, the in-flight stream completes,
+// and the process exits 0 after printing "drained cleanly".
+func TestDrainOnSIGTERM(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "streamd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// Server-side bandwidth throttle keeps the session genuinely in
+	// flight when the signal arrives.
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+		"-w", "32", "-h", "24", "-fps", "8", "-scale", "0.25",
+		"-drain-timeout", "30s", "-faults", "bw=262144")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	// Collect stdout lines as they arrive.
+	var outMu sync.Mutex
+	var lines []string
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			outMu.Lock()
+			lines = append(lines, sc.Text())
+			outMu.Unlock()
+		}
+	}()
+	// waitLine returns the first line for which match returns a non-empty
+	// string.
+	waitLine := func(what string, match func(string) string) string {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			outMu.Lock()
+			for _, l := range lines {
+				if got := match(l); got != "" {
+					outMu.Unlock()
+					return got
+				}
+			}
+			outMu.Unlock()
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s in streamd output: %v", what, lines)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	debugAddr := waitLine("debug endpoint", func(l string) string {
+		if rest, ok := strings.CutPrefix(l, "debug endpoint on http://"); ok {
+			return strings.TrimSuffix(rest, "/metrics")
+		}
+		return ""
+	})
+	addr := waitLine("serve address", func(l string) string {
+		if strings.HasPrefix(l, "serving ") {
+			f := strings.Fields(l)
+			return f[len(f)-1]
+		}
+		return ""
+	})
+	clip := waitLine("a clip name", func(l string) string {
+		if strings.HasPrefix(l, "  ") {
+			return strings.TrimSpace(l)
+		}
+		return ""
+	})
+
+	// Before the signal the process reports ready.
+	resp, err := http.Get("http://" + debugAddr + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/readyz = %d before shutdown, want 200", resp.StatusCode)
+	}
+
+	firstFrame := make(chan struct{})
+	var once sync.Once
+	client := &stream.Client{Device: display.IPAQ5555()}
+	client.OnFrame = func(int, *frame.Frame, int) { once.Do(func() { close(firstFrame) }) }
+	type playOut struct {
+		res *stream.PlayResult
+		err error
+	}
+	playCh := make(chan playOut, 1)
+	go func() {
+		res, err := client.Play(addr, clip, 0.10)
+		playCh <- playOut{res, err}
+	}()
+
+	select {
+	case <-firstFrame:
+	case out := <-playCh:
+		t.Fatalf("stream ended before the signal could land mid-stream: %+v %v", out.res, out.err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("no frame arrived")
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readiness flips not-ready immediately, while the stream drains.
+	flipDeadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get("http://" + debugAddr + "/readyz")
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusServiceUnavailable {
+				break
+			}
+		}
+		if time.Now().After(flipDeadline) {
+			t.Fatal("/readyz never flipped to 503 after SIGTERM")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	out := <-playCh
+	if out.err != nil {
+		t.Fatalf("in-flight stream failed during drain: %v", out.err)
+	}
+	if out.res.Frames == 0 {
+		t.Fatal("drained stream delivered no frames")
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("streamd exited with %v, want 0 after a clean drain", err)
+	}
+	<-scanDone
+	outMu.Lock()
+	all := strings.Join(lines, "\n")
+	outMu.Unlock()
+	if !strings.Contains(all, "drained cleanly") {
+		t.Errorf("stdout missing %q:\n%s", "drained cleanly", all)
+	}
+}

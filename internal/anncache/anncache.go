@@ -13,10 +13,16 @@ package anncache
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 
 	"repro/internal/obs"
 )
+
+// ErrComputePanicked is what single-flight waiters receive when the
+// computing goroutine panicked; the panic itself propagates on the
+// computing goroutine.
+var ErrComputePanicked = errors.New("anncache: compute panicked")
 
 // Key identifies one cached artifact.
 type Key struct {
@@ -149,13 +155,30 @@ func (c *Cache) Do(key Key, compute func() (any, int64, error)) (any, error) {
 }
 
 // compute runs fn for key with c.mu held on entry; it releases the lock
-// around fn and re-acquires it to publish the result.
+// around fn and re-acquires it to publish the result. If fn panics the
+// flight is settled with an error and removed before the panic
+// propagates, so waiters unblock (seeing the error) and the key is not
+// poisoned — a later call computes afresh.
 func (c *Cache) compute(key Key, fn func() (any, int64, error), refresh bool) (any, error) {
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
+	settled := false
+	defer func() {
+		if settled {
+			return
+		}
+		// fn panicked: unblock waiters with an error, leave the cache
+		// untouched, and let the panic keep unwinding.
+		fl.err = ErrComputePanicked
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(fl.done)
+	}()
 	fl.val, fl.cost, fl.err = fn()
+	settled = true
 
 	c.mu.Lock()
 	delete(c.inflight, key)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -165,5 +166,111 @@ func TestMetrics(t *testing.T) {
 	}
 	if got := r.Gauge("anncache_bytes", "", role).Value(); got != 20 {
 		t.Errorf("bytes gauge = %v, want 20", got)
+	}
+}
+
+// TestSingleFlightErrorPropagation pins the failure contract of the
+// single-flight path: every waiter that joined a failing computation
+// receives the error, the flight is removed, and a later lookup for the
+// same key computes afresh — the key is not poisoned.
+func TestSingleFlightErrorPropagation(t *testing.T) {
+	c := New(0)
+	boom := errors.New("pipeline exploded")
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var computes atomic.Int64
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.GetOrCompute(key(0), func() (any, int64, error) {
+			computes.Add(1)
+			close(started)
+			<-gate
+			return nil, 0, boom
+		})
+		leaderErr <- err
+	}()
+	<-started
+
+	r := obs.NewRegistry()
+	c.SetObserver(r)
+	const waiters = 6
+	errs := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.GetOrCompute(key(0), func() (any, int64, error) {
+				computes.Add(1)
+				return "unexpected", 1, nil
+			})
+			errs <- err
+		}()
+	}
+	// Wait until every waiter has actually joined the in-flight
+	// computation, then fail it.
+	joined := r.Counter("anncache_singleflight_waits_total", "", obs.L("kind", "track"))
+	for joined.Value() < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if err := <-leaderErr; !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v, want %v", err, boom)
+	}
+	close(errs)
+	n := 0
+	for err := range errs {
+		n++
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter err = %v, want %v (every waiter must see the failure)", err, boom)
+		}
+	}
+	if n != waiters {
+		t.Fatalf("collected %d waiter errors, want %d", n, waiters)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1 (waiters must join, not race)", got)
+	}
+	// The failed flight must be gone and the key must retry cleanly.
+	v, err := c.GetOrCompute(key(0), func() (any, int64, error) { return "fresh", 1, nil })
+	if err != nil || v != "fresh" {
+		t.Fatalf("retry after failure = (%v, %v), want fresh value", v, err)
+	}
+	if v, ok := c.Peek(key(0)); !ok || v != "fresh" {
+		t.Fatalf("retried value not cached: (%v, %v)", v, ok)
+	}
+}
+
+// TestSingleFlightPanicUnblocksWaiters: a panicking compute must not
+// leave waiters blocked or the key wedged — waiters get an error, the
+// panic propagates on the computing goroutine, and the next lookup
+// computes afresh.
+func TestSingleFlightPanicUnblocksWaiters(t *testing.T) {
+	c := New(0)
+	started := make(chan struct{})
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Do(key(0), func() (any, int64, error) {
+			close(started)
+			panic("compute blew up")
+		})
+	}()
+	<-started
+
+	// Waiters joining before or after the panic must both unblock.
+	_, err := c.GetOrCompute(key(0), func() (any, int64, error) { return "later", 1, nil })
+	if err != nil && !errors.Is(err, ErrComputePanicked) {
+		t.Fatalf("waiter err = %v, want nil or ErrComputePanicked", err)
+	}
+	if r := <-panicked; r == nil {
+		t.Fatal("panic was swallowed; it must propagate on the computing goroutine")
+	}
+	// The key is not poisoned.
+	v, err := c.GetOrCompute(key(0), func() (any, int64, error) { return "fresh", 1, nil })
+	if err != nil || (v != "fresh" && v != "later") {
+		t.Fatalf("lookup after panic = (%v, %v), want a computed value", v, err)
 	}
 }

@@ -1,0 +1,278 @@
+// Package breaker implements a three-state circuit breaker for calls to
+// an unreliable dependency. The streaming tier uses one breaker per
+// upstream origin: while an origin is healthy the breaker is Closed and
+// calls flow; once the failure rate over a rolling window trips the
+// threshold the breaker Opens and callers skip the origin entirely
+// (failing over to another, or serving stale) instead of burning
+// timeouts against a dead peer; after a cool-down the breaker admits a
+// single HalfOpen probe, and only a probe success closes it again.
+//
+// The clock is injectable, so every transition is unit-testable without
+// sleeping, and state changes can be observed through a callback (the
+// proxy exports them as metrics and drives failover ordering off them).
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the breaker's admission state. The numeric values are stable
+// and exported as a metric: 0 closed (healthy), 1 half-open (probing),
+// 2 open (shedding).
+type State int
+
+const (
+	// Closed admits every call; failures are tallied in the rolling
+	// window.
+	Closed State = iota
+	// HalfOpen admits up to Config.HalfOpenProbes concurrent probe
+	// calls; a failure reopens, enough successes close.
+	HalfOpen
+	// Open rejects every call until Config.OpenFor has elapsed.
+	Open
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// Config tunes a Breaker. The zero value gets sensible defaults from
+// New: a 10s window in 10 buckets, 50% failure rate over at least 5
+// samples to trip, 5s open, one half-open probe, one success to close.
+type Config struct {
+	// Window is the width of the rolling failure-rate window.
+	Window time.Duration
+	// Buckets is the window's rotation granularity; old samples expire
+	// one bucket (Window/Buckets) at a time.
+	Buckets int
+	// FailureRate is the windowed failure fraction (0..1] at or above
+	// which a Closed breaker trips.
+	FailureRate float64
+	// MinSamples is the minimum number of windowed samples before the
+	// rate is considered meaningful; below it the breaker never trips.
+	MinSamples int
+	// OpenFor is how long an Open breaker rejects before admitting
+	// half-open probes.
+	OpenFor time.Duration
+	// HalfOpenProbes caps concurrent calls admitted while HalfOpen.
+	HalfOpenProbes int
+	// CloseAfter is the number of consecutive half-open successes that
+	// close the breaker.
+	CloseAfter int
+	// Now overrides the clock (tests drive transitions deterministically).
+	Now func() time.Time
+	// OnStateChange, when set, observes every transition. It is called
+	// outside the breaker's lock, in transition order per breaker.
+	OnStateChange func(from, to State)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 10 * time.Second
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 10
+	}
+	if c.FailureRate <= 0 || c.FailureRate > 1 {
+		c.FailureRate = 0.5
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.CloseAfter <= 0 {
+		c.CloseAfter = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// bucket is one slice of the rolling window.
+type bucket struct {
+	succ, fail int
+}
+
+// Breaker is a three-state circuit breaker. Safe for concurrent use.
+type Breaker struct {
+	cfg Config
+
+	mu       sync.Mutex
+	state    State
+	openedAt time.Time
+	buckets  []bucket
+	cur      int
+	curStart time.Time
+	probes   int // outstanding half-open probes
+	hoSucc   int // consecutive half-open successes
+}
+
+// New builds a breaker in the Closed state.
+func New(cfg Config) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, buckets: make([]bucket, cfg.Buckets)}
+}
+
+// transition records a state change; the returned thunk invokes the
+// callback and must run after the lock is released.
+func (b *Breaker) transition(to State) func() {
+	from := b.state
+	b.state = to
+	if cb := b.cfg.OnStateChange; cb != nil {
+		return func() { cb(from, to) }
+	}
+	return func() {}
+}
+
+// advance expires window buckets older than now.
+func (b *Breaker) advance(now time.Time) {
+	width := b.cfg.Window / time.Duration(len(b.buckets))
+	if b.curStart.IsZero() {
+		b.curStart = now
+		return
+	}
+	steps := int(now.Sub(b.curStart) / width)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(b.buckets) {
+		for i := range b.buckets {
+			b.buckets[i] = bucket{}
+		}
+		b.curStart = now
+		return
+	}
+	for i := 0; i < steps; i++ {
+		b.cur = (b.cur + 1) % len(b.buckets)
+		b.buckets[b.cur] = bucket{}
+	}
+	b.curStart = b.curStart.Add(width * time.Duration(steps))
+}
+
+func (b *Breaker) countsLocked() (succ, fail int) {
+	for _, bk := range b.buckets {
+		succ += bk.succ
+		fail += bk.fail
+	}
+	return succ, fail
+}
+
+func (b *Breaker) resetWindowLocked(now time.Time) {
+	for i := range b.buckets {
+		b.buckets[i] = bucket{}
+	}
+	b.cur = 0
+	b.curStart = now
+}
+
+// Allow asks to make one call. When admitted it returns a done callback
+// that MUST be invoked exactly once with the call's outcome; when the
+// breaker is Open (and the cool-down has not elapsed) or the half-open
+// probe quota is taken, it returns (nil, false) and the caller should
+// fail over or shed.
+func (b *Breaker) Allow() (done func(success bool), ok bool) {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	b.advance(now)
+	notify := func() {}
+	switch b.state {
+	case Open:
+		if now.Sub(b.openedAt) < b.cfg.OpenFor {
+			b.mu.Unlock()
+			return nil, false
+		}
+		notify = b.transition(HalfOpen)
+		b.probes = 0
+		b.hoSucc = 0
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.mu.Unlock()
+			notify()
+			return nil, false
+		}
+		b.probes++
+	}
+	b.mu.Unlock()
+	notify()
+	var once sync.Once
+	return func(success bool) { once.Do(func() { b.done(success) }) }, true
+}
+
+// done settles one admitted call.
+func (b *Breaker) done(success bool) {
+	b.mu.Lock()
+	now := b.cfg.Now()
+	b.advance(now)
+	if success {
+		b.buckets[b.cur].succ++
+	} else {
+		b.buckets[b.cur].fail++
+	}
+	notify := func() {}
+	switch b.state {
+	case Closed:
+		if !success {
+			succ, fail := b.countsLocked()
+			if succ+fail >= b.cfg.MinSamples &&
+				float64(fail)/float64(succ+fail) >= b.cfg.FailureRate {
+				notify = b.transition(Open)
+				b.openedAt = now
+				b.resetWindowLocked(now)
+			}
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !success {
+			notify = b.transition(Open)
+			b.openedAt = now
+			b.hoSucc = 0
+		} else {
+			b.hoSucc++
+			if b.hoSucc >= b.cfg.CloseAfter {
+				notify = b.transition(Closed)
+				b.resetWindowLocked(now)
+			}
+		}
+	case Open:
+		// A straggler from before the trip; its sample is recorded, the
+		// state machine ignores it.
+	}
+	b.mu.Unlock()
+	notify()
+}
+
+// State returns the breaker's current state. An Open breaker whose
+// cool-down has elapsed still reports Open until a call (or probe) is
+// admitted — transitions happen on Allow, not on observation.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Counts returns the windowed success/failure tallies (for metrics and
+// debugging).
+func (b *Breaker) Counts() (successes, failures int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance(b.cfg.Now())
+	return b.countsLocked()
+}

@@ -1,0 +1,234 @@
+package breaker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a manually-advanced time source.
+type clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newClock() *clock { return &clock{now: time.Unix(1_000_000, 0)} }
+
+func (c *clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// record builds a breaker whose transitions are appended to a log.
+func record(t *testing.T, cfg Config) (*Breaker, *clock, *[]string) {
+	t.Helper()
+	ck := newClock()
+	var log []string
+	cfg.Now = ck.Now
+	cfg.OnStateChange = func(from, to State) {
+		log = append(log, fmt.Sprintf("%s->%s", from, to))
+	}
+	return New(cfg), ck, &log
+}
+
+// call runs one admitted call with the given outcome, failing the test
+// if the breaker rejects it.
+func call(t *testing.T, b *Breaker, success bool) {
+	t.Helper()
+	done, ok := b.Allow()
+	if !ok {
+		t.Fatalf("Allow rejected in state %v", b.State())
+	}
+	done(success)
+}
+
+func TestStaysClosedBelowMinSamples(t *testing.T) {
+	b, _, _ := record(t, Config{MinSamples: 5, FailureRate: 0.5})
+	for i := 0; i < 4; i++ {
+		call(t, b, false)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after 4 failures with MinSamples 5, want closed", b.State())
+	}
+	call(t, b, false)
+	if b.State() != Open {
+		t.Fatalf("state = %v after 5th failure, want open", b.State())
+	}
+}
+
+func TestFailureRateThreshold(t *testing.T) {
+	b, _, _ := record(t, Config{MinSamples: 4, FailureRate: 0.5})
+	// 3 successes + 2 failures = 40% failure rate: stays closed.
+	for i := 0; i < 3; i++ {
+		call(t, b, true)
+	}
+	call(t, b, false)
+	call(t, b, false)
+	if b.State() != Closed {
+		t.Fatalf("state = %v at 40%% failures, want closed", b.State())
+	}
+	// One more failure crosses 50%.
+	call(t, b, false)
+	if b.State() != Open {
+		t.Fatalf("state = %v at 50%% failures, want open", b.State())
+	}
+}
+
+func TestOpenRejectsUntilCooldown(t *testing.T) {
+	b, ck, _ := record(t, Config{MinSamples: 1, OpenFor: 5 * time.Second})
+	call(t, b, false)
+	if _, ok := b.Allow(); ok {
+		t.Fatal("open breaker admitted a call")
+	}
+	ck.Advance(4 * time.Second)
+	if _, ok := b.Allow(); ok {
+		t.Fatal("open breaker admitted a call before the cool-down elapsed")
+	}
+	ck.Advance(time.Second)
+	done, ok := b.Allow()
+	if !ok {
+		t.Fatal("breaker did not admit a probe after the cool-down")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v during probe, want half-open", b.State())
+	}
+	done(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+}
+
+func TestHalfOpenFailureReopens(t *testing.T) {
+	b, ck, log := record(t, Config{MinSamples: 1, OpenFor: time.Second})
+	call(t, b, false) // closed -> open
+	ck.Advance(time.Second)
+	done, ok := b.Allow()
+	if !ok {
+		t.Fatal("no probe admitted")
+	}
+	done(false) // half-open -> open again
+	if b.State() != Open {
+		t.Fatalf("state = %v after failed probe, want open", b.State())
+	}
+	// The full lifecycle so far.
+	want := []string{"closed->open", "open->half-open", "half-open->open"}
+	if len(*log) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *log, want)
+	}
+	for i := range want {
+		if (*log)[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, (*log)[i], want[i])
+		}
+	}
+	// And it recovers on the next successful probe.
+	ck.Advance(time.Second)
+	call(t, b, true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after recovery, want closed", b.State())
+	}
+}
+
+func TestHalfOpenProbeQuota(t *testing.T) {
+	b, ck, _ := record(t, Config{MinSamples: 1, OpenFor: time.Second, HalfOpenProbes: 1})
+	call(t, b, false)
+	ck.Advance(time.Second)
+	done, ok := b.Allow()
+	if !ok {
+		t.Fatal("no probe admitted")
+	}
+	// The probe slot is taken: further calls are rejected.
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second concurrent probe admitted with HalfOpenProbes=1")
+	}
+	done(true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestCloseAfterRequiresConsecutiveSuccesses(t *testing.T) {
+	b, ck, _ := record(t, Config{MinSamples: 1, OpenFor: time.Second, CloseAfter: 2})
+	call(t, b, false)
+	ck.Advance(time.Second)
+	call(t, b, true)
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v after 1/2 probe successes, want half-open", b.State())
+	}
+	call(t, b, true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v after 2/2 probe successes, want closed", b.State())
+	}
+}
+
+func TestWindowExpiresOldFailures(t *testing.T) {
+	b, ck, _ := record(t, Config{
+		Window: 10 * time.Second, Buckets: 10,
+		MinSamples: 3, FailureRate: 0.5,
+	})
+	call(t, b, false)
+	call(t, b, false)
+	// Two failures sit in the window; let them expire entirely.
+	ck.Advance(11 * time.Second)
+	if _, fail := b.Counts(); fail != 0 {
+		t.Fatalf("windowed failures = %d after expiry, want 0", fail)
+	}
+	// A fresh failure alone is below MinSamples: no trip.
+	call(t, b, false)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (old failures must have expired)", b.State())
+	}
+}
+
+func TestDoneIsIdempotent(t *testing.T) {
+	b, _, _ := record(t, Config{MinSamples: 2, FailureRate: 0.5})
+	done, _ := b.Allow()
+	done(false)
+	done(false) // must not double-count
+	if _, fail := b.Counts(); fail != 1 {
+		t.Fatalf("failures = %d after duplicate done, want 1", fail)
+	}
+}
+
+func TestTripResetsWindow(t *testing.T) {
+	b, ck, _ := record(t, Config{MinSamples: 1, OpenFor: time.Second})
+	call(t, b, false)
+	if succ, fail := b.Counts(); succ != 0 || fail != 0 {
+		t.Fatalf("counts = %d/%d after trip, want a reset window", succ, fail)
+	}
+	// After recovery a single old-style failure must re-trip only on its
+	// own merits (MinSamples 1 here, so it does — but from a clean slate).
+	ck.Advance(time.Second)
+	call(t, b, true)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	b := New(Config{MinSamples: 1000000}) // never trips; exercises races
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if done, ok := b.Allow(); ok {
+					done(j%2 == 0)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	succ, fail := b.Counts()
+	if succ+fail != 8*200 {
+		t.Fatalf("recorded %d samples, want %d", succ+fail, 8*200)
+	}
+}

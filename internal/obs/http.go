@@ -9,7 +9,8 @@ import (
 )
 
 // Handler returns the debug mux: /metrics (Prometheus text exposition),
-// /healthz, /debug/vars (expvar), /debug/pprof/* and /debug/spans.
+// /healthz (liveness), /readyz (readiness, driven by RegisterReadiness
+// checks), /debug/vars (expvar), /debug/pprof/* and /debug/spans.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -18,6 +19,17 @@ func (r *Registry) Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if errs := r.readinessErrors(); len(errs) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			for _, e := range errs {
+				fmt.Fprintln(w, e)
+			}
+			return
+		}
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -40,7 +52,7 @@ func (r *Registry) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "debug endpoints:")
-		for _, p := range []string{"/metrics", "/healthz", "/debug/vars", "/debug/pprof/", "/debug/spans"} {
+		for _, p := range []string{"/metrics", "/healthz", "/readyz", "/debug/vars", "/debug/pprof/", "/debug/spans"} {
 			fmt.Fprintln(w, "  "+p)
 		}
 	})

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -67,5 +68,50 @@ func TestServeDebug(t *testing.T) {
 	}
 	if !strings.Contains(string(body), "up 1") {
 		t.Errorf("metrics body = %q", body)
+	}
+}
+
+func TestReadyzNoChecksIsReady(t *testing.T) {
+	r := NewRegistry()
+	if code, body := get(t, r.Handler(), "/readyz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/readyz with no checks = %d %q, want 200 ok", code, body)
+	}
+}
+
+func TestReadyzReflectsChecks(t *testing.T) {
+	r := NewRegistry()
+	var serverErr, proxyErr error
+	r.RegisterReadiness("server", func() error { return serverErr })
+	r.RegisterReadiness("proxy", func() error { return proxyErr })
+	h := r.Handler()
+
+	if code, _ := get(t, h, "/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d with passing checks, want 200", code)
+	}
+
+	serverErr = errors.New("draining")
+	code, body := get(t, h, "/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d with a failing check, want 503", code)
+	}
+	if !strings.Contains(body, "server: draining") {
+		t.Errorf("/readyz body = %q, want the failing check named", body)
+	}
+	if strings.Contains(body, "proxy") {
+		t.Errorf("/readyz body = %q, must not list passing checks", body)
+	}
+
+	// Re-registering a name replaces the check.
+	r.RegisterReadiness("server", func() error { return nil })
+	if code, _ := get(t, h, "/readyz"); code != 200 {
+		t.Errorf("/readyz = %d after replacing the failing check, want 200", code)
+	}
+}
+
+func TestReadyzOnNilRegistry(t *testing.T) {
+	var r *Registry
+	r.RegisterReadiness("x", func() error { return errors.New("boom") }) // must not panic
+	if errs := r.readinessErrors(); errs != nil {
+		t.Errorf("nil registry readiness = %v, want nil", errs)
 	}
 }

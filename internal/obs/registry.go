@@ -185,6 +185,51 @@ type Registry struct {
 	spanMu   sync.Mutex
 	spanRing [spanRingSize]SpanRecord
 	spanN    uint64
+
+	readyMu    sync.Mutex
+	ready      map[string]func() error
+	readyOrder []string
+}
+
+// RegisterReadiness adds a named readiness check consulted by /readyz:
+// the endpoint reports ready only while every registered check returns
+// nil. Re-registering a name replaces its check. No-op on a nil
+// registry.
+func (r *Registry) RegisterReadiness(name string, check func() error) {
+	if r == nil || check == nil {
+		return
+	}
+	r.readyMu.Lock()
+	defer r.readyMu.Unlock()
+	if r.ready == nil {
+		r.ready = map[string]func() error{}
+	}
+	if _, exists := r.ready[name]; !exists {
+		r.readyOrder = append(r.readyOrder, name)
+	}
+	r.ready[name] = check
+}
+
+// readinessErrors runs every registered check and returns "name: err"
+// lines for the failing ones, in registration order.
+func (r *Registry) readinessErrors() []string {
+	if r == nil {
+		return nil
+	}
+	r.readyMu.Lock()
+	names := append([]string(nil), r.readyOrder...)
+	checks := make([]func() error, len(names))
+	for i, n := range names {
+		checks[i] = r.ready[n]
+	}
+	r.readyMu.Unlock()
+	var out []string
+	for i, f := range checks {
+		if err := f(); err != nil {
+			out = append(out, names[i]+": "+err.Error())
+		}
+	}
+	return out
 }
 
 // NewRegistry builds an empty registry.

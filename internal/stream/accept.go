@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Accept-loop backoff bounds: transient accept failures (EMFILE,
+// ECONNABORTED, a flaky wrapped listener) are retried with exponential
+// backoff instead of spinning hot or killing the loop.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
+// temporaryErr reports whether err advertises itself as transient.
+func temporaryErr(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
+
+// acceptWithBackoff accepts connections from ln, handing each to handle,
+// until the listener is closed. Temporary errors are retried with capped
+// exponential backoff (reset after every successful accept); a permanent
+// error ends the loop.
+func acceptWithBackoff(ln net.Listener, role string, logf func(string, ...any), acceptErrors *obs.Counter, handle func(net.Conn)) {
+	delay := acceptBackoffMin
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // orderly shutdown, not an error
+			}
+			acceptErrors.Inc()
+			if temporaryErr(err) {
+				logf("%s: accept: %v (retrying in %v)", role, err, delay)
+				time.Sleep(delay)
+				delay *= 2
+				if delay > acceptBackoffMax {
+					delay = acceptBackoffMax
+				}
+				continue
+			}
+			logf("%s: accept: %v", role, err)
+			return
+		}
+		delay = acceptBackoffMin
+		handle(conn)
+	}
+}

@@ -8,11 +8,15 @@ import (
 	"log"
 	"net"
 	"runtime"
+	"runtime/debug"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anncache"
 	"repro/internal/annotation"
+	"repro/internal/breaker"
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -28,13 +32,17 @@ import (
 // annotating server would have — demonstrating that "either the proxy or
 // the server node suffices" (§3).
 //
-// The proxy assumes the upstream link is unreliable: fetches carry dial
-// and per-read deadlines and are retried with backoff, and when the
-// upstream is down a previously-fetched copy of the clip is served stale
-// rather than failing the client.
+// The proxy assumes the upstream tier is unreliable: it can be given
+// several upstream origins in failover order, each guarded by a circuit
+// breaker — a dead or flapping origin is skipped until its half-open
+// probe succeeds. Fetches carry dial and per-read deadlines and are
+// retried with backoff, and when every upstream is down a
+// previously-fetched copy of the clip is served stale rather than
+// failing the client.
 type Proxy struct {
-	upstream string
-	enc      EncodeConfig
+	upstreams []*upstreamNode
+	brCfg     breaker.Config
+	enc       EncodeConfig
 
 	logMu sync.Mutex
 	logFn func(format string, args ...any)
@@ -44,16 +52,24 @@ type Proxy struct {
 	upstreamLat     *obs.Histogram
 	upstreamRetries *obs.Counter
 	staleServes     *obs.Counter
+	failovers       *obs.Counter
+	probesTotal     *obs.Counter
 
 	// Upstream fetch behaviour.
 	retry        RetryPolicy
 	dialTimeout  time.Duration
 	readTimeout  time.Duration
 	writeTimeout time.Duration
+	probeEvery   time.Duration
 	dial         func(network, addr string) (net.Conn, error)
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	draining  atomic.Bool
+	probeDone chan struct{}
 
 	// cache holds the last good fetch per clip (decoded source plus its
 	// annotation track) as the stale fallback when the upstream is down,
@@ -66,8 +82,15 @@ type Proxy struct {
 
 	mu     sync.Mutex
 	ln     net.Listener
+	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// upstreamNode is one upstream origin with its circuit breaker.
+type upstreamNode struct {
+	addr string
+	br   *breaker.Breaker
 }
 
 // proxyEntry is one cached upstream clip.
@@ -84,21 +107,94 @@ func (e *proxyEntry) cost() int64 {
 	return int64(e.src.TotalFrames())*int64(w)*int64(h)*24 + int64(e.track.Size())
 }
 
-// NewProxy builds a proxy forwarding to the upstream server address.
-func NewProxy(upstream string) *Proxy {
+// NewProxy builds a proxy over one or more upstream server addresses in
+// failover order: fetches go to the first upstream whose breaker admits
+// them, falling over to the next on failure.
+func NewProxy(upstreams ...string) *Proxy {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Proxy{
-		upstream:     upstream,
-		logFn:        log.Printf,
-		retry:        RetryPolicy{MaxAttempts: 3},
+	p := &Proxy{
+		logFn: log.Printf,
+		retry: RetryPolicy{MaxAttempts: 3},
+		brCfg: breaker.Config{
+			Window: 10 * time.Second, Buckets: 10,
+			FailureRate: 0.5, MinSamples: 2,
+			OpenFor: 3 * time.Second, HalfOpenProbes: 1, CloseAfter: 1,
+		},
 		dialTimeout:  5 * time.Second,
 		readTimeout:  10 * time.Second,
 		writeTimeout: 30 * time.Second,
+		probeEvery:   500 * time.Millisecond,
 		ctx:          ctx,
 		cancel:       cancel,
+		drainCh:      make(chan struct{}),
 		cache:        anncache.New(DefaultCacheCapacity),
 		annWorkers:   runtime.GOMAXPROCS(0),
+		conns:        map[net.Conn]struct{}{},
 	}
+	p.setUpstreams(upstreams)
+	return p
+}
+
+// setUpstreams (re)builds the upstream list with fresh breakers.
+func (p *Proxy) setUpstreams(addrs []string) {
+	p.upstreams = nil
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		node := &upstreamNode{addr: a}
+		cfg := p.brCfg
+		user := cfg.OnStateChange
+		cfg.OnStateChange = func(from, to breaker.State) {
+			p.onBreakerChange(node.addr, from, to)
+			if user != nil {
+				user(from, to)
+			}
+		}
+		node.br = breaker.New(cfg)
+		p.upstreams = append(p.upstreams, node)
+	}
+}
+
+// onBreakerChange logs and exports every breaker transition.
+func (p *Proxy) onBreakerChange(addr string, from, to breaker.State) {
+	p.logf("stream proxy: upstream %s breaker %s -> %s", addr, from, to)
+	if r := p.obsReg; r != nil {
+		l := obs.L("role", "proxy")
+		r.Gauge("proxy_breaker_state",
+			"Per-upstream breaker state (0 closed, 1 half-open, 2 open).",
+			l, obs.L("upstream", addr)).Set(float64(to))
+		if to == breaker.Open {
+			r.Counter("proxy_breaker_opens_total",
+				"Upstream breakers tripped open.", l, obs.L("upstream", addr)).Inc()
+		}
+	}
+}
+
+// SetBreakerConfig overrides the per-upstream circuit-breaker tuning
+// (rolling failure window, open cool-down, probe budget); the
+// OnStateChange callback, if any, is chained after the proxy's own
+// logging/metrics hook. Call before Listen.
+func (p *Proxy) SetBreakerConfig(cfg breaker.Config) {
+	p.brCfg = cfg
+	addrs := p.UpstreamAddrs()
+	p.setUpstreams(addrs)
+}
+
+// SetProbeInterval sets how often unhealthy upstreams are probed for
+// recovery (dial-level reachability; 0 disables probing). Call before
+// Listen.
+func (p *Proxy) SetProbeInterval(d time.Duration) { p.probeEvery = d }
+
+// UpstreamAddrs returns the configured upstream addresses in failover
+// order.
+func (p *Proxy) UpstreamAddrs() []string {
+	addrs := make([]string, len(p.upstreams))
+	for i, u := range p.upstreams {
+		addrs[i] = u.addr
+	}
+	return addrs
 }
 
 // SetAnnotateWorkers sets the annotation pipeline's worker-pool size
@@ -141,6 +237,15 @@ func (p *Proxy) SetObserver(r *obs.Registry) {
 	p.staleServes = r.Counter("proxy_stale_serves_total",
 		"Sessions served from the stale clip cache because the upstream was down.",
 		obs.L("role", "proxy"))
+	p.failovers = r.Counter("proxy_failovers_total",
+		"Fetches served by a non-primary upstream after failover.", obs.L("role", "proxy"))
+	p.probesTotal = r.Counter("proxy_upstream_probes_total",
+		"Recovery probes sent to unhealthy upstreams.", obs.L("role", "proxy"))
+	for _, u := range p.upstreams {
+		r.Gauge("proxy_breaker_state",
+			"Per-upstream breaker state (0 closed, 1 half-open, 2 open).",
+			obs.L("role", "proxy"), obs.L("upstream", u.addr)).Set(float64(u.br.State()))
+	}
 }
 
 // SetRetryPolicy overrides the upstream fetch retry behaviour (the zero
@@ -184,51 +289,177 @@ func (p *Proxy) Listen(addr string) (net.Addr, error) {
 }
 
 // Serve accepts client connections from a caller-provided listener
-// (chaos runs wrap a fault-injecting listener around a plain TCP one).
+// (chaos runs wrap a fault-injecting listener around a plain TCP one)
+// and starts the upstream recovery prober.
 func (p *Proxy) Serve(ln net.Listener) {
 	p.mu.Lock()
 	p.ln = ln
 	p.mu.Unlock()
+	if p.probeEvery > 0 && len(p.upstreams) > 0 && p.probeDone == nil {
+		p.probeDone = make(chan struct{})
+		go p.probeLoop()
+	}
 	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				if errors.Is(err, net.ErrClosed) {
-					return // orderly shutdown, not an error
-				}
-				p.pm.acceptErrors.Inc()
-				p.logf("stream proxy: accept: %v", err)
+		acceptWithBackoff(ln, "stream proxy", p.logf, p.pm.acceptErrors, func(conn net.Conn) {
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				conn.Close()
 				return
 			}
+			p.conns[conn] = struct{}{}
 			p.wg.Add(1)
+			p.mu.Unlock()
 			p.pm.connsTotal.Inc()
 			p.pm.activeConns.Add(1)
-			go func() {
-				defer p.wg.Done()
-				defer func() {
-					conn.Close()
-					p.pm.activeConns.Add(-1)
-				}()
-				if err := p.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-					p.pm.sessErrors.Inc()
-					p.logf("stream proxy: %v", err)
-				}
-			}()
-		}
+			go p.session(conn)
+		})
 	}()
 }
 
-// Close stops the proxy listener, cancels in-flight sessions and waits
-// for them.
-func (p *Proxy) Close() {
-	p.cancel()
+// session runs one client connection with panic isolation, mirroring
+// Server.session.
+func (p *Proxy) session(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+		conn.Close()
+		p.pm.activeConns.Add(-1)
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			p.pm.panics.Inc()
+			p.logf("stream proxy: session panic (recovered): %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := p.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+		p.pm.sessErrors.Inc()
+		p.logf("stream proxy: %v", err)
+	}
+}
+
+// probeLoop periodically probes unhealthy upstreams (anything not
+// Closed) with a dial, driving their breakers open -> half-open ->
+// closed as the origin recovers, without waiting for client traffic.
+func (p *Proxy) probeLoop() {
+	defer close(p.probeDone)
+	t := time.NewTicker(p.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-t.C:
+			for _, u := range p.upstreams {
+				if u.br.State() == breaker.Closed {
+					continue
+				}
+				done, ok := u.br.Allow()
+				if !ok {
+					continue
+				}
+				p.probesTotal.Inc()
+				conn, err := p.dialAddr(u.addr)
+				if err == nil {
+					conn.Close()
+				}
+				done(err == nil)
+			}
+		}
+	}
+}
+
+// beginDrain stops the listener and flips the proxy to draining.
+func (p *Proxy) beginDrain() {
+	p.draining.Store(true)
+	p.pm.draining.Set(1)
+	p.drainOnce.Do(func() { close(p.drainCh) })
 	p.mu.Lock()
 	p.closed = true
 	if p.ln != nil {
 		p.ln.Close()
 	}
 	p.mu.Unlock()
+}
+
+// Shutdown gracefully stops the proxy: stop accepting, let in-flight
+// sessions finish, then force-close whatever remains when ctx expires
+// (returning the context error).
+func (p *Proxy) Shutdown(ctx context.Context) error {
+	p.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		p.cancel()
+		p.mu.Lock()
+		for c := range p.conns {
+			c.Close()
+		}
+		p.mu.Unlock()
+		<-done
+	}
+	p.cancel()
+	if p.probeDone != nil {
+		<-p.probeDone
+	}
+	return err
+}
+
+// Close stops the proxy listener, cancels in-flight sessions and waits
+// for them (an immediate, non-draining shutdown).
+func (p *Proxy) Close() {
+	p.beginDrain()
+	p.cancel()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
 	p.wg.Wait()
+	if p.probeDone != nil {
+		<-p.probeDone
+	}
+}
+
+// Ready implements the readiness contract for /readyz: nil while the
+// proxy is accepting, not draining, and at least one upstream breaker is
+// not open.
+func (p *Proxy) Ready() error {
+	if p.draining.Load() {
+		return errors.New("draining")
+	}
+	p.mu.Lock()
+	if p.ln == nil {
+		p.mu.Unlock()
+		return errors.New("not serving")
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return errors.New("closed")
+	}
+	p.mu.Unlock()
+	if len(p.upstreams) > 0 {
+		allOpen := true
+		for _, u := range p.upstreams {
+			if u.br.State() != breaker.Open {
+				allOpen = false
+				break
+			}
+		}
+		if allOpen {
+			return errors.New("all upstream breakers open")
+		}
+	}
+	return nil
 }
 
 func (p *Proxy) handle(rawConn net.Conn) error {
@@ -322,7 +553,7 @@ func (p *Proxy) fetchAndAnnotate(clip, device string) (*proxyEntry, error) {
 			return nil, p.ctx.Err()
 		}
 		start := time.Now()
-		src, err := p.fetchRaw(clip, device)
+		src, err := p.fetchOnce(clip, device)
 		if err != nil {
 			lastErr = err
 			continue
@@ -348,12 +579,45 @@ func (p *Proxy) fetchAndAnnotate(clip, device string) (*proxyEntry, error) {
 	return nil, fmt.Errorf("upstream unreachable after %d attempts: %v", retry.MaxAttempts, lastErr)
 }
 
-// fetchRaw pulls the unannotated stream from upstream and buffers the
-// decoded frames. The upstream connection is closed on every path, and
-// each read carries a deadline so a hung upstream fails the attempt
+// fetchOnce tries each upstream in failover order, skipping any whose
+// breaker rejects the call; each attempt settles its upstream's breaker
+// with the outcome. A success from a non-primary upstream counts as a
+// failover.
+func (p *Proxy) fetchOnce(clip, device string) (core.Source, error) {
+	if len(p.upstreams) == 0 {
+		return nil, errors.New("no upstreams configured")
+	}
+	var lastErr error
+	tried := 0
+	for i, u := range p.upstreams {
+		done, ok := u.br.Allow()
+		if !ok {
+			continue
+		}
+		tried++
+		src, err := p.fetchRaw(u.addr, clip, device)
+		done(err == nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if i > 0 && p.failovers != nil {
+			p.failovers.Inc()
+		}
+		return src, nil
+	}
+	if tried == 0 {
+		return nil, fmt.Errorf("all %d upstreams unavailable (breakers open)", len(p.upstreams))
+	}
+	return nil, lastErr
+}
+
+// fetchRaw pulls the unannotated stream from one upstream and buffers
+// the decoded frames. The upstream connection is closed on every path,
+// and each read carries a deadline so a hung upstream fails the attempt
 // instead of wedging the session.
-func (p *Proxy) fetchRaw(clip, device string) (src core.Source, err error) {
-	rawConn, err := p.dialUpstream()
+func (p *Proxy) fetchRaw(addr, clip, device string) (src core.Source, err error) {
+	rawConn, err := p.dialAddr(addr)
 	if err != nil {
 		return nil, fmt.Errorf("upstream unreachable: %w", err)
 	}
@@ -405,11 +669,11 @@ func (p *Proxy) fetchRaw(clip, device string) (src core.Source, err error) {
 	return mem, nil
 }
 
-func (p *Proxy) dialUpstream() (net.Conn, error) {
+func (p *Proxy) dialAddr(addr string) (net.Conn, error) {
 	if p.dial != nil {
-		return p.dial("tcp", p.upstream)
+		return p.dial("tcp", addr)
 	}
-	return net.DialTimeout("tcp", p.upstream, p.dialTimeout)
+	return net.DialTimeout("tcp", addr, p.dialTimeout)
 }
 
 // memSource is a decoded in-memory clip.

@@ -166,7 +166,7 @@ func TestClientDegradesOnCorruptAnnotations(t *testing.T) {
 	// count, which goes from 0 to 1.
 	raw := buf.Bytes()
 	stream := append([]byte{}, raw[:13]...)
-	stream = append(stream, 1)                                              // one side-channel chunk
+	stream = append(stream, 1)                                                   // one side-channel chunk
 	stream = append(stream, container.ChunkLuminance, 0, 0, 0, 3, 255, 255, 255) // undecodable payload
 	stream = append(stream, raw[14:]...)
 
@@ -245,15 +245,17 @@ func TestClientDowngradesToV1(t *testing.T) {
 	}
 }
 
-// TestServerOverCapacityRefusalAndRetry: with a one-session cap and a
-// connection squatting on the slot, a resilient client gets clean
-// refusals, backs off, and succeeds once the slot frees up.
+// TestServerOverCapacityRefusalAndRetry: with a one-session cap, no
+// admission queue, and a connection squatting on the slot, a resilient
+// client gets clean shed responses, backs off, and succeeds once the
+// slot frees up.
 func TestServerOverCapacityRefusalAndRetry(t *testing.T) {
 	reg := obs.NewRegistry()
 	s := NewServer(testCatalog())
 	s.SetLogf(quiet)
 	s.SetObserver(reg)
 	s.SetMaxSessions(1)
+	s.SetAdmissionQueue(0, 0) // hard refusal: shed immediately when full
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -293,9 +295,9 @@ func TestServerOverCapacityRefusalAndRetry(t *testing.T) {
 	if res.Frames != 20 {
 		t.Errorf("frames = %d, want 20", res.Frames)
 	}
-	refused := reg.Counter("stream_sessions_refused_total", "", obs.L("role", "server"))
-	if refused.Value() == 0 {
-		t.Error("stream_sessions_refused_total = 0, want nonzero")
+	shed := reg.Counter("stream_sessions_shed_total", "", obs.L("role", "server"))
+	if shed.Value() == 0 {
+		t.Error("stream_sessions_shed_total = 0, want nonzero")
 	}
 }
 

@@ -8,7 +8,9 @@ import (
 	"log"
 	"net"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anncache"
@@ -55,8 +57,11 @@ type serverMetrics struct {
 	bytesSent    *obs.Counter
 	acceptErrors *obs.Counter
 	sessErrors   *obs.Counter
-	refused      *obs.Counter
+	shed         *obs.Counter
 	resumes      *obs.Counter
+	queueDepth   *obs.Gauge
+	panics       *obs.Counter
+	draining     *obs.Gauge
 }
 
 func newServerMetrics(r *obs.Registry, role string) serverMetrics {
@@ -71,13 +76,19 @@ func newServerMetrics(r *obs.Registry, role string) serverMetrics {
 		bytesSent: r.Counter("stream_bytes_sent_total",
 			"Bytes written to clients (container payload).", l),
 		acceptErrors: r.Counter("stream_accept_errors_total",
-			"Unexpected listener accept errors.", l),
+			"Listener accept errors (transient ones are retried with backoff).", l),
 		sessErrors: r.Counter("stream_session_errors_total",
 			"Sessions that ended with an error.", l),
-		refused: r.Counter("stream_sessions_refused_total",
-			"Connections refused by the max-concurrent-sessions limit.", l),
+		shed: r.Counter("stream_sessions_shed_total",
+			"Connections shed by admission control (queue full or wait deadline expired).", l),
 		resumes: r.Counter("stream_resumes_total",
 			"Sessions resumed mid-clip via the start_frame extension.", l),
+		queueDepth: r.Gauge("stream_admission_queue_depth",
+			"Connections currently waiting in the admission queue.", l),
+		panics: r.Counter("stream_session_panics_total",
+			"Session goroutines that panicked and were recovered (session dropped, process alive).", l),
+		draining: r.Gauge("stream_draining",
+			"1 while the process is draining in-flight sessions for shutdown.", l),
 	}
 }
 
@@ -99,16 +110,29 @@ type Server struct {
 	// stops draining its socket cannot pin a session goroutine.
 	handshakeTimeout time.Duration
 	writeTimeout     time.Duration
-	// maxSessions caps concurrent sessions (0 = unlimited); connections
-	// over the cap get a clean over-capacity refusal that resilient
-	// clients back off and retry on.
+	// maxSessions caps concurrent sessions (0 = unlimited). Connections
+	// over the cap wait in a bounded admission queue (queueDepth slots,
+	// up to queueWait each) and are shed with a clean over-capacity
+	// refusal only when the queue is full or the wait deadline expires —
+	// a short burst rides the queue instead of being refused outright.
 	maxSessions int
+	queueDepth  int
+	queueWait   time.Duration
+	queueSet    bool
+	slots       chan struct{}
+	waiters     atomic.Int64
 
 	// ctx is cancelled by Close; sessions check it between frames so a
 	// shutdown (or a client stalled past its write deadline) releases
 	// the goroutine promptly.
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// drainCh closes when a graceful shutdown begins: queued admissions
+	// shed immediately while in-flight sessions keep streaming.
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	draining  atomic.Bool
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -156,6 +180,7 @@ func NewServer(catalog map[string]core.Source) *Server {
 		writeTimeout:     30 * time.Second,
 		ctx:              ctx,
 		cancel:           cancel,
+		drainCh:          make(chan struct{}),
 		conns:            map[net.Conn]struct{}{},
 		cache:            anncache.New(DefaultCacheCapacity),
 		annWorkers:       runtime.GOMAXPROCS(0),
@@ -178,10 +203,22 @@ func (s *Server) SetTimeouts(handshake, write time.Duration) {
 	s.writeTimeout = write
 }
 
-// SetMaxSessions caps concurrent client sessions; further connections
-// receive a clean over-capacity refusal (0 = unlimited). Call before
-// Listen.
+// SetMaxSessions caps concurrent client sessions (0 = unlimited).
+// Connections over the cap wait in a bounded admission queue and are
+// shed with a clean over-capacity refusal only once the queue is full or
+// the wait deadline expires (see SetAdmissionQueue). Call before Listen.
 func (s *Server) SetMaxSessions(n int) { s.maxSessions = n }
+
+// SetAdmissionQueue tunes load shedding under a SetMaxSessions cap:
+// depth is the number of connections allowed to wait for a session slot
+// (0 = shed immediately when at capacity, the pre-queue behaviour), wait
+// is the longest any of them waits before being shed. The defaults are
+// depth = max sessions and a 1s wait. Call before Listen.
+func (s *Server) SetAdmissionQueue(depth int, wait time.Duration) {
+	s.queueDepth = depth
+	s.queueWait = wait
+	s.queueSet = true
+}
 
 // SetLogf replaces the server's logger (tests silence it). Safe to call
 // while the server is accepting connections.
@@ -228,73 +265,189 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
 	s.ln = ln
+	if s.maxSessions > 0 && s.slots == nil {
+		s.slots = make(chan struct{}, s.maxSessions)
+		if !s.queueSet {
+			s.queueDepth = s.maxSessions
+			s.queueWait = time.Second
+		}
+	}
 	s.mu.Unlock()
 	go s.acceptLoop(ln)
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return // orderly shutdown, not an error
-			}
-			s.sm.acceptErrors.Inc()
-			s.logf("stream server: accept: %v", err)
-			return
-		}
+	acceptWithBackoff(ln, "stream server", s.logf, s.sm.acceptErrors, func(conn net.Conn) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
 			return
 		}
-		if s.maxSessions > 0 && len(s.conns) >= s.maxSessions {
-			s.mu.Unlock()
-			// Admission control: refuse cleanly so resilient clients
-			// back off and retry instead of timing out mid-handshake.
-			s.sm.refused.Inc()
-			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
-			WriteOverCapacity(conn)
-			conn.Close()
-			continue
-		}
 		s.conns[conn] = struct{}{}
 		s.handlers.Add(1)
 		s.mu.Unlock()
 		s.sm.connsTotal.Inc()
 		s.sm.activeConns.Add(1)
-		go func() {
-			defer s.handlers.Done()
-			defer func() {
-				s.mu.Lock()
-				delete(s.conns, conn)
-				s.mu.Unlock()
-				conn.Close()
-				s.sm.activeConns.Add(-1)
-			}()
-			if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-				s.sm.sessErrors.Inc()
-				s.logf("stream server: %v", err)
-			}
-		}()
+		go s.session(conn)
+	})
+}
+
+// session runs one accepted connection: admission, the protocol handler,
+// and teardown. A panic anywhere in the session is recovered here — the
+// session dies, the process (and every other session) survives.
+func (s *Server) session(conn net.Conn) {
+	defer s.handlers.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+		s.sm.activeConns.Add(-1)
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			s.sm.panics.Inc()
+			s.logf("stream server: session panic (recovered): %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := s.admit(); err != nil {
+		// Load shedding: refuse cleanly so resilient clients back off
+		// and retry instead of timing out mid-handshake.
+		s.sm.shed.Inc()
+		if s.writeTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		WriteOverCapacity(conn)
+		return
+	}
+	defer s.release()
+	if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+		s.sm.sessErrors.Inc()
+		s.logf("stream server: %v", err)
 	}
 }
 
-// Close stops the listener, cancels in-flight sessions and closes
-// active connections.
-func (s *Server) Close() {
-	s.cancel()
+// admit acquires a session slot, waiting in the bounded admission queue
+// when the server is at capacity. It returns ErrOverCapacity when the
+// queue is full, the wait deadline expires, or a shutdown begins.
+func (s *Server) admit() error {
+	if s.slots == nil {
+		return nil
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.queueDepth <= 0 {
+		return ErrOverCapacity
+	}
+	if s.waiters.Add(1) > int64(s.queueDepth) {
+		s.waiters.Add(-1)
+		return ErrOverCapacity
+	}
+	s.sm.queueDepth.Set(float64(s.waiters.Load()))
+	defer func() {
+		s.waiters.Add(-1)
+		s.sm.queueDepth.Set(float64(s.waiters.Load()))
+	}()
+	wait := s.queueWait
+	if wait <= 0 {
+		wait = time.Second
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrOverCapacity
+	case <-s.drainCh:
+		return ErrOverCapacity
+	case <-s.ctx.Done():
+		return ErrOverCapacity
+	}
+}
+
+// release returns a session slot to the admission pool.
+func (s *Server) release() {
+	if s.slots != nil {
+		<-s.slots
+	}
+}
+
+// beginDrain stops the listener and flips the server to draining:
+// /readyz-style checks fail immediately, queued admissions shed, but
+// in-flight sessions keep streaming.
+func (s *Server) beginDrain() {
+	s.draining.Store(true)
+	s.sm.draining.Set(1)
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	s.mu.Lock()
 	s.closed = true
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully stops the server: it stops accepting, sheds the
+// admission queue, and lets in-flight sessions finish. If ctx expires
+// first, remaining sessions are cancelled and their connections closed;
+// the context error is returned. A nil return means every session
+// drained cleanly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close stops the listener, cancels in-flight sessions and closes
+// active connections (an immediate, non-draining shutdown).
+func (s *Server) Close() {
+	s.beginDrain()
+	s.cancel()
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	s.handlers.Wait()
+}
+
+// Ready implements the readiness contract for /readyz: nil while the
+// server is accepting and not draining.
+func (s *Server) Ready() error {
+	if s.draining.Load() {
+		return errors.New("draining")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return errors.New("not serving")
+	}
+	if s.closed {
+		return errors.New("closed")
+	}
+	return nil
 }
 
 func (s *Server) handle(rawConn net.Conn) error {
