@@ -6,9 +6,16 @@
 //
 //	annotate -clip returnoftheking -o rotk.avs [-w 120 -h 90 -fps 10]
 //	         [-scale 0.25] [-gop 10] [-qscale 4] [-threshold 0.10]
-//	         [-workers N]
+//	         [-workers N] [-store-dir /var/lib/streamd]
 //	annotate -i footage.y4m -o footage.avs     # annotate real footage
 //	annotate -list
+//
+// Output files are written atomically (temp + fsync + rename), so an
+// interrupted run never leaves a torn .avs behind. With -store-dir the
+// computed annotation track is also written into the persistent
+// artifact store (see internal/annstore) under the clip's content
+// digest — the same key a streaming server uses — so an offline
+// annotation run pre-warms the serving tier.
 //
 // Real footage is accepted as C444 YUV4MPEG2 (produce it with
 // `ffmpeg -i in.mp4 -pix_fmt yuv444p -f yuv4mpegpipe footage.y4m`).
@@ -23,6 +30,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/annstore"
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -44,6 +52,7 @@ func main() {
 	qscale := flag.Int("qscale", 4, "codec quantiser scale (1..31)")
 	threshold := flag.Float64("threshold", 0.10, "scene-change threshold (fraction of full scale)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "annotation pipeline workers (<=1 = sequential)")
+	storeDir := flag.String("store-dir", "", "also write the annotation track into this persistent artifact store (pre-warms a server's -store-dir)")
 	y4mOut := flag.String("y4m", "", "also export the raw clip as YUV4MPEG2 to this path (viewable with mpv/ffplay)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address while annotating")
 	flag.Parse()
@@ -93,10 +102,10 @@ func main() {
 	width, height := src.Size()
 
 	if *y4mOut != "" {
-		yf, err := os.Create(*y4mOut)
+		yf, err := annstore.CreateAtomic(*y4mOut)
 		exitOn(err)
 		exitOn(video.WriteY4M(yf, src))
-		exitOn(yf.Close())
+		exitOn(yf.Commit())
 		fmt.Printf("exported       %s (YUV4MPEG2)\n", *y4mOut)
 	}
 
@@ -106,9 +115,12 @@ func main() {
 		core.AnnotateOptions{Workers: *workers})
 	exitOn(err)
 
-	f, err := os.Create(*out)
+	// The container is written through an atomic file: a crash or kill
+	// mid-encode leaves the previous *out (or nothing), never a torn
+	// stream a player would choke on.
+	f, err := annstore.CreateAtomic(*out)
 	exitOn(err)
-	defer f.Close()
+	defer f.Abort()
 
 	cw, err := container.NewWriter(f, container.Header{
 		W: width, H: height, FPS: src.FPS(),
@@ -133,6 +145,16 @@ func main() {
 		bytes += ef.Size()
 	}
 	encSpan.End()
+	exitOn(f.Commit())
+
+	if *storeDir != "" {
+		st, err := annstore.Open(*storeDir, annstore.Options{})
+		exitOn(err)
+		dg := core.SourceDigest(src)
+		exitOn(st.Put(annstore.Key{Kind: "track", Digest: dg, Quality: -1}, track.Encode()))
+		exitOn(st.Close())
+		fmt.Printf("store          pre-warmed track %s in %s\n", dg, *storeDir)
+	}
 
 	fmt.Printf("clip          %s (%dx%d @ %d fps, %.1fs)\n",
 		name, width, height, src.FPS(), float64(src.TotalFrames())/float64(src.FPS()))

@@ -10,7 +10,9 @@
 //	        [-upstreams a:port,b:port] [-drain-timeout 15s]
 //	        [-debug-addr :7401] [-w 120 -h 90 -fps 10 -scale 0.25]
 //	        [-max-sessions 0] [-workers N] [-cache-size MiB]
+//	        [-store-dir /var/lib/streamd] [-store-size MiB]
 //	        [-faults latency=2ms,reset=65536,repeat,seed=7]
+//	streamd -store-dir /var/lib/streamd -fsck
 //
 // With -proxy-of (or -upstreams, a comma-separated failover list) the
 // process runs as the intermediary proxy node instead, pulling raw
@@ -20,6 +22,15 @@
 // (liveness), /readyz (readiness — not-ready while draining or with
 // every upstream breaker open), /debug/vars, /debug/pprof and
 // /debug/spans.
+//
+// With -store-dir the process keeps a persistent, crash-safe artifact
+// store (see internal/annstore) under the in-memory cache: annotation
+// tracks, encoded variants and device level tables survive restarts, so
+// a drained or crashed process comes back warm instead of recomputing
+// the fleet's artifacts. -store-size bounds it (LRU eviction). With
+// -fsck the process instead verifies every stored artifact end to end,
+// quarantines anything corrupt, prints a report and exits — non-zero
+// when corruption was found.
 //
 // With -faults every accepted connection is wrapped in the deterministic
 // fault injector (see internal/faults): added latency, bandwidth
@@ -48,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/annstore"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -68,8 +80,20 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "max concurrent sessions (0 = unlimited)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "annotation pipeline workers (<=1 = sequential)")
 	cacheSize := flag.Int64("cache-size", 256, "annotated-artifact cache budget in MiB (0 = unlimited)")
+	storeDir := flag.String("store-dir", "", "persistent artifact store directory (empty = memory-only)")
+	storeSize := flag.Int64("store-size", 1024, "persistent store byte budget in MiB (0 = unlimited)")
+	fsck := flag.Bool("fsck", false, "verify the -store-dir store, quarantine corrupt entries, report and exit (non-zero on corruption)")
 	faultSpec := flag.String("faults", "", "inject faults into accepted connections (e.g. latency=2ms,bw=65536,short,corrupt=0.001,reset=65536,repeat,seed=7)")
 	flag.Parse()
+
+	if *fsck {
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "streamd: -fsck requires -store-dir")
+			os.Exit(2)
+		}
+		runFsck(*storeDir, *storeSize)
+		return
+	}
 
 	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -115,6 +139,29 @@ func main() {
 		fmt.Println("drained cleanly")
 	}
 
+	// openStore opens the persistent artifact tier when -store-dir is
+	// set; the Open-time scan quarantines anything a crash tore.
+	openStore := func(role string) *annstore.Store {
+		if *storeDir == "" {
+			return nil
+		}
+		st, err := annstore.Open(*storeDir, annstore.Options{
+			MaxBytes: *storeSize << 20,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		exitOn(err)
+		if reg != nil {
+			st.SetObserver(reg, obs.L("role", role))
+		}
+		if rep := st.OpenReport(); rep.Quarantined > 0 || rep.Adopted > 0 {
+			fmt.Printf("store recovery: %s\n", rep)
+		}
+		fmt.Printf("store %s: %d artifacts, %d bytes\n", *storeDir, st.Len(), st.Bytes())
+		return st
+	}
+
 	upstreamList := *upstreams
 	if upstreamList == "" {
 		upstreamList = *proxyOf
@@ -123,6 +170,10 @@ func main() {
 		p := stream.NewProxy(strings.Split(upstreamList, ",")...)
 		p.SetAnnotateWorkers(*workers)
 		p.SetCacheCapacity(*cacheSize << 20)
+		if st := openStore("proxy"); st != nil {
+			p.SetStore(st)
+			defer st.Close()
+		}
 		p.SetObserver(reg)
 		reg.RegisterReadiness("proxy", p.Ready)
 		ln, err := listen()
@@ -143,6 +194,10 @@ func main() {
 	s := stream.NewServer(catalog)
 	s.SetAnnotateWorkers(*workers)
 	s.SetCacheCapacity(*cacheSize << 20)
+	if st := openStore("server"); st != nil {
+		s.SetStore(st)
+		defer st.Close()
+	}
 	s.SetObserver(reg)
 	s.SetMaxSessions(*maxSessions)
 	reg.RegisterReadiness("server", s.Ready)
@@ -155,6 +210,32 @@ func main() {
 	}
 	<-stop
 	drain(s.Shutdown)
+}
+
+// runFsck is the offline store-verification mode: open (the fast scan
+// already quarantines torn entries), then fully verify every artifact.
+// Exit status 1 means something was quarantined — by this run's scan or
+// by the exhaustive pass.
+func runFsck(dir string, sizeMiB int64) {
+	st, err := annstore.Open(dir, annstore.Options{
+		MaxBytes: sizeMiB << 20,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	exitOn(err)
+	rep, err := st.Fsck()
+	exitOn(err)
+	if or := st.OpenReport(); or.Quarantined > 0 || or.Adopted > 0 || or.TmpRemoved > 0 {
+		fmt.Printf("open scan: %s\n", or)
+	}
+	fmt.Printf("fsck: %s\n", rep)
+	exitOn(st.Close())
+	if st.Quarantined() > 0 {
+		fmt.Fprintln(os.Stderr, "streamd: store corruption found (entries quarantined)")
+		os.Exit(1)
+	}
+	fmt.Println("store is clean")
 }
 
 func exitOn(err error) {

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bufio"
+	"bytes"
+	"fmt"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -11,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/annstore"
 	"repro/internal/display"
 	"repro/internal/frame"
 	"repro/internal/stream"
@@ -164,5 +168,90 @@ func TestDrainOnSIGTERM(t *testing.T) {
 	outMu.Unlock()
 	if !strings.Contains(all, "drained cleanly") {
 		t.Errorf("stdout missing %q:\n%s", "drained cleanly", all)
+	}
+}
+
+// TestFsckMode is the end-to-end check of `streamd -fsck`: a clean store
+// exits 0, a store with a corrupted artifact exits 1 while quarantining
+// it, and a second run over the now-repaired store exits 0 again.
+func TestFsckMode(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "streamd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	dir := t.TempDir()
+	st, err := annstore.Open(dir, annstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.Put(annstore.Key{Kind: "track", Digest: fmt.Sprintf("fsck%d", i)},
+			bytes.Repeat([]byte{byte(i)}, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() (string, int) {
+		out, err := exec.Command(bin, "-store-dir", dir, "-fsck").CombinedOutput()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running fsck: %v\n%s", err, out)
+		}
+		return string(out), code
+	}
+
+	if out, code := run(); code != 0 || !strings.Contains(out, "store is clean") {
+		t.Fatalf("fsck on clean store: exit %d, output:\n%s", code, out)
+	}
+
+	// Corrupt one artifact's payload on disk.
+	des, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, de := range des {
+		if !strings.HasSuffix(de.Name(), ".art") {
+			continue
+		}
+		path := filepath.Join(dir, "objects", de.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted = true
+		break
+	}
+	if !corrupted {
+		t.Fatal("no artifacts on disk to corrupt")
+	}
+
+	out, code := run()
+	if code != 1 {
+		t.Fatalf("fsck on corrupt store: exit %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "quarantin") {
+		t.Fatalf("fsck output does not mention quarantine:\n%s", out)
+	}
+
+	// The corrupt entry is now quarantined, so a re-run is clean.
+	if out, code := run(); code != 0 {
+		t.Fatalf("fsck after quarantine: exit %d, output:\n%s", code, out)
+	}
+
+	// And the quarantined file was preserved for inspection, not deleted.
+	qdes, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qdes) == 0 {
+		t.Fatalf("quarantine dir: %v entries, err %v", len(qdes), err)
 	}
 }

@@ -1,0 +1,515 @@
+package annstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey(i int) Key {
+	return Key{Kind: "track", Digest: fmt.Sprintf("digest%04d", i), Quality: i % 3}
+}
+
+func testPayload(i int) []byte {
+	b := make([]byte, 512+i)
+	for j := range b {
+		b[j] = byte(i + j*7)
+	}
+	return b
+}
+
+func openT(t *testing.T, dir string, maxBytes int64) *Store {
+	t.Helper()
+	st, err := Open(dir, Options{MaxBytes: maxBytes, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+// objectFiles returns the artifact files currently on disk.
+func objectFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range des {
+		names = append(names, de.Name())
+	}
+	return names
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	defer st.Close()
+
+	keys := []Key{
+		{Kind: "track", Digest: "abc", Quality: -1},
+		{Kind: "variant", Digest: "abc+g8q4", Quality: 2},
+		{Kind: "levels", Digest: "abc", Quality: -1, Device: "ipaq5555"},
+		{Kind: "weird", Digest: strings.Repeat("x", 300) + "/../;", Quality: 0, Device: "a b"},
+	}
+	for i, k := range keys {
+		if err := st.Put(k, testPayload(i)); err != nil {
+			t.Fatalf("Put(%+v): %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		got, ok := st.Get(k)
+		if !ok {
+			t.Fatalf("Get(%+v) missed", k)
+		}
+		if !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("Get(%+v) returned wrong payload", k)
+		}
+	}
+	if _, ok := st.Get(Key{Kind: "track", Digest: "nope"}); ok {
+		t.Fatal("Get of absent key hit")
+	}
+
+	// Idempotent re-put keeps one entry; a changed payload replaces it.
+	if err := st.Put(keys[0], testPayload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != len(keys) {
+		t.Fatalf("Len = %d after idempotent re-put, want %d", st.Len(), len(keys))
+	}
+	if err := st.Put(keys[0], []byte("replacement")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(keys[0])
+	if !ok || string(got) != "replacement" {
+		t.Fatalf("Get after replace = %q, %v", got, ok)
+	}
+	if st.Len() != len(keys) {
+		t.Fatalf("Len = %d after replace, want %d", st.Len(), len(keys))
+	}
+}
+
+func TestWarmReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := st.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBytes := st.Bytes()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openT(t, dir, 0)
+	defer st2.Close()
+	if st2.Len() != n {
+		t.Fatalf("reopened Len = %d, want %d", st2.Len(), n)
+	}
+	if st2.Bytes() != wantBytes {
+		t.Fatalf("reopened Bytes = %d, want %d", st2.Bytes(), wantBytes)
+	}
+	if q := st2.Quarantined(); q != 0 {
+		t.Fatalf("clean reopen quarantined %d files", q)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := st2.Get(testKey(i))
+		if !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("entry %d lost or damaged across reopen", i)
+		}
+	}
+}
+
+func TestEvictionByByteBudget(t *testing.T) {
+	dir := t.TempDir()
+	// Each entry is ~600 bytes of payload plus a small header; a 2000
+	// byte budget holds about three.
+	st := openT(t, dir, 2000)
+	defer st.Close()
+	for i := 0; i < 10; i++ {
+		if err := st.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Bytes() > 2000 {
+		t.Fatalf("Bytes = %d over the 2000 budget", st.Bytes())
+	}
+	if st.Len() >= 10 {
+		t.Fatal("no eviction happened")
+	}
+	if got := len(objectFiles(t, dir)); got != st.Len() {
+		t.Fatalf("%d files on disk, index holds %d", got, st.Len())
+	}
+	// The newest entry must survive.
+	if _, ok := st.Get(testKey(9)); !ok {
+		t.Fatal("most recent entry was evicted")
+	}
+	// An evicted entry is a plain miss.
+	if _, ok := st.Get(testKey(0)); ok {
+		t.Fatal("oldest entry survived a budget 10x too small")
+	}
+}
+
+func TestRecencyGuidesEviction(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	for i := 0; i < 4; i++ {
+		if err := st.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest so it becomes the most recent...
+	if _, ok := st.Get(testKey(0)); !ok {
+		t.Fatal("touch missed")
+	}
+	total := st.Bytes()
+	st.Close()
+	// ...and recency must survive the restart: shrinking the budget to
+	// roughly two entries should keep 0 and evict 1 first.
+	st2 := openT(t, dir, total*5/8)
+	defer st2.Close()
+	if _, ok := st2.Get(testKey(0)); !ok {
+		t.Fatal("recently-touched entry evicted before older ones after reopen")
+	}
+	if _, ok := st2.Get(testKey(1)); ok {
+		t.Fatal("least-recently-used entry survived the shrunken budget")
+	}
+}
+
+func TestCorruptPayloadQuarantinedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	defer st.Close()
+	key := testKey(1)
+	if err := st.Put(key, testPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	files := objectFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("want 1 object file, got %v", files)
+	}
+	// Flip one payload byte in place — size stays right, CRC does not.
+	path := filepath.Join(dir, "objects", files[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := st.Get(key); ok {
+		t.Fatal("corrupt artifact was served")
+	}
+	if q := st.Quarantined(); q != 1 {
+		t.Fatalf("Quarantined = %d, want 1", q)
+	}
+	if qf, _ := os.ReadDir(filepath.Join(dir, "quarantine")); len(qf) != 1 {
+		t.Fatal("corrupt file not moved to quarantine")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d after quarantine, want 0", st.Len())
+	}
+	// The recompute path re-puts and the store works again.
+	if err := st.Put(key, testPayload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := st.Get(key); !ok || !bytes.Equal(got, testPayload(1)) {
+		t.Fatal("store unusable after quarantine + re-put")
+	}
+}
+
+// TestTornOrFlippedFileNeverServesWrongBytes is the core safety
+// property: whatever prefix or bit-flip damage an artifact file
+// suffers, a reopened store either serves the exact original payload or
+// misses — never wrong bytes.
+func TestTornOrFlippedFileNeverServesWrongBytes(t *testing.T) {
+	key := testKey(7)
+	want := testPayload(7)
+
+	build := func(t *testing.T) (dir, path string, size int64) {
+		dir = t.TempDir()
+		st := openT(t, dir, 0)
+		if err := st.Put(key, want); err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+		files := objectFiles(t, dir)
+		if len(files) != 1 {
+			t.Fatalf("want 1 file, got %v", files)
+		}
+		path = filepath.Join(dir, "objects", files[0])
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, path, fi.Size()
+	}
+
+	check := func(t *testing.T, dir string, wantMiss bool) {
+		st := openT(t, dir, 0)
+		defer st.Close()
+		got, ok := st.Get(key)
+		if ok && !bytes.Equal(got, want) {
+			t.Fatal("damaged store served wrong bytes")
+		}
+		if wantMiss && ok {
+			t.Fatal("damaged artifact served as a hit")
+		}
+	}
+
+	_, path0, size := build(t)
+	_ = path0
+	step := size / 13
+	if step == 0 {
+		step = 1
+	}
+	for cut := int64(0); cut < size; cut += step {
+		cut := cut
+		t.Run(fmt.Sprintf("truncate_%d", cut), func(t *testing.T) {
+			dir, path, _ := build(t)
+			if err := os.Truncate(path, cut); err != nil {
+				t.Fatal(err)
+			}
+			check(t, dir, true)
+		})
+	}
+	for off := int64(0); off < size; off += step {
+		off := off
+		t.Run(fmt.Sprintf("bitflip_%d", off), func(t *testing.T) {
+			dir, path, _ := build(t)
+			f, err := os.OpenFile(path, os.O_RDWR, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := make([]byte, 1)
+			if _, err := f.ReadAt(b, off); err != nil {
+				t.Fatal(err)
+			}
+			b[0] ^= 0x40
+			if _, err := f.WriteAt(b, off); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			check(t, dir, true)
+		})
+	}
+}
+
+func TestJournalTornTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	for i := 0; i < 5; i++ {
+		if err := st.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+
+	// Simulate a crash mid-append: a torn, CRC-less final record.
+	j, err := os.OpenFile(filepath.Join(dir, "journal"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.WriteString("put half-a-reco"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	st2 := openT(t, dir, 0)
+	defer st2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("Len = %d after torn journal tail, want 5", st2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if got, ok := st2.Get(testKey(i)); !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("entry %d lost to a torn journal tail", i)
+		}
+	}
+	// The reopen compacted the journal; a third open must be clean.
+	st2.Close()
+	st3 := openT(t, dir, 0)
+	defer st3.Close()
+	if st3.Len() != 5 || st3.Quarantined() != 0 {
+		t.Fatalf("post-compaction open: Len=%d quarantined=%d", st3.Len(), st3.Quarantined())
+	}
+}
+
+func TestOrphansAdoptedAfterJournalLoss(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	for i := 0; i < 4; i++ {
+		if err := st.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	if err := os.Remove(filepath.Join(dir, "journal")); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openT(t, dir, 0)
+	defer st2.Close()
+	if st2.Len() != 4 {
+		t.Fatalf("Len = %d after journal loss, want 4 adopted orphans", st2.Len())
+	}
+	if rep := st2.OpenReport(); rep.Adopted != 4 {
+		t.Fatalf("OpenReport.Adopted = %d, want 4", rep.Adopted)
+	}
+	for i := 0; i < 4; i++ {
+		if got, ok := st2.Get(testKey(i)); !ok || !bytes.Equal(got, testPayload(i)) {
+			t.Fatalf("entry %d not adopted intact", i)
+		}
+	}
+}
+
+func TestMissingFileDropped(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	for i := 0; i < 3; i++ {
+		if err := st.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	files := objectFiles(t, dir)
+	if err := os.Remove(filepath.Join(dir, "objects", files[0])); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openT(t, dir, 0)
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("Len = %d after deleting one file, want 2", st2.Len())
+	}
+	if q := st2.Quarantined(); q != 0 {
+		t.Fatalf("a cleanly missing file quarantined %d entries", q)
+	}
+}
+
+func TestTempFilesRemovedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	if err := st.Put(testKey(0), testPayload(0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	tmp := filepath.Join(dir, "objects", "something.art.tmp123")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openT(t, dir, 0)
+	defer st2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("leftover temp file survived Open")
+	}
+	if rep := st2.OpenReport(); rep.TmpRemoved != 1 {
+		t.Fatalf("OpenReport.TmpRemoved = %d, want 1", rep.TmpRemoved)
+	}
+}
+
+func TestJournalStaysCompact(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	defer st.Close()
+	key := testKey(0)
+	// 300 replacing writes to one key: without compaction the journal
+	// would hold 300 records for one live entry.
+	for i := 0; i < 300; i++ {
+		if err := st.Put(key, []byte(fmt.Sprintf("payload-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte{'\n'}); n > 100 {
+		t.Fatalf("journal holds %d records for 1 live entry; compaction is not working", n)
+	}
+	if got, ok := st.Get(key); !ok || string(got) != "payload-299" {
+		t.Fatal("latest payload lost across compactions")
+	}
+}
+
+func TestFsckQuarantinesAndReports(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, 0)
+	defer st.Close()
+	for i := 0; i < 3; i++ {
+		if err := st.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Payload damage that the fast Open scan would NOT see (size and
+	// header intact): only a full fsck or a read catches it.
+	files := objectFiles(t, dir)
+	path := filepath.Join(dir, "objects", files[0])
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xFF
+	os.WriteFile(path, data, 0o644)
+
+	rep, err := st.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 1 || rep.OK != 2 {
+		t.Fatalf("fsck report = %+v, want 1 quarantined / 2 ok", rep)
+	}
+	if !rep.Corrupt() {
+		t.Fatal("Corrupt() = false with a quarantined entry")
+	}
+	rep2, err := st.Fsck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Quarantined != 0 || rep2.OK != 2 {
+		t.Fatalf("second fsck = %+v, want clean", rep2)
+	}
+}
+
+func TestAtomicFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.avs")
+
+	a, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(a, "hello ")
+	fmt.Fprint(a, "world")
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	a.Abort() // no-op after Commit
+	if got, _ := os.ReadFile(path); string(got) != "hello world" {
+		t.Fatalf("committed content = %q", got)
+	}
+
+	// An aborted write leaves the old content and no temp files.
+	b, err := CreateAtomic(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(b, "torn")
+	b.Abort()
+	if got, _ := os.ReadFile(path); string(got) != "hello world" {
+		t.Fatalf("abort clobbered the file: %q", got)
+	}
+	des, _ := os.ReadDir(dir)
+	if len(des) != 1 {
+		t.Fatalf("temp files left behind: %v", des)
+	}
+
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("WriteFileAtomic = %q", got)
+	}
+}

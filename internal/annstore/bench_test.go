@@ -1,0 +1,47 @@
+package annstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkStoreWarmStart measures the startup scan (journal replay +
+// header verification) as the store grows. This is the latency a server
+// pays before it can serve its first request after a restart, so it
+// should stay roughly linear in entry count with a small constant.
+func BenchmarkStoreWarmStart(b *testing.B) {
+	for _, entries := range []int{16, 128, 1024} {
+		b.Run(fmt.Sprintf("entries=%d", entries), func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := Open(dir, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bytes int64
+			for i := 0; i < entries; i++ {
+				p := testPayload(i % 97)
+				bytes += int64(len(p))
+				if err := st.Put(testKey(i), p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(bytes)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := Open(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Len() != entries {
+					b.Fatalf("warm open found %d of %d entries", st.Len(), entries)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,286 @@
+package annstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Artifact file layout (version 1):
+//
+//	magic "ASt1"                      4 bytes
+//	header length                     u16 BE (bytes between here and the header CRC)
+//	header:
+//	  format version                  u8
+//	  kind                            u8 length + bytes
+//	  digest                          u16 BE length + bytes
+//	  quality                         i32 BE (two's complement)
+//	  device                          u8 length + bytes
+//	  payload length                  u64 BE
+//	  payload CRC                     u32 BE (Castagnoli)
+//	header CRC                        u32 BE over magic..header
+//	payload                           payload-length bytes
+//
+// The header carries the full key, so a file is self-describing: fsck
+// and orphan adoption never need the journal to know what a file is.
+// The header CRC catches torn or bit-flipped metadata before the
+// payload length is trusted; the payload CRC catches payload damage on
+// every read. Any mismatch anywhere classifies the file as corrupt —
+// corrupt files are quarantined, never served.
+
+var artifactMagic = [4]byte{'A', 'S', 't', '1'}
+
+const formatVersion = 1
+
+// ErrCorrupt reports an artifact file that failed structural or
+// checksum validation. Corrupt entries are quarantined, not served.
+var ErrCorrupt = errors.New("annstore: corrupt artifact")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeArtifact renders the on-disk file content for (key, payload).
+func encodeArtifact(key Key, payload []byte) ([]byte, error) {
+	if len(key.Kind) > 255 || len(key.Device) > 255 {
+		return nil, fmt.Errorf("annstore: kind/device name too long in %+v", key)
+	}
+	if len(key.Digest) > 65535 {
+		return nil, fmt.Errorf("annstore: digest too long in %+v", key)
+	}
+	hdr := make([]byte, 0, 32+len(key.Kind)+len(key.Digest)+len(key.Device))
+	hdr = append(hdr, formatVersion)
+	hdr = append(hdr, byte(len(key.Kind)))
+	hdr = append(hdr, key.Kind...)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(key.Digest)))
+	hdr = append(hdr, key.Digest...)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(int32(key.Quality)))
+	hdr = append(hdr, byte(len(key.Device)))
+	hdr = append(hdr, key.Device...)
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(payload)))
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.Checksum(payload, castagnoli))
+
+	out := make([]byte, 0, 4+2+len(hdr)+4+len(payload))
+	out = append(out, artifactMagic[:]...)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(hdr)))
+	out = append(out, hdr...)
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(out, castagnoli))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// artifactHeader is the decoded, validated file header.
+type artifactHeader struct {
+	key        Key
+	payloadLen int64
+	payloadCRC uint32
+	headerSize int64 // bytes before the payload starts
+}
+
+// decodeHeader parses and checksums the header from the start of data
+// (which may be a prefix of the file, as long as it covers the header).
+func decodeHeader(data []byte) (artifactHeader, error) {
+	var h artifactHeader
+	if len(data) < 6 || [4]byte(data[:4]) != artifactMagic {
+		return h, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	hdrLen := int(binary.BigEndian.Uint16(data[4:6]))
+	if len(data) < 6+hdrLen+4 {
+		return h, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	sum := binary.BigEndian.Uint32(data[6+hdrLen:])
+	if crc32.Checksum(data[:6+hdrLen], castagnoli) != sum {
+		return h, fmt.Errorf("%w: header checksum mismatch", ErrCorrupt)
+	}
+	p := data[6 : 6+hdrLen]
+	next := func(n int) ([]byte, bool) {
+		if len(p) < n {
+			return nil, false
+		}
+		b := p[:n]
+		p = p[n:]
+		return b, true
+	}
+	ver, ok := next(1)
+	if !ok || ver[0] != formatVersion {
+		return h, fmt.Errorf("%w: unsupported format version", ErrCorrupt)
+	}
+	str := func(lenBytes int) (string, bool) {
+		lb, ok := next(lenBytes)
+		if !ok {
+			return "", false
+		}
+		n := 0
+		for _, b := range lb {
+			n = n<<8 | int(b)
+		}
+		s, ok := next(n)
+		return string(s), ok
+	}
+	var qb, tail []byte
+	if h.key.Kind, ok = str(1); !ok {
+		return h, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if h.key.Digest, ok = str(2); !ok {
+		return h, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if qb, ok = next(4); !ok {
+		return h, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	h.key.Quality = int(int32(binary.BigEndian.Uint32(qb)))
+	if h.key.Device, ok = str(1); !ok {
+		return h, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if tail, ok = next(12); !ok || len(p) != 0 {
+		return h, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	h.payloadLen = int64(binary.BigEndian.Uint64(tail[:8]))
+	h.payloadCRC = binary.BigEndian.Uint32(tail[8:])
+	h.headerSize = int64(6 + hdrLen + 4)
+	if h.payloadLen < 0 {
+		return h, fmt.Errorf("%w: negative payload length", ErrCorrupt)
+	}
+	return h, nil
+}
+
+// decodeArtifact validates a whole file and returns its key and payload.
+func decodeArtifact(data []byte) (Key, []byte, error) {
+	h, err := decodeHeader(data)
+	if err != nil {
+		return Key{}, nil, err
+	}
+	if int64(len(data)) != h.headerSize+h.payloadLen {
+		return Key{}, nil, fmt.Errorf("%w: size mismatch (%d bytes, want %d)",
+			ErrCorrupt, len(data), h.headerSize+h.payloadLen)
+	}
+	payload := data[h.headerSize:]
+	if crc32.Checksum(payload, castagnoli) != h.payloadCRC {
+		return Key{}, nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	return h.key, payload, nil
+}
+
+// readFileHeader reads just enough of path to validate its header — the
+// fast-startup scan reads a few hundred bytes per entry instead of the
+// whole artifact.
+func readFileHeader(path string) (artifactHeader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return artifactHeader{}, err
+	}
+	defer f.Close()
+	// Header size is bounded: 6 + (at most 32+255+65535+255) + 4. Read
+	// a first chunk and extend only if the declared header is longer.
+	buf := make([]byte, 4096)
+	n, err := io.ReadFull(f, buf)
+	short := err == io.ErrUnexpectedEOF || err == io.EOF
+	if err != nil && !short {
+		return artifactHeader{}, err
+	}
+	buf = buf[:n]
+	h, derr := decodeHeader(buf)
+	if derr == nil || short {
+		// Either the header parsed, or we hold the whole file already
+		// and the verdict is final.
+		return h, derr
+	}
+	want := 6 + int(binary.BigEndian.Uint16(buf[4:6])) + 4
+	if want > n {
+		rest := make([]byte, want-n)
+		m, _ := io.ReadFull(f, rest)
+		buf = append(buf, rest[:m]...)
+	}
+	return decodeHeader(buf)
+}
+
+// AtomicFile writes a file so a crash at any instant leaves either the
+// old content or the new content at path, never a torn mix: bytes land
+// in a temp file in the same directory, Commit fsyncs and renames into
+// place, and the directory itself is fsynced so the rename is durable.
+type AtomicFile struct {
+	f    *os.File
+	bw   *bufio.Writer
+	path string
+	done bool
+}
+
+// CreateAtomic starts an atomic write of path. Call Commit to publish
+// or Abort to discard; Abort after Commit is a no-op, so
+// `defer a.Abort()` is the idiomatic cleanup.
+func CreateAtomic(path string) (*AtomicFile, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	return &AtomicFile{f: f, bw: bufio.NewWriter(f), path: path}, nil
+}
+
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.bw.Write(p) }
+
+// Commit flushes, fsyncs and renames the temp file into place, then
+// fsyncs the directory so the rename survives a power cut.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return errors.New("annstore: atomic file already committed or aborted")
+	}
+	a.done = true
+	if err := a.bw.Flush(); err != nil {
+		a.discard()
+		return err
+	}
+	if err := a.f.Sync(); err != nil {
+		a.discard()
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	if err := os.Rename(a.f.Name(), a.path); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	syncDir(filepath.Dir(a.path))
+	return nil
+}
+
+// Abort discards the write, removing the temp file. No-op after Commit.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.discard()
+}
+
+func (a *AtomicFile) discard() {
+	a.f.Close()
+	os.Remove(a.f.Name())
+}
+
+// WriteFileAtomic writes data to path through an AtomicFile.
+func WriteFileAtomic(path string, data []byte) error {
+	a, err := CreateAtomic(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if _, err := a.Write(data); err != nil {
+		return err
+	}
+	return a.Commit()
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable. Errors
+// are ignored: some filesystems reject directory fsync, and the worst
+// case is the pre-crash state, which the startup scan already handles.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

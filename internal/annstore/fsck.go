@@ -1,0 +1,115 @@
+package annstore
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Report summarises a store scan — either the fast Open-time scan or a
+// full Fsck.
+type Report struct {
+	// Entries is the number of artifacts indexed when the scan
+	// finished (Open) or began (Fsck).
+	Entries int
+	// OK counts artifacts whose payload verified end to end (Fsck
+	// only; Open verifies headers and defers payloads to read time).
+	OK int
+	// Quarantined counts files moved aside because they failed
+	// validation.
+	Quarantined int
+	// Adopted counts valid artifacts found on disk without a journal
+	// record (lost to a crash mid-journal) and re-indexed.
+	Adopted int
+	// TmpRemoved counts leftover temp files from interrupted atomic
+	// writes that were deleted.
+	TmpRemoved int
+	// Bytes is the total verified payload bytes (Fsck only).
+	Bytes int64
+}
+
+// Corrupt reports whether the scan found anything it had to quarantine.
+func (r Report) Corrupt() bool { return r.Quarantined > 0 }
+
+func (r Report) String() string {
+	return fmt.Sprintf("%d entries, %d verified (%d bytes), %d quarantined, %d adopted, %d temp files removed",
+		r.Entries, r.OK, r.Bytes, r.Quarantined, r.Adopted, r.TmpRemoved)
+}
+
+// Fsck verifies every resident artifact end to end — full read, header
+// and payload checksums, key match — quarantining anything that fails,
+// and sweeps the objects directory for strays (temp leftovers are
+// deleted; valid un-indexed artifacts are adopted, invalid ones
+// quarantined). It is the slow, exhaustive counterpart of the Open
+// scan, for operators who want a verdict now rather than at read time.
+func (s *Store) Fsck() (Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep Report
+	if s.closed {
+		return rep, errClosed
+	}
+	rep.Entries = s.ll.Len()
+	els := make([]*list.Element, 0, s.ll.Len())
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		els = append(els, el)
+	}
+	for _, el := range els {
+		e := el.Value.(*sentry)
+		data, err := os.ReadFile(filepath.Join(s.objectsDir, e.file))
+		if err == nil {
+			var key Key
+			var payload []byte
+			key, payload, err = decodeArtifact(data)
+			if err == nil && key != e.key {
+				err = fmt.Errorf("%w: key mismatch", ErrCorrupt)
+			}
+			if err == nil {
+				rep.OK++
+				rep.Bytes += int64(len(payload))
+				continue
+			}
+		}
+		s.logf("annstore: fsck: %s failed verification: %v", e.file, err)
+		s.dropLocked(el, true)
+		s.count("annstore_corrupt_total", corruptHelp, e.key.Kind)
+		rep.Quarantined++
+	}
+
+	// Stray sweep: after Open this should find nothing, but an
+	// operator can point fsck at a store that was copied or hand-edited.
+	des, err := os.ReadDir(s.objectsDir)
+	if err != nil {
+		return rep, err
+	}
+	indexed := make(map[string]bool, len(s.index))
+	for el := s.ll.Front(); el != nil; el = el.Next() {
+		indexed[el.Value.(*sentry).file] = true
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || indexed[name] {
+			continue
+		}
+		if !strings.HasSuffix(name, artifactSuffix) {
+			os.Remove(filepath.Join(s.objectsDir, name))
+			rep.TmpRemoved++
+			continue
+		}
+		if s.adoptOrphan(name) {
+			rep.Adopted++
+			// Journal the adoption so the next Open needs no re-verify.
+			e := s.ll.Front().Value.(*sentry)
+			if err := s.appendJournalLocked(journalRec{put: true, file: e.file, size: e.size, crc: e.payloadCRC}); err != nil {
+				s.logf("annstore: fsck: journalling adopted %s failed: %v", e.file, err)
+			}
+		} else {
+			rep.Quarantined++
+		}
+	}
+	s.evictLocked()
+	s.gauges()
+	return rep, nil
+}

@@ -1,0 +1,129 @@
+package annstore
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+// The manifest journal is an append-only text file, one record per
+// committed mutation, so startup learns the store's contents from one
+// sequential read instead of opening every artifact:
+//
+//	put <file> <size> <payload-crc-hex> <line-crc-hex>
+//	del <file> <line-crc-hex>
+//	tch <file> <line-crc-hex>
+//
+// tch (touch) records carry read recency so the LRU order survives a
+// restart; they are appended without fsync — losing a tail of touches
+// only costs eviction accuracy, never correctness.
+//
+// The trailing CRC (Castagnoli, over the line up to and including the
+// space before it) makes every record self-validating: a crash mid-
+// append leaves a torn final line that fails its CRC, and replay simply
+// stops there — the artifacts the lost records described are still on
+// disk and are re-adopted by the orphan scan, which fully verifies them
+// first. Records are appended only after the artifact rename (and the
+// directory fsync making it durable), so a journalled entry always
+// refers to a fully-written file; size mismatches at startup therefore
+// indicate real damage and quarantine the file.
+//
+// Replay applies records in order (last record for a file wins), so the
+// journal also carries recency: replay order seeds the LRU order the
+// eviction policy uses. When dead records outnumber live ones the
+// journal is compacted — rewritten atomically from the live index.
+
+type journalRec struct {
+	put   bool
+	touch bool
+	file  string
+	size  int64
+	crc   uint32
+}
+
+// appendJournalRec renders one record, with its line CRC, onto dst.
+func appendJournalRec(dst []byte, r journalRec) []byte {
+	start := len(dst)
+	switch {
+	case r.put:
+		dst = append(dst, "put "...)
+		dst = append(dst, r.file...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, r.size, 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, uint64(r.crc), 16)
+	case r.touch:
+		dst = append(dst, "tch "...)
+		dst = append(dst, r.file...)
+	default:
+		dst = append(dst, "del "...)
+		dst = append(dst, r.file...)
+	}
+	dst = append(dst, ' ')
+	sum := crc32.Checksum(dst[start:], castagnoli)
+	dst = strconv.AppendUint(dst, uint64(sum), 16)
+	dst = append(dst, '\n')
+	return dst
+}
+
+// replayJournal parses data into records, stopping at the first torn or
+// malformed line. clean reports whether the whole journal parsed — a
+// false return means the tail was lost to a crash (or damage) and the
+// caller should compact.
+func replayJournal(data []byte) (recs []journalRec, clean bool) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return recs, false // torn final line (no terminator)
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		r, err := parseJournalLine(line)
+		if err != nil {
+			return recs, false
+		}
+		recs = append(recs, r)
+	}
+	return recs, true
+}
+
+func parseJournalLine(line []byte) (journalRec, error) {
+	var r journalRec
+	// The line CRC covers everything up to and including the space
+	// before it.
+	sp := bytes.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return r, fmt.Errorf("annstore: malformed journal line")
+	}
+	want, err := strconv.ParseUint(string(line[sp+1:]), 16, 32)
+	if err != nil {
+		return r, fmt.Errorf("annstore: bad journal line CRC field: %w", err)
+	}
+	if crc32.Checksum(line[:sp+1], castagnoli) != uint32(want) {
+		return r, fmt.Errorf("annstore: journal line CRC mismatch")
+	}
+	fields := bytes.Fields(line[:sp])
+	switch {
+	case len(fields) == 4 && string(fields[0]) == "put":
+		r.put = true
+		r.file = string(fields[1])
+		if r.size, err = strconv.ParseInt(string(fields[2]), 10, 64); err != nil {
+			return r, fmt.Errorf("annstore: bad journal size: %w", err)
+		}
+		crc, err := strconv.ParseUint(string(fields[3]), 16, 32)
+		if err != nil {
+			return r, fmt.Errorf("annstore: bad journal payload CRC: %w", err)
+		}
+		r.crc = uint32(crc)
+		return r, nil
+	case len(fields) == 2 && string(fields[0]) == "del":
+		r.file = string(fields[1])
+		return r, nil
+	case len(fields) == 2 && string(fields[0]) == "tch":
+		r.touch = true
+		r.file = string(fields[1])
+		return r, nil
+	}
+	return r, fmt.Errorf("annstore: unrecognised journal record")
+}

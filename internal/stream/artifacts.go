@@ -1,0 +1,187 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/anncache"
+	"repro/internal/annotation"
+	"repro/internal/annstore"
+	"repro/internal/codec"
+)
+
+// This file is the boundary between the in-memory artifact cache and
+// the persistent store: serialisation for each artifact kind, and the
+// two-level lookup (memory miss → disk → compute) the server and proxy
+// share. The memory tier keeps its existing keys and semantics; the
+// disk tier sees the same keys, except that encoded variants carry the
+// encoder parameters in their digest — a restart with a different
+// -gop/-qscale must recompute rather than serve stale bits.
+
+// artifactCodec maps one artifact kind across the disk boundary.
+// decode returns the in-memory value and its cache cost.
+type artifactCodec struct {
+	encode func(v any) ([]byte, error)
+	decode func(b []byte) (any, int64, error)
+}
+
+var trackCodec = artifactCodec{
+	encode: func(v any) ([]byte, error) { return v.(*annotation.Track).Encode(), nil },
+	decode: func(b []byte) (any, int64, error) {
+		t, err := annotation.Decode(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, int64(len(b)), nil
+	},
+}
+
+var levelsCodec = artifactCodec{
+	encode: func(v any) ([]byte, error) { return v.([]byte), nil },
+	decode: func(b []byte) (any, int64, error) { return b, int64(len(b)), nil },
+}
+
+var variantCodec = artifactCodec{
+	encode: func(v any) ([]byte, error) { return encodeVariantArtifact(v.(*variant)) },
+	decode: func(b []byte) (any, int64, error) {
+		v, err := decodeVariantArtifact(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return v, v.cost(), nil
+	},
+}
+
+// variantArtifactVersion versions the variant serialisation; bumping it
+// orphans old store entries into recomputation rather than misparsing.
+const variantArtifactVersion = 1
+
+// encodeVariantArtifact flattens a prepared variant — every encoded
+// frame plus the decode-cycle and scene-byte side channels — into one
+// self-contained byte string for the store.
+func encodeVariantArtifact(v *variant) ([]byte, error) {
+	size := 1 + 4
+	for _, ef := range v.frames {
+		size += 2 + 4 + len(ef.Data)
+	}
+	size += 4 + len(v.cyclesChunk) + 4 + len(v.scenesChunk)
+	b := make([]byte, 0, size)
+	b = append(b, variantArtifactVersion)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v.frames)))
+	for _, ef := range v.frames {
+		if ef.QScale < 0 || ef.QScale > 255 {
+			return nil, fmt.Errorf("stream: variant qscale %d not serialisable", ef.QScale)
+		}
+		b = append(b, byte(ef.Type), byte(ef.QScale))
+		b = binary.BigEndian.AppendUint32(b, uint32(len(ef.Data)))
+		b = append(b, ef.Data...)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v.cyclesChunk)))
+	b = append(b, v.cyclesChunk...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(v.scenesChunk)))
+	b = append(b, v.scenesChunk...)
+	return b, nil
+}
+
+func decodeVariantArtifact(b []byte) (*variant, error) {
+	bad := fmt.Errorf("stream: malformed variant artifact")
+	take := func(n int) ([]byte, bool) {
+		if n < 0 || len(b) < n {
+			return nil, false
+		}
+		out := b[:n]
+		b = b[n:]
+		return out, true
+	}
+	hdr, ok := take(5)
+	if !ok || hdr[0] != variantArtifactVersion {
+		return nil, bad
+	}
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	// Each frame needs at least its 6-byte preamble; this bounds n
+	// against a hostile count before allocating.
+	if n < 0 || n > len(b)/6+1 {
+		return nil, bad
+	}
+	v := &variant{frames: make([]*codec.EncodedFrame, 0, n)}
+	for i := 0; i < n; i++ {
+		pre, ok := take(6)
+		if !ok {
+			return nil, bad
+		}
+		data, ok := take(int(binary.BigEndian.Uint32(pre[2:])))
+		if !ok {
+			return nil, bad
+		}
+		v.frames = append(v.frames, &codec.EncodedFrame{
+			Type:   codec.FrameType(pre[0]),
+			QScale: int(pre[1]),
+			Data:   data,
+		})
+	}
+	chunk := func() ([]byte, bool) {
+		lb, ok := take(4)
+		if !ok {
+			return nil, false
+		}
+		return take(int(binary.BigEndian.Uint32(lb)))
+	}
+	if v.cyclesChunk, ok = chunk(); !ok {
+		return nil, bad
+	}
+	if v.scenesChunk, ok = chunk(); !ok {
+		return nil, bad
+	}
+	if len(b) != 0 {
+		return nil, bad
+	}
+	return v, nil
+}
+
+// encSig identifies the encoder parameters a variant was produced with;
+// it is folded into the variant's disk digest so a store shared across
+// restarts never serves bits encoded under different codec settings.
+func encSig(cfg EncodeConfig) string {
+	return fmt.Sprintf("+g%dq%d", cfg.GOP, cfg.QScale)
+}
+
+// tier is the two-level artifact lookup: the byte-budgeted memory LRU
+// in front of an optional persistent store.
+type tier struct {
+	cache *anncache.Cache
+	store *annstore.Store
+}
+
+// getOrCompute resolves key through the memory tier; on a memory miss
+// (still under the cache's single-flight, so concurrent sessions share
+// one disk read or one computation) it tries the store, and only then
+// computes. Fresh computations are written through to the store, so
+// the artifact survives the process. digestSuffix, when non-empty, is
+// appended to the key's digest for the disk tier only.
+func (t tier) getOrCompute(key anncache.Key, digestSuffix string, cod artifactCodec, compute func() (any, int64, error)) (any, error) {
+	return t.cache.GetOrCompute(key, func() (any, int64, error) {
+		skey := key
+		skey.Digest += digestSuffix
+		if t.store != nil {
+			if b, ok := t.store.Get(skey); ok {
+				if v, cost, err := cod.decode(b); err == nil {
+					return v, cost, nil
+				}
+				// A decode failure here is format drift, not disk
+				// damage (the store already CRC-verified the bytes);
+				// fall through and overwrite with a fresh computation.
+			}
+		}
+		v, cost, err := compute()
+		if err != nil {
+			return nil, 0, err
+		}
+		if t.store != nil {
+			if b, encErr := cod.encode(v); encErr == nil {
+				// Best effort: a full disk must not fail the session.
+				t.store.Put(skey, b)
+			}
+		}
+		return v, cost, nil
+	})
+}

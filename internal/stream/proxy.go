@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/anncache"
 	"repro/internal/annotation"
+	"repro/internal/annstore"
 	"repro/internal/breaker"
 	"repro/internal/codec"
 	"repro/internal/container"
@@ -77,6 +78,10 @@ type Proxy struct {
 	// refetch of unchanged content skips re-annotation) and encoded
 	// variants shared across client sessions.
 	cache *anncache.Cache
+	// store, when set, persists derived artifacts (tracks, variants,
+	// level tables — not fetched clips, which must revalidate) across
+	// restarts, exactly as in the Server.
+	store *annstore.Store
 	// annWorkers is the annotation pipeline's worker-pool size.
 	annWorkers int
 
@@ -204,6 +209,16 @@ func (p *Proxy) SetAnnotateWorkers(n int) { p.annWorkers = n }
 // SetCacheCapacity bounds the artifact cache to capacityBytes (<= 0 is
 // unlimited), evicting immediately if already over.
 func (p *Proxy) SetCacheCapacity(capacityBytes int64) { p.cache.SetCapacity(capacityBytes) }
+
+// SetStore installs a persistent artifact store beneath the memory
+// cache for derived artifacts (annotation tracks, encoded variants,
+// device level tables). Fetched clips stay memory-only: their
+// always-revalidate / serve-stale semantics are tied to the process's
+// view of the upstream. Call before Listen.
+func (p *Proxy) SetStore(st *annstore.Store) { p.store = st }
+
+// tier bundles the memory cache with the optional persistent store.
+func (p *Proxy) tier() tier { return tier{cache: p.cache, store: p.store} }
 
 // SetLogf replaces the proxy's logger. Safe to call while the proxy is
 // accepting connections.
@@ -481,10 +496,11 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 	}
 	track := entry.track
 	qi := track.QualityIndex(req.Quality)
-	vAny, err := p.cache.GetOrCompute(
-		anncache.Key{Kind: "variant", Digest: entry.digest, Quality: qi},
+	cfg := p.enc.withDefaults(entry.src.FPS())
+	vAny, err := p.tier().getOrCompute(
+		anncache.Key{Kind: "variant", Digest: entry.digest, Quality: qi}, encSig(cfg), variantCodec,
 		func() (any, int64, error) {
-			v, err := prepareVariant(ctx, entry.src, track, qi, p.enc.withDefaults(entry.src.FPS()))
+			v, err := prepareVariant(ctx, entry.src, track, qi, cfg)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -503,7 +519,7 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 	if from > 0 {
 		p.pm.resumes.Inc()
 	}
-	levels := deviceLevelsChunk(p.cache, entry.digest, req.Device, track)
+	levels := deviceLevelsChunk(p.tier(), entry.digest, req.Device, track)
 	return sendVariant(ctx, conn, entry.src, track, v, levels, from, p.pm.framesSent, p.pm.bytesSent)
 }
 
@@ -560,8 +576,8 @@ func (p *Proxy) fetchAndAnnotate(clip, device string) (*proxyEntry, error) {
 		}
 		p.upstreamLat.Observe(time.Since(start).Seconds())
 		dg := core.SourceDigest(src)
-		tAny, err := p.cache.GetOrCompute(
-			anncache.Key{Kind: "track", Digest: dg, Quality: -1},
+		tAny, err := p.tier().getOrCompute(
+			anncache.Key{Kind: "track", Digest: dg, Quality: -1}, "", trackCodec,
 			func() (any, int64, error) {
 				t, _, err := core.AnnotatePipeline(obs.WithRegistry(p.ctx, p.obsReg),
 					src, scene.DefaultConfig(src.FPS()), nil,

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/anncache"
 	"repro/internal/annotation"
+	"repro/internal/annstore"
 	"repro/internal/codec"
 	"repro/internal/compensate"
 	"repro/internal/container"
@@ -144,6 +145,10 @@ type Server struct {
 	// annotation tracks, encoded quality variants, device level tables —
 	// keyed by content digest, with single-flight dedup across sessions.
 	cache *anncache.Cache
+	// store, when set, is the persistent tier under the cache: memory
+	// misses read through it before computing, and fresh computations
+	// write through, so artifacts survive restarts.
+	store *annstore.Store
 	// annWorkers is the annotation pipeline's worker-pool size.
 	annWorkers int
 	// digests memoises the content digest per catalog clip name (the
@@ -195,6 +200,17 @@ func (s *Server) SetAnnotateWorkers(n int) { s.annWorkers = n }
 // SetCacheCapacity bounds the artifact cache to capacityBytes (<= 0 is
 // unlimited), evicting immediately if already over.
 func (s *Server) SetCacheCapacity(capacityBytes int64) { s.cache.SetCapacity(capacityBytes) }
+
+// SetStore installs a persistent artifact store as the second tier
+// beneath the memory cache: lookups go memory → disk → compute, and
+// computed artifacts are written through. A warm restart pointed at the
+// same directory serves byte-identical artifacts without re-running the
+// annotation pipeline. Call before Listen.
+func (s *Server) SetStore(st *annstore.Store) { s.store = st }
+
+// tier bundles the memory cache with the optional persistent store for
+// the two-level artifact lookup.
+func (s *Server) tier() tier { return tier{cache: s.cache, store: s.store} }
 
 // SetTimeouts overrides the per-connection handshake-read and per-write
 // deadlines (zero leaves a direction unbounded). Call before Listen.
@@ -492,8 +508,8 @@ func (s *Server) digestOf(name string, src core.Source) string {
 // an uncached clip share one pipeline run via single-flight.
 func (s *Server) track(ctx context.Context, name string, src core.Source) (*annotation.Track, error) {
 	dg := s.digestOf(name, src)
-	v, err := s.cache.GetOrCompute(
-		anncache.Key{Kind: "track", Digest: dg, Quality: -1},
+	v, err := s.tier().getOrCompute(
+		anncache.Key{Kind: "track", Digest: dg, Quality: -1}, "", trackCodec,
 		func() (any, int64, error) {
 			t, _, err := core.AnnotatePipeline(ctx, src, s.scene(src.FPS()), nil,
 				core.AnnotateOptions{Workers: s.annWorkers})
@@ -519,10 +535,11 @@ func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Sour
 	}
 	dg := s.digestOf(req.Clip, src)
 	qi := track.QualityIndex(req.Quality)
-	vAny, err := s.cache.GetOrCompute(
-		anncache.Key{Kind: "variant", Digest: dg, Quality: qi},
+	cfg := s.enc.withDefaults(src.FPS())
+	vAny, err := s.tier().getOrCompute(
+		anncache.Key{Kind: "variant", Digest: dg, Quality: qi}, encSig(cfg), variantCodec,
 		func() (any, int64, error) {
-			v, err := prepareVariant(ctx, src, track, qi, s.enc.withDefaults(src.FPS()))
+			v, err := prepareVariant(ctx, src, track, qi, cfg)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -541,20 +558,20 @@ func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Sour
 	if from > 0 {
 		s.sm.resumes.Inc()
 	}
-	levels := deviceLevelsChunk(s.cache, dg, req.Device, track)
+	levels := deviceLevelsChunk(s.tier(), dg, req.Device, track)
 	return sendVariant(ctx, w, src, track, v, levels, from, s.sm.framesSent, s.sm.bytesSent)
 }
 
 // deviceLevelsChunk resolves the device-specific backlight level table
 // side channel, cached per (content digest, device profile); nil when
 // the device is unknown (the chunk is optional).
-func deviceLevelsChunk(c *anncache.Cache, digest, deviceName string, track *annotation.Track) []byte {
+func deviceLevelsChunk(t tier, digest, deviceName string, track *annotation.Track) []byte {
 	dev := display.ByName(deviceName)
 	if dev == nil {
 		return nil
 	}
-	v, err := c.GetOrCompute(
-		anncache.Key{Kind: "levels", Digest: digest, Quality: -1, Device: deviceName},
+	v, err := t.getOrCompute(
+		anncache.Key{Kind: "levels", Digest: digest, Quality: -1, Device: deviceName}, "", levelsCodec,
 		func() (any, int64, error) {
 			levels, err := annotation.EncodeLevels(track.LevelsFor(dev))
 			if err != nil {
