@@ -660,3 +660,42 @@ func BenchmarkObsSpanNop(b *testing.B) {
 		b.Fatalf("no-op span allocates %v/op", n)
 	}
 }
+
+func BenchmarkObsTrace(b *testing.B) {
+	ctx := obs.WithRegistry(context.Background(), obs.NewRegistry())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tctx, root := obs.StartTrace(ctx, "bench.request")
+		_, child := obs.StartSpanCtx(tctx, "bench.stage")
+		child.SetAttr("outcome", "hit")
+		child.End()
+		root.End()
+	}
+}
+
+// BenchmarkObsTraceNop is the alloc gate for the disabled-tracer path:
+// with no registry attached, rooting a trace, opening a child span via
+// context and attaching attributes must cost zero allocations, so the
+// client/server hot paths can stay trace-instrumented unconditionally.
+func BenchmarkObsTraceNop(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tctx, root := obs.StartTrace(ctx, "bench.request")
+		_, child := obs.StartSpanCtx(tctx, "bench.stage")
+		child.SetAttr("outcome", "hit")
+		child.SetAttrInt("bytes", 42)
+		child.End()
+		root.End()
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		tctx, root := obs.StartTrace(ctx, "bench.request")
+		_, child := obs.StartSpanCtx(tctx, "bench.stage")
+		child.SetAttr("outcome", "hit")
+		child.SetAttrInt("bytes", 42)
+		child.End()
+		root.End()
+	}); n != 0 {
+		b.Fatalf("no-op trace allocates %v/op", n)
+	}
+}

@@ -7,10 +7,15 @@
 // Usage:
 //
 //	player -i rotk.avs [-device ipaq5555] [-quality 0.10] [-compensate]
-//	       [-battery 7.4] [-debug-addr :7402]
+//	       [-battery 7.4] [-debug-addr :7402] [-log-level info]
 //
 // With -debug-addr the player serves its decode/backlight telemetry over
 // HTTP while playing (Prometheus /metrics, /healthz, /debug/pprof).
+// Playback feeds the per-session power ledger; the run ends with its
+// report ("power saved: NN.N%"), which integrates the same states as
+// the offline model and so agrees with the analytic figures exactly.
+// -log-level selects the threshold for the structured key=value events
+// (power_report at info, per-scene power_scene at debug).
 package main
 
 import (
@@ -39,7 +44,15 @@ func main() {
 	traceOut := flag.String("trace", "", "write the power trace as CSV to this path")
 	dumpDir := flag.String("dump-ppm", "", "dump decoded frames as PPM files into this directory")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+	logLevel := flag.String("log-level", "info", "structured event threshold (debug, info, warn, error)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "player:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl)
 
 	var reg *obs.Registry
 	if *debugAddr != "" {
@@ -84,8 +97,8 @@ func main() {
 	exitOn(err)
 
 	model := power.DefaultModel(dev)
-	trace := &power.Trace{}
-	ref := &power.Trace{}
+	led := power.NewLedgerModel(model)
+	led.SetNetworkActive(false) // local file: no WNIC draw
 	frameSeconds := 1 / float64(hdr.FPS)
 
 	var cursor *annotation.Cursor
@@ -106,9 +119,8 @@ func main() {
 
 	level := display.MaxLevel
 	target := 1.0
-	frames, switches := 0, 0
-	prev := -1
-	var levelSum, clippedSum float64
+	frames, scenes := 0, 0
+	var clippedSum float64
 	for {
 		ef, err := r.ReadFrame()
 		if err == io.EOF {
@@ -125,6 +137,8 @@ func main() {
 				target = t
 				level = dev.LevelFor(target)
 				backlightGauge.Set(float64(level))
+				led.StartScene(scenes, level)
+				scenes++
 			}
 		}
 		if *doCompensate && target > 0 && target < 1 {
@@ -141,22 +155,17 @@ func main() {
 			exitOn(fr.WritePPM(out))
 			exitOn(out.Close())
 		}
-		if prev >= 0 && level != prev {
-			switches++
-		}
-		prev = level
-		levelSum += float64(level)
-		state := power.State{Decoding: true, NetworkActive: false, BacklightLevel: level}
-		trace.Append(frameSeconds, state)
-		refState := state
-		refState.BacklightLevel = display.MaxLevel
-		ref.Append(frameSeconds, refState)
+		led.Frame(frameSeconds, level)
 		frames++
 	}
 	if frames == 0 {
 		fmt.Fprintln(os.Stderr, "player: empty stream")
 		os.Exit(1)
 	}
+	if hdr.AnnotationsErr != nil {
+		led.Degraded("annotations")
+	}
+	trace, ref := led.Traces()
 
 	daq := power.DefaultDAQ()
 	measured, err := daq.MeasuredSavings(model, ref, trace)
@@ -181,8 +190,9 @@ func main() {
 	default:
 		fmt.Printf("annotations       none (backlight stays at full)\n")
 	}
+	rep := led.Report()
 	fmt.Printf("device            %s (%s panel, %s backlight)\n", dev.Name, dev.Panel, dev.Backlight)
-	fmt.Printf("avg backlight     %.1f / 255 (%d switches)\n", levelSum/float64(frames), switches)
+	fmt.Printf("avg backlight     %.1f / 255 (%d switches)\n", rep.AvgLevel, rep.Switches)
 	if *doCompensate {
 		fmt.Printf("mean clipped      %.2f%% of pixels\n", 100*clippedSum/float64(frames))
 	}
@@ -191,6 +201,10 @@ func main() {
 		100*model.Savings(ref, trace), 100*measured)
 	fmt.Printf("battery life      %.2fh -> %.2fh on a %.1fWh pack\n",
 		model.BatteryLifeHours(ref, *battery), model.BatteryLifeHours(trace, *battery), *battery)
+	fmt.Println()
+	fmt.Println(rep)
+	rep.Emit(logger)
+	rep.EmitMetrics(reg, "player")
 }
 
 func exitOn(err error) {

@@ -11,6 +11,7 @@
 //	        [-debug-addr :7401] [-w 120 -h 90 -fps 10 -scale 0.25]
 //	        [-max-sessions 0] [-workers N] [-cache-size MiB]
 //	        [-store-dir /var/lib/streamd] [-store-size MiB]
+//	        [-trace-dir /var/log/streamd] [-log-level info]
 //	        [-faults latency=2ms,reset=65536,repeat,seed=7]
 //	streamd -store-dir /var/lib/streamd -fsck
 //
@@ -18,10 +19,16 @@
 // process runs as the intermediary proxy node instead, pulling raw
 // streams from the upstream servers — each guarded by a circuit breaker —
 // and annotating on the fly. With -debug-addr the process serves its
-// telemetry over HTTP: /metrics (Prometheus text format), /healthz
-// (liveness), /readyz (readiness — not-ready while draining or with
-// every upstream breaker open), /debug/vars, /debug/pprof and
-// /debug/spans.
+// telemetry over HTTP: /metrics (Prometheus text format, including Go
+// runtime health), /healthz (liveness), /readyz (readiness — not-ready
+// while draining or with every upstream breaker open), /debug/vars,
+// /debug/pprof, /debug/spans and /debug/traces (completed trace trees
+// as JSON, ?min=duration to filter). With -trace-dir every sampled
+// trace span is additionally appended to a per-process JSONL file in
+// that directory as it completes, so traces survive the process.
+//
+// Operational logging goes through the leveled key=value logger on
+// stderr; -log-level sets the threshold (debug, info, warn, error).
 //
 // With -store-dir the process keeps a persistent, crash-safe artifact
 // store (see internal/annstore) under the in-memory cache: annotation
@@ -54,6 +61,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -84,7 +92,16 @@ func main() {
 	storeSize := flag.Int64("store-size", 1024, "persistent store byte budget in MiB (0 = unlimited)")
 	fsck := flag.Bool("fsck", false, "verify the -store-dir store, quarantine corrupt entries, report and exit (non-zero on corruption)")
 	faultSpec := flag.String("faults", "", "inject faults into accepted connections (e.g. latency=2ms,bw=65536,short,corrupt=0.001,reset=65536,repeat,seed=7)")
+	traceDir := flag.String("trace-dir", "", "append completed trace spans as JSONL to a per-process file in this directory")
+	logLevel := flag.String("log-level", "info", "log threshold (debug, info, warn, error)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamd:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl)
 
 	if *fsck {
 		if *storeDir == "" {
@@ -99,12 +116,23 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	var reg *obs.Registry
-	if *debugAddr != "" {
+	if *debugAddr != "" || *traceDir != "" {
 		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
 		ds, err := obs.ServeDebug(*debugAddr, reg)
 		exitOn(err)
 		defer ds.Close()
 		fmt.Printf("debug endpoint on http://%s/metrics\n", ds.Addr())
+	}
+	if *traceDir != "" {
+		exitOn(os.MkdirAll(*traceDir, 0o755))
+		tf, err := os.Create(filepath.Join(*traceDir,
+			fmt.Sprintf("streamd-%d.traces.jsonl", os.Getpid())))
+		exitOn(err)
+		defer tf.Close()
+		reg.SetTraceWriter(tf)
+		logger.Info("trace_export", "path", tf.Name())
 	}
 
 	faultCfg, err := faults.ParseConfig(*faultSpec)
@@ -115,7 +143,7 @@ func main() {
 			return nil, err
 		}
 		if faultCfg.Enabled() {
-			fmt.Printf("chaos mode: injecting %s\n", faultCfg)
+			logger.Warn("chaos_mode", "faults", faultCfg.String())
 			ln = faults.WrapListener(ln, faultCfg)
 		}
 		return ln, nil
@@ -131,12 +159,12 @@ func main() {
 			<-stop // second signal: force immediately
 			cancel()
 		}()
-		fmt.Printf("draining (timeout %v)...\n", *drainTimeout)
+		logger.Info("draining", "timeout", drainTimeout.String())
 		if err := shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "streamd: forced shutdown:", err)
+			logger.Error("forced_shutdown", "err", err.Error())
 			os.Exit(1)
 		}
-		fmt.Println("drained cleanly")
+		logger.Info("drained")
 	}
 
 	// openStore opens the persistent artifact tier when -store-dir is
@@ -147,18 +175,17 @@ func main() {
 		}
 		st, err := annstore.Open(*storeDir, annstore.Options{
 			MaxBytes: *storeSize << 20,
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
-			},
+			Logf:     logger.Printf,
 		})
 		exitOn(err)
 		if reg != nil {
 			st.SetObserver(reg, obs.L("role", role))
 		}
 		if rep := st.OpenReport(); rep.Quarantined > 0 || rep.Adopted > 0 {
-			fmt.Printf("store recovery: %s\n", rep)
+			logger.Warn("store_recovery", "report", rep.String())
 		}
-		fmt.Printf("store %s: %d artifacts, %d bytes\n", *storeDir, st.Len(), st.Bytes())
+		logger.Info("store_open", "dir", *storeDir,
+			"artifacts", st.Len(), "bytes", st.Bytes())
 		return st
 	}
 
@@ -168,6 +195,7 @@ func main() {
 	}
 	if upstreamList != "" {
 		p := stream.NewProxy(strings.Split(upstreamList, ",")...)
+		p.SetLogf(logger.Printf)
 		p.SetAnnotateWorkers(*workers)
 		p.SetCacheCapacity(*cacheSize << 20)
 		if st := openStore("proxy"); st != nil {
@@ -192,6 +220,7 @@ func main() {
 		catalog[name] = core.ClipSource{Clip: video.ClipByName(name, opt)}
 	}
 	s := stream.NewServer(catalog)
+	s.SetLogf(logger.Printf)
 	s.SetAnnotateWorkers(*workers)
 	s.SetCacheCapacity(*cacheSize << 20)
 	if st := openStore("server"); st != nil {

@@ -23,7 +23,7 @@ import (
 // TestDrainOnSIGTERM is the end-to-end shutdown smoke test: streamd is
 // built and started, a client opens a stream, SIGTERM lands mid-stream,
 // /readyz flips not-ready immediately, the in-flight stream completes,
-// and the process exits 0 after printing "drained cleanly".
+// and the process exits 0 after logging the drained event.
 func TestDrainOnSIGTERM(t *testing.T) {
 	bin := filepath.Join(t.TempDir(), "streamd")
 	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
@@ -166,8 +166,8 @@ func TestDrainOnSIGTERM(t *testing.T) {
 	outMu.Lock()
 	all := strings.Join(lines, "\n")
 	outMu.Unlock()
-	if !strings.Contains(all, "drained cleanly") {
-		t.Errorf("stdout missing %q:\n%s", "drained cleanly", all)
+	if !strings.Contains(all, "msg=drained") {
+		t.Errorf("output missing %q:\n%s", "msg=drained", all)
 	}
 }
 

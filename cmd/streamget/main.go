@@ -8,11 +8,15 @@
 //	streamget [-addr 127.0.0.1:7400] -clip returnoftheking
 //	          [-quality 0.10] [-device ipaq5555]
 //	          [-retries 5] [-read-timeout 10s] [-no-resume]
+//	          [-log-level info]
 //
 // The client survives a lossy link: reads carry deadlines, failed
 // sessions reconnect with exponential backoff + jitter, and when the
-// server speaks protocol v2 a reconnect resumes from the last
-// fully-decoded frame instead of replaying the clip.
+// server speaks protocol v2 or newer a reconnect resumes from the last
+// fully-decoded frame instead of replaying the clip. Every session ends
+// with the power ledger's report ("power saved: NN.N%"); -log-level
+// selects the threshold for the structured key=value events the session
+// also emits (power_report at info, per-scene detail at debug).
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"repro/internal/display"
 	"repro/internal/dvs"
 	"repro/internal/netsched"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -35,7 +40,15 @@ func main() {
 	retries := flag.Int("retries", 0, "max connection attempts (0 = default of 5)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-read deadline on the stream (0 = default of 10s)")
 	noResume := flag.Bool("no-resume", false, "speak protocol v1 only (failures replay from frame 0)")
+	logLevel := flag.String("log-level", "info", "structured event threshold (debug, info, warn, error)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamget:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl)
 
 	if *clip == "" {
 		fmt.Fprintln(os.Stderr, "streamget: -clip is required")
@@ -99,5 +112,10 @@ func main() {
 				}
 			}
 		}
+	}
+	if res.Ledger != nil {
+		fmt.Println()
+		fmt.Println(res.Ledger)
+		res.Ledger.Emit(logger)
 	}
 }

@@ -6,14 +6,18 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
 )
 
 // Handler returns the debug mux: /metrics (Prometheus text exposition),
 // /healthz (liveness), /readyz (readiness, driven by RegisterReadiness
-// checks), /debug/vars (expvar), /debug/pprof/* and /debug/spans.
+// checks), /debug/vars (expvar), /debug/pprof/*, /debug/spans and
+// /debug/traces.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		r.updateRuntimeMetrics()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})
@@ -41,9 +45,33 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for _, s := range r.RecentSpans() {
-			fmt.Fprintf(w, "%s\t%s\t%s\n",
+			fmt.Fprintf(w, "%s\t%s\t%s",
 				s.Start.Format("15:04:05.000"), s.Name, s.Duration)
+			if !s.Trace.IsZero() {
+				fmt.Fprintf(w, "\ttrace=%s", s.Trace)
+			}
+			for _, a := range s.Attrs {
+				v := a.Value
+				if strings.ContainsAny(v, " \t\n") {
+					v = fmt.Sprintf("%q", v)
+				}
+				fmt.Fprintf(w, "\t%s=%s", a.Key, v)
+			}
+			fmt.Fprintln(w)
 		}
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		var min time.Duration
+		if q := req.URL.Query().Get("min"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil {
+				http.Error(w, "bad min duration: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			min = d
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.writeTracesJSON(w, min)
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Path != "/" {
@@ -52,7 +80,7 @@ func (r *Registry) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "debug endpoints:")
-		for _, p := range []string{"/metrics", "/healthz", "/readyz", "/debug/vars", "/debug/pprof/", "/debug/spans"} {
+		for _, p := range []string{"/metrics", "/healthz", "/readyz", "/debug/vars", "/debug/pprof/", "/debug/spans", "/debug/traces"} {
 			fmt.Fprintln(w, "  "+p)
 		}
 	})

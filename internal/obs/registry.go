@@ -183,12 +183,25 @@ type Registry struct {
 	order    []string
 
 	spanMu   sync.Mutex
-	spanRing [spanRingSize]SpanRecord
+	spanRing []SpanRecord // lazily sized; see SetSpanRingSize
 	spanN    uint64
+
+	// Completed sampled trace spans, separately ring-buffered so a
+	// burst of metric-only spans cannot evict a request tree before
+	// /debug/traces is scraped.
+	traceMu     sync.Mutex
+	traceRing   []SpanRecord
+	traceN      uint64
+	traceW      io.Writer
+	sampleRatio float64
+	sampleSet   bool
+	traceWMu    sync.Mutex
 
 	readyMu    sync.Mutex
 	ready      map[string]func() error
 	readyOrder []string
+
+	rt runtimeState
 }
 
 // RegisterReadiness adds a named readiness check consulted by /readyz:

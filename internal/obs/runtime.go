@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Go runtime health exported on /metrics: goroutine and heap gauges, a
+// GC pause histogram, process start time, and a build-info gauge —
+// enough to tell a leaking or GC-thrashing streamd from a healthy one
+// without attaching pprof. Values are refreshed at scrape time by the
+// /metrics handler rather than by a background poller, so an idle
+// process stays idle.
+
+// processStart approximates process start (obs package init).
+var processStart = time.Now()
+
+// gcPauseBuckets covers stop-the-world pauses from microseconds to the
+// pathological hundred-millisecond range.
+var gcPauseBuckets = []float64{
+	1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1,
+}
+
+// runtimeState is the per-registry bookkeeping behind the runtime
+// metrics: which GC cycles have already been folded into the pause
+// histogram, and one-time build-info resolution.
+type runtimeState struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	buildOnce sync.Once
+}
+
+// updateRuntimeMetrics refreshes the go_* and process_* families; the
+// /metrics handler calls it before rendering.
+func (r *Registry) updateRuntimeMetrics() {
+	if r == nil {
+		return
+	}
+	r.Gauge("go_goroutines", "Current number of goroutines.").
+		Set(float64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.").
+		Set(float64(ms.HeapAlloc))
+
+	h := r.Histogram("go_gc_pause_seconds", "Stop-the-world GC pause durations.", gcPauseBuckets)
+	r.rt.mu.Lock()
+	if ms.NumGC > r.rt.lastNumGC {
+		// Fold in only the cycles since the previous scrape; the
+		// PauseNs ring keeps the last 256, which bounds the catch-up.
+		n := ms.NumGC - r.rt.lastNumGC
+		if n > uint32(len(ms.PauseNs)) {
+			n = uint32(len(ms.PauseNs))
+		}
+		for i := uint32(0); i < n; i++ {
+			idx := (ms.NumGC - i + uint32(len(ms.PauseNs)) - 1) % uint32(len(ms.PauseNs))
+			h.Observe(float64(ms.PauseNs[idx]) / 1e9)
+		}
+		r.rt.lastNumGC = ms.NumGC
+	}
+	r.rt.mu.Unlock()
+
+	r.Gauge("process_start_time_seconds", "Start time of the process since unix epoch in seconds.").
+		Set(float64(processStart.UnixNano()) / 1e9)
+
+	r.rt.buildOnce.Do(func() {
+		labels := []Label{{Key: "goversion", Value: runtime.Version()}}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			labels = append(labels,
+				Label{Key: "path", Value: bi.Main.Path},
+				Label{Key: "version", Value: bi.Main.Version})
+		}
+		r.Gauge("go_build_info", "Build information of the running binary; value is always 1.", labels...).Set(1)
+	})
+}

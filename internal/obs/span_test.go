@@ -62,12 +62,12 @@ func TestFromContext(t *testing.T) {
 
 func TestRecentSpansRing(t *testing.T) {
 	r := NewRegistry()
-	for i := 0; i < spanRingSize+10; i++ {
+	for i := 0; i < defaultSpanRingSize+10; i++ {
 		r.StartSpan("s").End()
 	}
 	spans := r.RecentSpans()
-	if len(spans) != spanRingSize {
-		t.Fatalf("ring holds %d spans, want %d", len(spans), spanRingSize)
+	if len(spans) != defaultSpanRingSize {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), defaultSpanRingSize)
 	}
 	for i := 1; i < len(spans); i++ {
 		if spans[i].Start.After(spans[i-1].Start) {

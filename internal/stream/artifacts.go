@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/annotation"
 	"repro/internal/annstore"
 	"repro/internal/codec"
+	"repro/internal/obs"
 )
 
 // This file is the boundary between the in-memory artifact cache and
@@ -158,13 +160,28 @@ type tier struct {
 // computes. Fresh computations are written through to the store, so
 // the artifact survives the process. digestSuffix, when non-empty, is
 // appended to the key's digest for the disk tier only.
-func (t tier) getOrCompute(key anncache.Key, digestSuffix string, cod artifactCodec, compute func() (any, int64, error)) (any, error) {
-	return t.cache.GetOrCompute(key, func() (any, int64, error) {
+//
+// The whole lookup runs under an anncache.lookup span (a child of ctx's
+// active span, so a cold miss shows the cache → store → pipeline chain
+// inside the request's trace). The outcome attribute distinguishes a
+// memory hit from a store hit from a computation; single-flight waiters
+// report "hit" — from their side the value was served, not computed.
+func (t tier) getOrCompute(ctx context.Context, key anncache.Key, digestSuffix string, cod artifactCodec, compute func(context.Context) (any, int64, error)) (any, error) {
+	lctx, sp := obs.StartSpanCtx(ctx, "anncache.lookup")
+	defer sp.End()
+	sp.SetAttr("kind", key.Kind)
+	outcome := "hit"
+	v, err := t.cache.GetOrCompute(key, func() (any, int64, error) {
 		skey := key
 		skey.Digest += digestSuffix
 		if t.store != nil {
-			if b, ok := t.store.Get(skey); ok {
-				if v, cost, err := cod.decode(b); err == nil {
+			ssp := obs.StartSpan(lctx, "annstore.get")
+			ssp.SetAttr("kind", key.Kind)
+			data, found := t.store.Get(skey)
+			ssp.End()
+			if found {
+				if v, cost, err := cod.decode(data); err == nil {
+					outcome = "store_hit"
 					return v, cost, nil
 				}
 				// A decode failure here is format drift, not disk
@@ -172,16 +189,25 @@ func (t tier) getOrCompute(key anncache.Key, digestSuffix string, cod artifactCo
 				// fall through and overwrite with a fresh computation.
 			}
 		}
-		v, cost, err := compute()
+		outcome = "computed"
+		v, cost, err := compute(lctx)
 		if err != nil {
 			return nil, 0, err
 		}
 		if t.store != nil {
 			if b, encErr := cod.encode(v); encErr == nil {
 				// Best effort: a full disk must not fail the session.
+				psp := obs.StartSpan(lctx, "annstore.put")
+				psp.SetAttr("kind", key.Kind)
 				t.store.Put(skey, b)
+				psp.End()
 			}
 		}
 		return v, cost, nil
 	})
+	sp.SetAttr("outcome", outcome)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	return v, err
 }

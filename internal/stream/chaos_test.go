@@ -93,8 +93,8 @@ func TestChaosResumeBitIdentical(t *testing.T) {
 	if res.Resumes != 2 {
 		t.Errorf("resumes = %d, want 2", res.Resumes)
 	}
-	if res.ProtocolVersion != 2 {
-		t.Errorf("protocol version = %d, want 2", res.ProtocolVersion)
+	if res.ProtocolVersion != 3 {
+		t.Errorf("protocol version = %d, want 3", res.ProtocolVersion)
 	}
 	for i := range wantDigests {
 		if gotDigests[i] != wantDigests[i] {

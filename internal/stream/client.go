@@ -56,8 +56,14 @@ type PlayResult struct {
 	// start_frame extension instead of replaying from frame zero.
 	Resumes int
 	// ProtocolVersion is the request framing the session settled on
-	// (2, or 1 after falling back against an old server).
+	// (3, stepping down to 2 then 1 against older servers).
 	ProtocolVersion int
+	// Ledger is the session's power/QoS accounting: per-scene backlight
+	// levels, modeled energy vs the full-backlight baseline, wire
+	// bytes, rebuffer and degradation events. Its SavedPct agrees with
+	// TotalSavings (both integrate the same traces under the same
+	// model).
+	Ledger *power.Report
 	// Degraded lists the side channels the session dropped instead of
 	// failing on (e.g. a corrupt annotation track: the backlight simply
 	// stays at full). Empty for a healthy session.
@@ -152,9 +158,9 @@ func (c *Client) Play(addr, clip string, quality float64) (*PlayResult, error) {
 	return c.PlayContext(context.Background(), addr, clip, quality)
 }
 
-// errDowngrade signals that the server rejected the v2 framing and the
-// attempt should be repeated with the v1 protocol.
-var errDowngrade = errors.New("stream: server wants protocol v1")
+// errDowngrade signals that the server rejected the current framing and
+// the attempt should be repeated one protocol version lower.
+var errDowngrade = errors.New("stream: server wants an older protocol")
 
 // PlayContext is Play under a context: cancelling ctx aborts the
 // session, including any backoff wait. The session survives transient
@@ -166,10 +172,11 @@ func (c *Client) PlayContext(ctx context.Context, addr, clip string, quality flo
 	}
 	retry := c.Retry.withDefaults()
 	s := &session{
-		res:     &PlayResult{Trace: &power.Trace{}, Ref: &power.Trace{}, ProtocolVersion: 2},
+		res:     &PlayResult{Trace: &power.Trace{}, Ref: &power.Trace{}, ProtocolVersion: 3},
 		level:   display.MaxLevel,
 		prev:    -1,
 		quality: quality,
+		ledger:  power.NewLedger(c.Device),
 	}
 	if c.DisableResume {
 		s.res.ProtocolVersion = 1
@@ -179,13 +186,24 @@ func (c *Client) PlayContext(ctx context.Context, addr, clip string, quality flo
 	resumesTotal := c.Obs.Counter("stream_client_resumes_total",
 		"Sessions continued mid-clip via the start_frame extension.")
 
+	// The whole playback session is one trace, rooted here; every
+	// connection attempt, and (via the v3 header) the proxy and server
+	// work on the other side of the wire, hang off this span.
+	ctx = obs.WithRegistry(ctx, c.Obs)
+	ctx, playSp := obs.StartTrace(ctx, "client.play")
+	defer playSp.End()
+	playSp.SetAttr("clip", clip)
+	playSp.SetAttr("device", c.Device.Name)
+
 	var lastErr error
 	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			s.res.Retries++
 			retriesTotal.Inc()
+			d := retry.delay(attempt, c.backoffRNG())
+			s.ledger.Rebuffer(d.Seconds())
 			select {
-			case <-time.After(retry.delay(attempt, c.backoffRNG())):
+			case <-time.After(d):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -202,10 +220,14 @@ func (c *Client) PlayContext(ctx context.Context, addr, clip string, quality flo
 			return nil, ctx.Err()
 		}
 		if errors.Is(err, errDowngrade) {
-			// Old server: repeat immediately with the v1 framing. The
-			// downgrade consumes no retry budget — nothing failed, the
-			// peers were negotiating.
-			s.res.ProtocolVersion = 1
+			// Older server: repeat immediately one framing down (3 → 2
+			// → 1). The downgrade consumes no retry budget — nothing
+			// failed, the peers were negotiating.
+			if s.res.ProtocolVersion >= 3 {
+				s.res.ProtocolVersion = 2
+			} else {
+				s.res.ProtocolVersion = 1
+			}
 			attempt--
 			continue
 		}
@@ -268,6 +290,9 @@ type session struct {
 	levelSum float64
 	lumaSum  float64
 	degraded map[string]bool
+	// ledger is the session's power/QoS accounting, fed frame by frame
+	// alongside the power traces and sealed into PlayResult.Ledger.
+	ledger *power.Ledger
 }
 
 // degrade records a dropped side channel once.
@@ -278,6 +303,7 @@ func (s *session) degrade(what string, total *obs.Counter) {
 	if !s.degraded[what] {
 		s.degraded[what] = true
 		s.res.Degraded = append(s.res.Degraded, what)
+		s.ledger.Degraded(what)
 		total.Inc()
 	}
 }
@@ -286,6 +312,14 @@ func (s *session) degrade(what string, total *obs.Counter) {
 // session already delivered frames), then decode and account frames.
 // resumed reports whether this attempt continued mid-clip via v2.
 func (c *Client) attempt(ctx context.Context, s *session, addr, clip string) (resumed bool, err error) {
+	ctx, sp := obs.StartSpanCtx(ctx, "client.attempt")
+	defer sp.End()
+	sp.SetAttr("addr", addr)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}()
 	dial := c.Dial
 	if dial == nil {
 		dial = net.Dial
@@ -312,6 +346,11 @@ func (c *Client) attempt(ctx context.Context, s *session, addr, clip string) (re
 		Mode:    ModeAnnotated,
 		Version: s.res.ProtocolVersion,
 	}
+	if req.Version >= 3 {
+		// Hand the attempt span's context across the wire so the
+		// proxy/server session joins this trace.
+		req.Trace = obs.SpanContextFrom(ctx)
+	}
 	if req.Version >= 2 {
 		req.StartFrame = s.emitted
 	} else if s.emitted > 0 {
@@ -337,6 +376,7 @@ func (s *session) restart() {
 	s.sceneIdx = 0
 	s.levelSum = 0
 	s.lumaSum = 0
+	s.ledger.Reset()
 }
 
 // consume parses the response stream, emitting each clip frame exactly
@@ -401,6 +441,9 @@ func (c *Client) consume(ctx context.Context, s *session, r io.Reader, req Reque
 		res.Annotated = true
 		res.Scenes = len(hdr.Annotations.Records)
 		res.BytesAnn = hdr.Annotations.Size()
+		// Each connection resends the track, so the overhead really
+		// crossed the wire again on a resume.
+		s.ledger.AddAnnotationBytes(int64(res.BytesAnn))
 		qi = hdr.Annotations.QualityIndex(s.quality)
 		cursor = hdr.Annotations.NewCursor(qi)
 	}
@@ -499,6 +542,12 @@ func (c *Client) consume(ctx context.Context, s *session, r io.Reader, req Reque
 				s.sceneIdx++
 				sp.End()
 				backlightGauge.Set(float64(s.level))
+				if g >= s.emitted {
+					// Replayed boundaries (I-frame rewind on resume)
+					// were already entered in the ledger before the
+					// disconnect.
+					s.ledger.StartScene(s.sceneIdx-1, s.level)
+				}
 			}
 		}
 		if g < s.emitted {
@@ -520,6 +569,7 @@ func (c *Client) consume(ctx context.Context, s *session, r io.Reader, req Reque
 		refState := state
 		refState.BacklightLevel = display.MaxLevel
 		res.Ref.Append(frameSeconds, refState)
+		s.ledger.Frame(frameSeconds, s.level)
 
 		if c.OnFrame != nil {
 			c.OnFrame(res.Frames, f, s.level)
@@ -529,6 +579,7 @@ func (c *Client) consume(ctx context.Context, s *session, r io.Reader, req Reque
 		g++
 	}
 	res.BytesStream += cr.n
+	s.ledger.AddWireBytes(int64(cr.n))
 	c.Obs.Counter("client_bytes_received_total",
 		"Bytes received from the stream connection.").Add(uint64(cr.n))
 	if s.expected > 0 && s.emitted < s.expected {
@@ -562,5 +613,8 @@ func (c *Client) finish(s *session) (*PlayResult, error) {
 	res.DecodedAvgLuma = s.lumaSum / float64(res.Frames)
 	res.BacklightSavings = model.BacklightSavings(res.Ref, res.Trace)
 	res.TotalSavings = model.Savings(res.Ref, res.Trace)
+	rep := s.ledger.Report()
+	res.Ledger = &rep
+	rep.EmitMetrics(c.Obs, "client")
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"repro/internal/container"
+	"repro/internal/obs"
 )
 
 // Mode selects what the server sends.
@@ -40,20 +41,35 @@ type Request struct {
 	Device string
 	Mode   Mode
 	// Version is the protocol version the request was framed with.
-	// Version 2 adds StartFrame for session resume; WriteRequest emits
-	// the old v1 framing when Version < 2 so v2-aware clients can fall
-	// back against old servers.
+	// Version 2 adds StartFrame for session resume; version 3 adds a
+	// flags byte carrying an optional distributed-trace context.
+	// WriteRequest emits the older framings when Version is lower, so
+	// newer clients can fall back stepwise against old servers.
 	Version int
 	// StartFrame asks the server to start the stream at this frame
 	// index instead of 0 (session resume, v2 only). The server rounds
 	// down to the nearest I-frame and reports the actual start via the
 	// container's resume-offset side channel.
 	StartFrame uint32
+	// Trace is the caller's span context (v3 only; zero when absent).
+	// A server or proxy receiving a valid Trace parents its session
+	// span under it, so one request yields one tree across tiers.
+	Trace obs.SpanContext
 }
 
 var reqMagic = [4]byte{'R', 'Q', 'S', '1'}
 var reqMagicV2 = [4]byte{'R', 'Q', 'S', '2'}
+var reqMagicV3 = [4]byte{'R', 'Q', 'S', '3'}
 var errMagic = [4]byte{'E', 'R', 'R', '1'}
+
+// v3 request flag bits.
+const (
+	reqFlagTrace = 1 << 0 // a 25-byte trace context follows
+)
+
+// traceFlagSampled is the sampled bit inside the trace context's own
+// flags byte (mirrors W3C traceparent).
+const traceFlagSampled = 1 << 0
 
 // ErrProtocol reports malformed protocol traffic.
 var ErrProtocol = errors.New("stream: protocol error")
@@ -88,10 +104,15 @@ func WriteRequest(w io.Writer, r Request) error {
 		return fmt.Errorf("%w: quality %v outside [0,1]", ErrProtocol, r.Quality)
 	}
 	magic := reqMagic
-	if r.Version >= 2 {
+	switch {
+	case r.Version >= 3:
+		magic = reqMagicV3
+	case r.Version >= 2:
 		magic = reqMagicV2
-	} else if r.StartFrame != 0 {
-		return fmt.Errorf("%w: start frame requires protocol v2", ErrProtocol)
+	default:
+		if r.StartFrame != 0 {
+			return fmt.Errorf("%w: start frame requires protocol v2", ErrProtocol)
+		}
 	}
 	buf := append([]byte{}, magic[:]...)
 	buf = append(buf, uint8(r.Quality*255+0.5), uint8(r.Mode), uint8(len(r.Clip)))
@@ -100,6 +121,22 @@ func WriteRequest(w io.Writer, r Request) error {
 	buf = append(buf, r.Device...)
 	if r.Version >= 2 {
 		buf = binary.BigEndian.AppendUint32(buf, r.StartFrame)
+	}
+	if r.Version >= 3 {
+		var flags uint8
+		if r.Trace.Valid() {
+			flags |= reqFlagTrace
+		}
+		buf = append(buf, flags)
+		if r.Trace.Valid() {
+			buf = append(buf, r.Trace.Trace[:]...)
+			buf = append(buf, r.Trace.Span[:]...)
+			var tf uint8
+			if r.Trace.Sampled {
+				tf |= traceFlagSampled
+			}
+			buf = append(buf, tf)
+		}
 	}
 	_, err := w.Write(buf)
 	return err
@@ -118,6 +155,8 @@ func ReadRequest(r io.Reader) (Request, error) {
 		version = 1
 	case reqMagicV2:
 		version = 2
+	case reqMagicV3:
+		version = 3
 	default:
 		return Request{}, fmt.Errorf("%w: bad request magic", ErrProtocol)
 	}
@@ -149,6 +188,26 @@ func ReadRequest(r io.Reader) (Request, error) {
 			return Request{}, fmt.Errorf("%w: short start frame: %v", ErrProtocol, err)
 		}
 		req.StartFrame = binary.BigEndian.Uint32(sf[:])
+	}
+	if version >= 3 {
+		var fl [1]byte
+		if _, err := io.ReadFull(r, fl[:]); err != nil {
+			return Request{}, fmt.Errorf("%w: short flags: %v", ErrProtocol, err)
+		}
+		if fl[0]&reqFlagTrace != 0 {
+			var tc [25]byte
+			if _, err := io.ReadFull(r, tc[:]); err != nil {
+				return Request{}, fmt.Errorf("%w: short trace context: %v", ErrProtocol, err)
+			}
+			req.Trace.Trace = obs.TraceID(tc[:16])
+			req.Trace.Span = obs.SpanID(tc[16:24])
+			req.Trace.Sampled = tc[24]&traceFlagSampled != 0
+			if !req.Trace.Valid() {
+				// A present-but-zero context is silently dropped rather
+				// than parenting spans under a bogus identity.
+				req.Trace = obs.SpanContext{}
+			}
+		}
 	}
 	return req, nil
 }

@@ -10,12 +10,21 @@ import (
 
 // FuzzReadRequest hardens the negotiation parser: arbitrary bytes must
 // never panic, and anything it accepts must survive a write/read round
-// trip unchanged (both the v1 and v2 framings).
+// trip unchanged (the v1, v2, and v3 framings).
 func FuzzReadRequest(f *testing.F) {
+	traced := Request{
+		Clip: "night", Quality: 0.10, Device: "ipaq5555",
+		Mode: ModeAnnotated, Version: 3, StartFrame: 7,
+	}
+	traced.Trace.Trace[0] = 0xab
+	traced.Trace.Span[7] = 0x01
+	traced.Trace.Sampled = true
 	for _, req := range []Request{
 		{Clip: "night", Quality: 0.10, Device: "ipaq5555", Mode: ModeAnnotated},
 		{Clip: "n", Quality: 1, Mode: ModeRaw},
 		{Clip: "night", Quality: 0.10, Device: "ipaq5555", Mode: ModeAnnotated, Version: 2, StartFrame: 7},
+		{Clip: "day", Quality: 0.5, Device: "ipaq5555", Mode: ModeAnnotated, Version: 3},
+		traced,
 	} {
 		var buf bytes.Buffer
 		if err := WriteRequest(&buf, req); err != nil {

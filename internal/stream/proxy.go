@@ -485,21 +485,34 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 		WriteError(conn, "bad request")
 		return err
 	}
-	entry, stale, err := p.fetchSource(req.Clip, req.Device)
+	// Join the client's trace (v3) or root one; everything below — the
+	// upstream fetch, the annotation pipeline, the artifact lookups —
+	// hangs off this session span.
+	if req.Trace.Valid() {
+		ctx = obs.WithSpanContext(ctx, req.Trace)
+	}
+	ctx, sp := obs.StartSpanCtx(ctx, "proxy.session")
+	defer sp.End()
+	sp.SetAttr("clip", req.Clip)
+	sp.SetAttr("device", req.Device)
+	sp.SetAttrInt("version", int64(req.Version))
+	entry, stale, err := p.fetchSource(ctx, req.Clip, req.Device)
 	if err != nil {
 		WriteError(conn, err.Error())
+		sp.SetAttr("error", err.Error())
 		return err
 	}
 	if stale {
 		p.staleServes.Inc()
+		sp.SetAttr("stale", "true")
 		p.logf("stream proxy: upstream down, serving %q stale", req.Clip)
 	}
 	track := entry.track
 	qi := track.QualityIndex(req.Quality)
 	cfg := p.enc.withDefaults(entry.src.FPS())
-	vAny, err := p.tier().getOrCompute(
+	vAny, err := p.tier().getOrCompute(ctx,
 		anncache.Key{Kind: "variant", Digest: entry.digest, Quality: qi}, encSig(cfg), variantCodec,
-		func() (any, int64, error) {
+		func(ctx context.Context) (any, int64, error) {
 			v, err := prepareVariant(ctx, entry.src, track, qi, cfg)
 			if err != nil {
 				return nil, 0, err
@@ -508,19 +521,27 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 		})
 	if err != nil {
 		WriteError(conn, "encoding failed")
+		sp.SetAttr("error", "encoding failed")
 		return err
 	}
 	v := vAny.(*variant)
 	from, err := resumePoint(v.frames, req)
 	if err != nil {
 		WriteError(conn, err.Error())
+		sp.SetAttr("error", err.Error())
 		return err
 	}
 	if from > 0 {
 		p.pm.resumes.Inc()
 	}
-	levels := deviceLevelsChunk(p.tier(), entry.digest, req.Device, track)
-	return sendVariant(ctx, conn, entry.src, track, v, levels, from, p.pm.framesSent, p.pm.bytesSent)
+	levels := deviceLevelsChunk(ctx, p.tier(), entry.digest, req.Device, track)
+	sent, err := sendVariant(ctx, conn, entry.src, track, v, levels, from, p.pm.framesSent, p.pm.bytesSent)
+	if err == nil {
+		accountSessionPower(p.obsReg, "proxy", req, entry.src, track, qi, from, sent)
+	} else {
+		sp.SetAttr("error", err.Error())
+	}
+	return err
 }
 
 // fetchSource returns the clip's decoded source and annotation track.
@@ -528,10 +549,10 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 // sessions share one in-flight fetch, but a cached copy never suppresses
 // the fetch), and only when every retry fails does it degrade to the
 // stale cached copy.
-func (p *Proxy) fetchSource(clip, device string) (*proxyEntry, bool, error) {
+func (p *Proxy) fetchSource(ctx context.Context, clip, device string) (*proxyEntry, bool, error) {
 	key := anncache.Key{Kind: "clip", Digest: clip, Quality: -1}
 	v, err := p.cache.Do(key, func() (any, int64, error) {
-		e, err := p.fetchAndAnnotate(clip, device)
+		e, err := p.fetchAndAnnotate(ctx, clip, device)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -553,7 +574,7 @@ func (p *Proxy) fetchSource(clip, device string) (*proxyEntry, bool, error) {
 // fetchAndAnnotate pulls the clip from the upstream with bounded retries
 // and annotates it (the proxy's transcoder role). The track is cached by
 // content digest, so refetching unchanged content skips re-annotation.
-func (p *Proxy) fetchAndAnnotate(clip, device string) (*proxyEntry, error) {
+func (p *Proxy) fetchAndAnnotate(ctx context.Context, clip, device string) (*proxyEntry, error) {
 	retry := p.retry.withDefaults()
 	var lastErr error
 	for attempt := 0; attempt < retry.MaxAttempts; attempt++ {
@@ -569,17 +590,17 @@ func (p *Proxy) fetchAndAnnotate(clip, device string) (*proxyEntry, error) {
 			return nil, p.ctx.Err()
 		}
 		start := time.Now()
-		src, err := p.fetchOnce(clip, device)
+		src, err := p.fetchOnce(ctx, clip, device)
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		p.upstreamLat.Observe(time.Since(start).Seconds())
 		dg := core.SourceDigest(src)
-		tAny, err := p.tier().getOrCompute(
+		tAny, err := p.tier().getOrCompute(ctx,
 			anncache.Key{Kind: "track", Digest: dg, Quality: -1}, "", trackCodec,
-			func() (any, int64, error) {
-				t, _, err := core.AnnotatePipeline(obs.WithRegistry(p.ctx, p.obsReg),
+			func(ctx context.Context) (any, int64, error) {
+				t, _, err := core.AnnotatePipeline(ctx,
 					src, scene.DefaultConfig(src.FPS()), nil,
 					core.AnnotateOptions{Workers: p.annWorkers})
 				if err != nil {
@@ -599,7 +620,7 @@ func (p *Proxy) fetchAndAnnotate(clip, device string) (*proxyEntry, error) {
 // breaker rejects the call; each attempt settles its upstream's breaker
 // with the outcome. A success from a non-primary upstream counts as a
 // failover.
-func (p *Proxy) fetchOnce(clip, device string) (core.Source, error) {
+func (p *Proxy) fetchOnce(ctx context.Context, clip, device string) (core.Source, error) {
 	if len(p.upstreams) == 0 {
 		return nil, errors.New("no upstreams configured")
 	}
@@ -611,7 +632,7 @@ func (p *Proxy) fetchOnce(clip, device string) (core.Source, error) {
 			continue
 		}
 		tried++
-		src, err := p.fetchRaw(u.addr, clip, device)
+		src, err := p.fetchRaw(ctx, u.addr, clip, device)
 		done(err == nil)
 		if err != nil {
 			lastErr = err
@@ -632,7 +653,15 @@ func (p *Proxy) fetchOnce(clip, device string) (core.Source, error) {
 // the decoded frames. The upstream connection is closed on every path,
 // and each read carries a deadline so a hung upstream fails the attempt
 // instead of wedging the session.
-func (p *Proxy) fetchRaw(addr, clip, device string) (src core.Source, err error) {
+func (p *Proxy) fetchRaw(ctx context.Context, addr, clip, device string) (src core.Source, err error) {
+	fctx, sp := obs.StartSpanCtx(ctx, "proxy.fetch_raw")
+	defer sp.End()
+	sp.SetAttr("upstream", addr)
+	defer func() {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+	}()
 	rawConn, err := p.dialAddr(addr)
 	if err != nil {
 		return nil, fmt.Errorf("upstream unreachable: %w", err)
@@ -641,7 +670,16 @@ func (p *Proxy) fetchRaw(addr, clip, device string) (src core.Source, err error)
 	// for upstream connection leaks hangs off this defer.
 	defer rawConn.Close()
 	conn := &deadlineConn{Conn: rawConn, readTimeout: p.readTimeout, writeTimeout: p.writeTimeout}
-	if err := WriteRequest(conn, Request{Clip: clip, Device: device, Mode: ModeRaw}); err != nil {
+	req := Request{Clip: clip, Device: device, Mode: ModeRaw}
+	// Propagate the trace across the hop: the v3 framing carries this
+	// fetch span's context so the upstream server.session parents under
+	// it. Without an active trace, keep the old v1 framing — nothing to
+	// carry, and an old upstream stays compatible.
+	if sc := obs.SpanContextFrom(fctx); sc.Valid() {
+		req.Version = 3
+		req.Trace = sc
+	}
+	if err := WriteRequest(conn, req); err != nil {
 		return nil, err
 	}
 	magic, remoteErr, err := ReadResponseMagic(conn)

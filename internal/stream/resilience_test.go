@@ -193,9 +193,10 @@ func TestClientDegradesOnCorruptAnnotations(t *testing.T) {
 }
 
 // TestClientDowngradesToV1 runs the version negotiation against an "old"
-// server: a shim that rejects the v2 magic with "bad request" and
-// forwards v1 traffic to a real server. The downgrade must be invisible
-// (no retry budget spent) and the session must complete as v1.
+// server: a shim that rejects the v2 and v3 magics with "bad request"
+// and forwards v1 traffic to a real server. The stepwise downgrade
+// (3 → 2 → 1) must be invisible (no retry budget spent) and the session
+// must complete as v1.
 func TestClientDowngradesToV1(t *testing.T) {
 	_, upstream := startServer(t)
 	ln := newLocalListener(t)
@@ -211,7 +212,7 @@ func TestClientDowngradesToV1(t *testing.T) {
 				if _, err := io.ReadFull(conn, magic[:]); err != nil {
 					return
 				}
-				if magic == reqMagicV2 {
+				if magic == reqMagicV2 || magic == reqMagicV3 {
 					// What a pre-v2 server does with framing it cannot
 					// parse.
 					WriteError(conn, "bad request")

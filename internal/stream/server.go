@@ -24,6 +24,7 @@ import (
 	"repro/internal/dvs"
 	"repro/internal/netsched"
 	"repro/internal/obs"
+	"repro/internal/power"
 	"repro/internal/scene"
 )
 
@@ -327,6 +328,7 @@ func (s *Server) session(conn net.Conn) {
 			s.logf("stream server: session panic (recovered): %v\n%s", r, debug.Stack())
 		}
 	}()
+	admitStart := time.Now()
 	if err := s.admit(); err != nil {
 		// Load shedding: refuse cleanly so resilient clients back off
 		// and retry instead of timing out mid-handshake.
@@ -338,7 +340,7 @@ func (s *Server) session(conn net.Conn) {
 		return
 	}
 	defer s.release()
-	if err := s.handle(conn); err != nil && !errors.Is(err, io.EOF) {
+	if err := s.handle(conn, time.Since(admitStart)); err != nil && !errors.Is(err, io.EOF) {
 		s.sm.sessErrors.Inc()
 		s.logf("stream server: %v", err)
 	}
@@ -466,7 +468,7 @@ func (s *Server) Ready() error {
 	return nil
 }
 
-func (s *Server) handle(rawConn net.Conn) error {
+func (s *Server) handle(rawConn net.Conn, admitWait time.Duration) error {
 	ctx := obs.WithRegistry(s.ctx, s.obsReg)
 	// The negotiation must arrive promptly; every later write re-arms
 	// its own deadline so a stalled client cannot pin the session.
@@ -476,17 +478,38 @@ func (s *Server) handle(rawConn net.Conn) error {
 		WriteError(conn, "bad request")
 		return err
 	}
+	// A v3 request carries the caller's span context: this session
+	// becomes a child in the caller's trace. Without one, the session
+	// roots a trace of its own.
+	if req.Trace.Valid() {
+		ctx = obs.WithSpanContext(ctx, req.Trace)
+	}
+	ctx, sp := obs.StartSpanCtx(ctx, "server.session")
+	defer sp.End()
+	sp.SetAttr("clip", req.Clip)
+	sp.SetAttr("device", req.Device)
+	sp.SetAttrInt("version", int64(req.Version))
+	if admitWait > time.Millisecond {
+		sp.SetAttr("admit_wait", admitWait.Round(time.Millisecond).String())
+	}
 	src, ok := s.catalog[req.Clip]
 	if !ok {
 		WriteError(conn, fmt.Sprintf("unknown clip %q", req.Clip))
+		sp.SetAttr("error", "unknown clip")
 		return fmt.Errorf("unknown clip %q requested by %q", req.Clip, req.Device)
 	}
 	switch req.Mode {
 	case ModeRaw:
-		return s.streamRaw(ctx, conn, src)
+		sp.SetAttr("mode", "raw")
+		err = s.streamRaw(ctx, conn, src)
 	default:
-		return s.streamAnnotated(ctx, conn, src, req)
+		sp.SetAttr("mode", "annotated")
+		err = s.streamAnnotated(ctx, conn, src, req)
 	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	return err
 }
 
 // digestOf memoises the content digest of a catalog clip: catalog
@@ -508,9 +531,9 @@ func (s *Server) digestOf(name string, src core.Source) string {
 // an uncached clip share one pipeline run via single-flight.
 func (s *Server) track(ctx context.Context, name string, src core.Source) (*annotation.Track, error) {
 	dg := s.digestOf(name, src)
-	v, err := s.tier().getOrCompute(
+	v, err := s.tier().getOrCompute(ctx,
 		anncache.Key{Kind: "track", Digest: dg, Quality: -1}, "", trackCodec,
-		func() (any, int64, error) {
+		func(ctx context.Context) (any, int64, error) {
 			t, _, err := core.AnnotatePipeline(ctx, src, s.scene(src.FPS()), nil,
 				core.AnnotateOptions{Workers: s.annWorkers})
 			if err != nil {
@@ -536,9 +559,9 @@ func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Sour
 	dg := s.digestOf(req.Clip, src)
 	qi := track.QualityIndex(req.Quality)
 	cfg := s.enc.withDefaults(src.FPS())
-	vAny, err := s.tier().getOrCompute(
+	vAny, err := s.tier().getOrCompute(ctx,
 		anncache.Key{Kind: "variant", Digest: dg, Quality: qi}, encSig(cfg), variantCodec,
-		func() (any, int64, error) {
+		func(ctx context.Context) (any, int64, error) {
 			v, err := prepareVariant(ctx, src, track, qi, cfg)
 			if err != nil {
 				return nil, 0, err
@@ -558,21 +581,67 @@ func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Sour
 	if from > 0 {
 		s.sm.resumes.Inc()
 	}
-	levels := deviceLevelsChunk(s.tier(), dg, req.Device, track)
-	return sendVariant(ctx, w, src, track, v, levels, from, s.sm.framesSent, s.sm.bytesSent)
+	levels := deviceLevelsChunk(ctx, s.tier(), dg, req.Device, track)
+	sent, err := sendVariant(ctx, w, src, track, v, levels, from, s.sm.framesSent, s.sm.bytesSent)
+	if err == nil {
+		// The session streamed to completion: fold its modeled power
+		// accounting into the fleet-wide power_saved_* / session_*
+		// families. The levels the client will apply are fully
+		// determined by the track, device and quality index, so the
+		// server can account savings without hearing back.
+		accountSessionPower(s.obsReg, "server", req, src, track, qi, from, sent)
+	}
+	return err
+}
+
+// accountSessionPower reconstructs a served session's power ledger from
+// what went over the wire — per-scene backlight levels for the client's
+// device at the negotiated quality — and aggregates it into the
+// power_saved_* / session_* families under the given role.
+func accountSessionPower(reg *obs.Registry, role string, req Request, src core.Source, track *annotation.Track, qi, from int, wireBytes uint64) {
+	if reg == nil {
+		return
+	}
+	dev := display.ByName(req.Device)
+	if dev == nil {
+		return
+	}
+	levels := track.LevelsFor(dev)
+	if len(levels) != len(track.Records) {
+		return
+	}
+	led := power.NewLedger(dev)
+	frameSeconds := 1 / float64(src.FPS())
+	pos := 0
+	for si, rec := range track.Records {
+		lvl := levels[si][qi]
+		sceneStarted := false
+		for i := 0; i < rec.Frames; i++ {
+			if pos >= from {
+				if !sceneStarted {
+					led.StartScene(si, lvl)
+					sceneStarted = true
+				}
+				led.Frame(frameSeconds, lvl)
+			}
+			pos++
+		}
+	}
+	led.AddWireBytes(int64(wireBytes))
+	led.Report().EmitMetrics(reg, role)
 }
 
 // deviceLevelsChunk resolves the device-specific backlight level table
 // side channel, cached per (content digest, device profile); nil when
 // the device is unknown (the chunk is optional).
-func deviceLevelsChunk(t tier, digest, deviceName string, track *annotation.Track) []byte {
+func deviceLevelsChunk(ctx context.Context, t tier, digest, deviceName string, track *annotation.Track) []byte {
 	dev := display.ByName(deviceName)
 	if dev == nil {
 		return nil
 	}
-	v, err := t.getOrCompute(
+	v, err := t.getOrCompute(ctx,
 		anncache.Key{Kind: "levels", Digest: digest, Quality: -1, Device: deviceName}, "", levelsCodec,
-		func() (any, int64, error) {
+		func(context.Context) (any, int64, error) {
 			levels, err := annotation.EncodeLevels(track.LevelsFor(dev))
 			if err != nil {
 				return nil, 0, err
@@ -679,12 +748,14 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // the client where the stream picks up). A non-nil levelsChunk is the
 // device-specific backlight level table shipped as a side channel
 // (§4.3's negotiation option).
-func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, levelsChunk []byte, from int, framesSent, bytesSent *obs.Counter) error {
+func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, levelsChunk []byte, from int, framesSent, bytesSent *obs.Counter) (sent uint64, err error) {
 	sp := obs.StartSpan(ctx, "stream.send")
 	defer sp.End()
 	cw0 := &countingWriter{w: w}
 	defer func() {
 		bytesSent.Add(cw0.n)
+		sp.SetAttrInt("bytes", int64(cw0.n))
+		sent = cw0.n
 	}()
 	width, height := src.Size()
 	extra := map[uint8][]byte{
@@ -704,18 +775,18 @@ func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annot
 		Extra:       extra,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	for _, ef := range v.frames[from:] {
 		if err := ctx.Err(); err != nil {
-			return err
+			return 0, err
 		}
 		if err := cw.WriteFrame(ef); err != nil {
-			return err
+			return 0, err
 		}
 		framesSent.Inc()
 	}
-	return nil
+	return 0, nil
 }
 
 // streamRaw sends the stored clip untouched (for proxies).

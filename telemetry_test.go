@@ -174,6 +174,17 @@ func TestDebugEndpointScrape(t *testing.T) {
 	atLeast(`span_duration_seconds_count{span="client.decode"}`, 60)
 	atLeast(`pipeline_frames_processed_total`, 40)
 	atLeast(`pipeline_scenes_detected_total`, 4)
+	// Power-ledger aggregation: the client accounted 3 sessions, the
+	// server served 2 annotated ones, the proxy 1.
+	atLeast(`session_total{role="client"}`, 3)
+	atLeast(`session_total{role="server"}`, 2)
+	atLeast(`session_total{role="proxy"}`, 1)
+	atLeast(`session_frames_total{role="client"}`, 60)
+	atLeast(`power_baseline_joules{role="client"}`, 0.001)
+	// Runtime health, rendered at scrape time.
+	atLeast(`go_goroutines`, 1)
+	atLeast(`go_heap_alloc_bytes`, 1)
+	atLeast(`process_start_time_seconds`, 1)
 
 	// Histogram invariant: +Inf bucket equals the series count.
 	inf := samples[`span_duration_seconds_bucket{span="client.decode",le="+Inf"}`]
