@@ -72,6 +72,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "player: unknown device %q\n", *deviceName)
 		os.Exit(2)
 	}
+	if err := compensate.ValidateBudget(*quality); err != nil {
+		fmt.Fprintln(os.Stderr, "player:", err)
+		os.Exit(2)
+	}
 	var method compensate.Method
 	switch *methodName {
 	case "contrast":

@@ -7,16 +7,21 @@
 //
 //	streamget [-addr 127.0.0.1:7400] -clip returnoftheking
 //	          [-quality 0.10] [-device ipaq5555]
+//	          [-adaptive] [-battery-wh 7.4]
 //	          [-retries 5] [-read-timeout 10s] [-no-resume]
 //	          [-log-level info]
 //
 // The client survives a lossy link: reads carry deadlines, failed
 // sessions reconnect with exponential backoff + jitter, and when the
 // server speaks protocol v2 or newer a reconnect resumes from the last
-// fully-decoded frame instead of replaying the clip. Every session ends
-// with the power ledger's report ("power saved: NN.N%"); -log-level
-// selects the threshold for the structured key=value events the session
-// also emits (power_report at info, per-scene detail at debug).
+// fully-decoded frame instead of replaying the clip. With -adaptive the
+// session speaks protocol v4 and walks the quality ladder live: the
+// playout buffer's health (and, with -battery-wh, a draining battery
+// gauge) moves the rung at scene boundaries, degrading gracefully under
+// a throttled link instead of stalling. Every session ends with the
+// power ledger's report ("power saved: NN.N%"); -log-level selects the
+// threshold for the structured key=value events the session also emits
+// (power_report at info, per-scene detail at debug).
 package main
 
 import (
@@ -25,6 +30,9 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/adaptive"
+	"repro/internal/battery"
+	"repro/internal/compensate"
 	"repro/internal/display"
 	"repro/internal/dvs"
 	"repro/internal/netsched"
@@ -40,6 +48,8 @@ func main() {
 	retries := flag.Int("retries", 0, "max connection attempts (0 = default of 5)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-read deadline on the stream (0 = default of 10s)")
 	noResume := flag.Bool("no-resume", false, "speak protocol v1 only (failures replay from frame 0)")
+	adaptiveMode := flag.Bool("adaptive", false, "walk the quality ladder live (protocol v4)")
+	batteryWh := flag.Float64("battery-wh", 0, "with -adaptive: watt-hours left in the battery (0 = no battery floor)")
 	logLevel := flag.String("log-level", "info", "structured event threshold (debug, info, warn, error)")
 	flag.Parse()
 
@@ -59,12 +69,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamget: unknown device %q\n", *deviceName)
 		os.Exit(2)
 	}
+	if err := compensate.ValidateBudget(*quality); err != nil {
+		fmt.Fprintln(os.Stderr, "streamget:", err)
+		os.Exit(2)
+	}
+	if *batteryWh < 0 {
+		fmt.Fprintln(os.Stderr, "streamget: -battery-wh must be >= 0")
+		os.Exit(2)
+	}
+	if *batteryWh > 0 && !*adaptiveMode {
+		fmt.Fprintln(os.Stderr, "streamget: -battery-wh needs -adaptive (the battery floor is a ladder input)")
+		os.Exit(2)
+	}
 
 	client := &stream.Client{
 		Device:        dev,
 		Retry:         stream.RetryPolicy{MaxAttempts: *retries},
 		ReadTimeout:   *readTimeout,
 		DisableResume: *noResume,
+	}
+	if *adaptiveMode {
+		cfg := &adaptive.LadderConfig{}
+		if *batteryWh > 0 {
+			cfg.Battery = battery.NewGaugeWh(*batteryWh)
+		}
+		client.Ladder = cfg
 	}
 	res, err := client.Play(*addr, *clip, *quality)
 	if err != nil {
@@ -79,6 +108,10 @@ func main() {
 	}
 	if len(res.Degraded) > 0 {
 		fmt.Printf("degraded          dropped side channels: %s\n", strings.Join(res.Degraded, ", "))
+	}
+	if *adaptiveMode && res.ProtocolVersion >= 4 {
+		fmt.Printf("quality ladder    %d switches, finished on rung %d (%.0f%% clipping), worst lag %.2fs\n",
+			res.QualitySwitches, res.FinalRung, compensate.QualityLevels[res.FinalRung]*100, res.MaxLagSeconds)
 	}
 	fmt.Printf("frames            %d in %d scenes\n", res.Frames, res.Scenes)
 	fmt.Printf("stream bytes      %d (backlight annotations %d bytes)\n", res.BytesStream, res.BytesAnn)

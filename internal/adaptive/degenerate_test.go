@@ -1,0 +1,80 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/annotation"
+	"repro/internal/battery"
+	"repro/internal/compensate"
+	"repro/internal/display"
+)
+
+func TestSimulateEmptyPlaylist(t *testing.T) {
+	if _, err := Simulate(nil, display.IPAQ5555(), battery.IPAQ1900(), Fixed{}); err == nil {
+		t.Error("empty playlist accepted")
+	}
+	if _, err := Simulate([]*annotation.Track{}, display.IPAQ5555(), battery.IPAQ1900(), Fixed{}); err == nil {
+		t.Error("zero-length playlist accepted")
+	}
+}
+
+func TestSimulateSingleSceneClip(t *testing.T) {
+	tr := ladderTrack(1)
+	res, err := Simulate([]*annotation.Track{tr}, display.IPAQ5555(), battery.IPAQ1900(), NewBatteryAware(display.IPAQ5555()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.QualityChanges != 0 {
+		t.Errorf("single-scene session: completed=%v changes=%d, want true/0",
+			res.Completed, res.QualityChanges)
+	}
+	want := float64(tr.TotalFrames()) / float64(tr.FPS) / 60
+	if math.Abs(res.MinutesWatched-want) > 1e-9 {
+		t.Errorf("MinutesWatched = %v, want %v", res.MinutesWatched, want)
+	}
+}
+
+func TestSimulateZeroDurationScenes(t *testing.T) {
+	// A track whose every scene is zero frames is degenerate and must be
+	// rejected, not divided by.
+	empty := &annotation.Track{FPS: 24, Quality: compensate.QualityLevels,
+		Records: []annotation.Record{{Frames: 0, Targets: []uint8{200, 200, 200, 200, 200}}}}
+	if _, err := Simulate([]*annotation.Track{empty}, display.IPAQ5555(), battery.IPAQ1900(), Fixed{}); err == nil {
+		t.Error("all-zero-duration track accepted")
+	}
+
+	// A zero-duration scene mixed into a real clip contributes nothing
+	// but must not poison the accounting with NaNs.
+	mixed := ladderTrack(4)
+	mixed.Records[2].Frames = 0
+	res, err := Simulate([]*annotation.Track{mixed}, display.IPAQ5555(), battery.IPAQ1900(), NewBatteryAware(display.IPAQ5555()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || math.IsNaN(res.MeanQuality) || math.IsNaN(res.MinutesWatched) {
+		t.Errorf("zero-duration scene broke accounting: %+v", res)
+	}
+	want := 3.0 * 24 / 24 / 60 // three real one-second scenes
+	if math.Abs(res.MinutesWatched-want) > 1e-9 {
+		t.Errorf("MinutesWatched = %v, want %v", res.MinutesWatched, want)
+	}
+}
+
+func TestSimulateBatteryEmptyAtStart(t *testing.T) {
+	pack := battery.IPAQ1900()
+	pack.CapacitymAh = 0.001 // microscopic but valid: dies in the first scene
+	res, err := Simulate([]*annotation.Track{ladderTrack(8)}, display.IPAQ5555(), pack, Fixed{QualityIndex: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("session on an empty battery completed")
+	}
+	if res.MinutesWatched > 0.01 || math.IsNaN(res.MinutesWatched) {
+		t.Errorf("MinutesWatched = %v, want ~0", res.MinutesWatched)
+	}
+	if math.IsNaN(res.MeanQuality) {
+		t.Errorf("MeanQuality = NaN")
+	}
+}

@@ -1,0 +1,154 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/annotation"
+	"repro/internal/battery"
+	"repro/internal/compensate"
+	"repro/internal/display"
+)
+
+// ladderTrack builds a synthetic 5-rung track for controller tests.
+func ladderTrack(scenes int) *annotation.Track {
+	tr := &annotation.Track{FPS: 24, Quality: compensate.QualityLevels}
+	for i := 0; i < scenes; i++ {
+		tr.Records = append(tr.Records, annotation.Record{
+			Frames:  24,
+			Targets: []uint8{220, 210, 200, 190, 180},
+		})
+	}
+	return tr
+}
+
+func mustLadder(t *testing.T, cfg LadderConfig) *Ladder {
+	t.Helper()
+	l, err := NewLadder(ladderTrack(32), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLadderWalksDownAndRecovers(t *testing.T) {
+	l := mustLadder(t, LadderConfig{StartRung: 1, MinDwell: 1, UpHold: 2, MaxSwitches: 10})
+	// Healthy lead: hold the requested rung.
+	if got := l.Decide(Inputs{LeadSeconds: 2.0}); got != 1 {
+		t.Fatalf("healthy decide = %d, want 1", got)
+	}
+	// Collapsing lead: one rung down per decision, never past the floor.
+	for i, want := range []int{2, 3, 4, 4} {
+		if got := l.Decide(Inputs{LeadSeconds: 0.2}); got != want {
+			t.Fatalf("throttled decide %d = %d, want %d", i, got, want)
+		}
+	}
+	// Recovery: promotion needs UpHold consecutive high-lead decisions.
+	if got := l.Decide(Inputs{LeadSeconds: 5}); got != 4 {
+		t.Fatalf("first high-lead decide = %d, want hold at 4", got)
+	}
+	for i, want := range []int{3, 2, 1} {
+		l.Decide(Inputs{LeadSeconds: 5})
+		if got := l.Decide(Inputs{LeadSeconds: 5}); got != want {
+			t.Fatalf("recovery step %d = %d, want %d", i, got, want)
+		}
+	}
+	// Ceiling: never better than the requested rung.
+	for i := 0; i < 6; i++ {
+		if got := l.Decide(Inputs{LeadSeconds: 10}); got != 1 {
+			t.Fatalf("decide above ceiling: %d", got)
+		}
+	}
+	if l.Switches() != 6 {
+		t.Errorf("switches = %d, want 6 (3 down, 3 up)", l.Switches())
+	}
+}
+
+func TestLadderDwellHysteresis(t *testing.T) {
+	l := mustLadder(t, LadderConfig{StartRung: 0, MinDwell: 3, UpHold: 1})
+	if got := l.Decide(Inputs{LeadSeconds: 0}); got != 1 {
+		t.Fatalf("first starved decide = %d, want 1", got)
+	}
+	// The next MinDwell-1 decisions must hold regardless of signal.
+	for i := 0; i < 2; i++ {
+		if got := l.Decide(Inputs{LeadSeconds: 0}); got != 1 {
+			t.Fatalf("dwell decision %d moved to %d", i, got)
+		}
+	}
+	if got := l.Decide(Inputs{LeadSeconds: 0}); got != 2 {
+		t.Fatalf("post-dwell decide = %d, want 2", got)
+	}
+}
+
+func TestLadderSwitchRateBound(t *testing.T) {
+	l := mustLadder(t, LadderConfig{
+		StartRung: 0, MinDwell: 1, UpHold: 1, MaxSwitches: 2, Window: 100,
+	})
+	// Oscillating signal wants a switch every decision; the window bound
+	// must cap it at MaxSwitches.
+	lead := 0.0
+	for i := 0; i < 20; i++ {
+		l.Decide(Inputs{LeadSeconds: lead})
+		lead = 10 - lead
+	}
+	if l.Switches() != 2 {
+		t.Errorf("switches under oscillation = %d, want 2 (rate-bounded)", l.Switches())
+	}
+}
+
+func TestLadderBatteryFloor(t *testing.T) {
+	dev := display.IPAQ5555()
+	// An almost-empty gauge: the budget forces the worst rung even though
+	// the network is healthy, bypassing dwell hysteresis.
+	g := battery.NewGaugeWh(0.001)
+	l, err := NewLadder(ladderTrack(32), LadderConfig{
+		StartRung: 0, Battery: g, Device: dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Decide(Inputs{LeadSeconds: 10, RemainingSeconds: 30}); got != 4 {
+		t.Errorf("starved-battery decide = %d, want floor 4", got)
+	}
+	// Fully empty gauge pins the floor too.
+	g.Drain(1e9)
+	if got := l.Decide(Inputs{LeadSeconds: 10, RemainingSeconds: 30}); got != 4 {
+		t.Errorf("empty-battery decide = %d, want floor 4", got)
+	}
+
+	// A healthy gauge imposes no floor.
+	rich, err := NewGauge(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLadder(ladderTrack(32), LadderConfig{
+		StartRung: 0, Battery: rich, Device: dev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.Decide(Inputs{LeadSeconds: 10, RemainingSeconds: 30}); got != 0 {
+		t.Errorf("healthy-battery decide = %d, want 0", got)
+	}
+}
+
+// NewGauge builds a comfortably full gauge for tests.
+func NewGauge(t *testing.T) (*battery.Gauge, error) {
+	t.Helper()
+	return battery.NewGauge(battery.IPAQ1900(), 2.0)
+}
+
+func TestLadderConfigValidation(t *testing.T) {
+	if _, err := NewLadder(nil, LadderConfig{}); err == nil {
+		t.Error("nil track accepted")
+	}
+	if _, err := NewLadder(ladderTrack(1), LadderConfig{StartRung: 5}); err == nil {
+		t.Error("out-of-range start rung accepted")
+	}
+	if _, err := NewLadder(ladderTrack(1), LadderConfig{StartRung: -1}); err == nil {
+		t.Error("negative start rung accepted")
+	}
+	g := battery.NewGaugeWh(1)
+	if _, err := NewLadder(ladderTrack(1), LadderConfig{Battery: g}); err == nil {
+		t.Error("battery floor without device accepted")
+	}
+}

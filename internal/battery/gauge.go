@@ -1,0 +1,76 @@
+package battery
+
+import "fmt"
+
+// Gauge is a runtime state-of-charge tracker for a live session: the
+// pack's usable energy is rate-corrected once for the session's
+// projected average draw, then drained joule by joule as the playback
+// loop accounts frames. It is what lets the adaptive quality ladder ask
+// "will the battery last the clip?" mid-stream instead of only in the
+// offline simulation.
+type Gauge struct {
+	pack      *Pack
+	usable    float64 // joules at the projected draw
+	remaining float64
+}
+
+// NewGauge builds a gauge for the pack assuming the session draws
+// projectedWatts on average (used once for the Peukert rate
+// correction). A nil pack or invalid parameters yield an error.
+func NewGauge(pack *Pack, projectedWatts float64) (*Gauge, error) {
+	if pack == nil {
+		return nil, fmt.Errorf("battery: nil pack")
+	}
+	if err := pack.Validate(); err != nil {
+		return nil, err
+	}
+	usable := pack.EffectiveWattHours(projectedWatts) * 3600
+	return &Gauge{pack: pack, usable: usable, remaining: usable}, nil
+}
+
+// NewGaugeWh builds a gauge directly from a usable watt-hour figure —
+// the "-battery-wh" command-line path, where the user states remaining
+// energy instead of a pack model. Non-positive watt-hours mean an
+// already-empty battery, which is legal: the ladder pins the floor rung
+// immediately.
+func NewGaugeWh(wattHours float64) *Gauge {
+	j := wattHours * 3600
+	if j < 0 {
+		j = 0
+	}
+	return &Gauge{usable: j, remaining: j}
+}
+
+// Drain removes joules from the remaining charge, clamping at empty.
+// Nil-safe: a session without a gauge ignores battery entirely.
+func (g *Gauge) Drain(joules float64) {
+	if g == nil || joules <= 0 {
+		return
+	}
+	g.remaining -= joules
+	if g.remaining < 0 {
+		g.remaining = 0
+	}
+}
+
+// RemainingWh returns the usable energy left, in watt-hours.
+func (g *Gauge) RemainingWh() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.remaining / 3600
+}
+
+// Fraction returns the state of charge in [0, 1]. An empty-capacity
+// gauge reads 0.
+func (g *Gauge) Fraction() float64 {
+	if g == nil || g.usable <= 0 {
+		return 0
+	}
+	return g.remaining / g.usable
+}
+
+// Empty reports whether the gauge has no usable energy left.
+func (g *Gauge) Empty() bool {
+	return g == nil || g.remaining <= 0
+}

@@ -1,0 +1,67 @@
+package battery
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaugeDrains(t *testing.T) {
+	g, err := NewGauge(IPAQ1900(), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWh := g.RemainingWh()
+	if want := IPAQ1900().EffectiveWattHours(2.0); math.Abs(startWh-want) > 1e-9 {
+		t.Errorf("initial RemainingWh = %v, want rate-corrected %v", startWh, want)
+	}
+	if g.Fraction() != 1 || g.Empty() {
+		t.Errorf("fresh gauge: fraction %v, empty %v", g.Fraction(), g.Empty())
+	}
+	g.Drain(startWh * 3600 / 2)
+	if math.Abs(g.Fraction()-0.5) > 1e-9 {
+		t.Errorf("half-drained fraction = %v", g.Fraction())
+	}
+	g.Drain(-5) // negative drains ignored
+	if math.Abs(g.Fraction()-0.5) > 1e-9 {
+		t.Errorf("negative drain changed fraction: %v", g.Fraction())
+	}
+	g.Drain(startWh * 3600) // overdrain clamps at empty
+	if !g.Empty() || g.RemainingWh() != 0 || g.Fraction() != 0 {
+		t.Errorf("overdrained gauge not empty: %v Wh", g.RemainingWh())
+	}
+}
+
+func TestGaugeWh(t *testing.T) {
+	g := NewGaugeWh(2.0)
+	if math.Abs(g.RemainingWh()-2.0) > 1e-9 {
+		t.Errorf("RemainingWh = %v, want 2.0", g.RemainingWh())
+	}
+	g.Drain(3600)
+	if math.Abs(g.RemainingWh()-1.0) > 1e-9 || math.Abs(g.Fraction()-0.5) > 1e-9 {
+		t.Errorf("after 1 Wh drain: %v Wh, fraction %v", g.RemainingWh(), g.Fraction())
+	}
+	// Battery already empty at start: legal, reads empty immediately.
+	empty := NewGaugeWh(0)
+	if !empty.Empty() || empty.Fraction() != 0 {
+		t.Errorf("zero-Wh gauge not empty")
+	}
+	neg := NewGaugeWh(-1)
+	if !neg.Empty() {
+		t.Errorf("negative-Wh gauge not empty")
+	}
+}
+
+func TestGaugeErrorsAndNil(t *testing.T) {
+	if _, err := NewGauge(nil, 1); err == nil {
+		t.Error("nil pack accepted")
+	}
+	bad := &Pack{NominalVolts: 3.7, CapacitymAh: 0, PeukertExponent: 1.05, RatedHours: 5}
+	if _, err := NewGauge(bad, 1); err == nil {
+		t.Error("invalid pack accepted")
+	}
+	var g *Gauge
+	g.Drain(10)
+	if !g.Empty() || g.RemainingWh() != 0 || g.Fraction() != 0 {
+		t.Error("nil gauge not empty/zero")
+	}
+}

@@ -25,6 +25,19 @@ import (
 // (fraction of high-luminance pixels allowed to clip).
 var QualityLevels = []float64{0, 0.05, 0.10, 0.15, 0.20}
 
+// ValidateBudget checks a requested clipping budget against the quality
+// ladder. A budget outside [0, worst rung] is a configuration error to
+// report, not something to clamp silently — the caller asked for a
+// quality the ladder cannot express.
+func ValidateBudget(q float64) error {
+	worst := QualityLevels[len(QualityLevels)-1]
+	if q < 0 || q > worst {
+		return fmt.Errorf("quality %g outside the ladder: pick a clipping budget between 0 and %g (the paper's rungs are %v)",
+			q, worst, QualityLevels)
+	}
+	return nil
+}
+
 // Method selects the compensation operator.
 type Method int
 

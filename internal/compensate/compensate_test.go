@@ -315,3 +315,19 @@ func TestToneMappingMethodString(t *testing.T) {
 		t.Error("ToneMapping.String mismatch")
 	}
 }
+
+func TestValidateBudget(t *testing.T) {
+	for _, q := range QualityLevels {
+		if err := ValidateBudget(q); err != nil {
+			t.Errorf("ladder level %g rejected: %v", q, err)
+		}
+	}
+	if err := ValidateBudget(0.07); err != nil {
+		t.Errorf("in-range budget between rungs rejected: %v", err)
+	}
+	for _, q := range []float64{-0.01, 0.21, 1} {
+		if err := ValidateBudget(q); err == nil {
+			t.Errorf("out-of-ladder budget %g accepted", q)
+		}
+	}
+}

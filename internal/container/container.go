@@ -57,6 +57,15 @@ const (
 	ChunkResumeOffset uint8 = 5
 )
 
+// ControlFrameType marks an in-band control packet in the frame stream
+// rather than video data. Control packets reuse the frame-packet
+// framing ([type, qscale, length, payload]) so they flow through
+// Writer/Reader unchanged, but are not frames: QScale selects the
+// control kind and the payload is kind-specific. Adaptive sessions use
+// them to mark mid-stream quality switches; fixed-quality streams never
+// contain them, keeping their bytes identical to older servers.
+const ControlFrameType uint8 = 0xFF
+
 // EncodeResumeOffset renders a ChunkResumeOffset payload.
 func EncodeResumeOffset(frame uint32) []byte {
 	return binary.BigEndian.AppendUint32(nil, frame)

@@ -35,6 +35,14 @@ type Config struct {
 	// BandwidthBPS throttles each direction to roughly this many bytes
 	// per second (0 = unlimited).
 	BandwidthBPS int
+	// ThrottlePhases, when set, replaces BandwidthBPS with a
+	// byte-scheduled bandwidth profile: each connection counts its
+	// cumulative bytes (both directions) and throttles at the current
+	// phase's rate, advancing when the phase's byte length is spent. The
+	// last phase is open-ended. This is how chaos tests script "link
+	// collapses, then recovers" against a deterministic byte position
+	// instead of a wall-clock timer.
+	ThrottlePhases []ThrottlePhase
 	// ShortWrites fragments every Write into small chunks written
 	// separately, so peers observe short reads at arbitrary offsets.
 	ShortWrites bool
@@ -51,10 +59,20 @@ type Config struct {
 	ResetRepeat bool
 }
 
+// ThrottlePhase is one leg of a phased bandwidth profile.
+type ThrottlePhase struct {
+	// Bytes is the phase length: how many connection bytes it covers
+	// before the next phase takes over. 0 means open-ended (legal only
+	// for the final phase).
+	Bytes int64
+	// BPS is the throttle during the phase (0 = unlimited).
+	BPS int
+}
+
 // Enabled reports whether the config injects any fault at all.
 func (c Config) Enabled() bool {
-	return c.Latency > 0 || c.BandwidthBPS > 0 || c.ShortWrites ||
-		c.CorruptRate > 0 || len(c.ResetAfter) > 0
+	return c.Latency > 0 || c.BandwidthBPS > 0 || len(c.ThrottlePhases) > 0 ||
+		c.ShortWrites || c.CorruptRate > 0 || len(c.ResetAfter) > 0
 }
 
 // String renders the config in ParseConfig's syntax.
@@ -65,6 +83,13 @@ func (c Config) String() string {
 	}
 	if c.BandwidthBPS > 0 {
 		parts = append(parts, fmt.Sprintf("bw=%d", c.BandwidthBPS))
+	}
+	if len(c.ThrottlePhases) > 0 {
+		s := make([]string, len(c.ThrottlePhases))
+		for i, p := range c.ThrottlePhases {
+			s[i] = fmt.Sprintf("%d@%d", p.Bytes, p.BPS)
+		}
+		parts = append(parts, "phases="+strings.Join(s, ":"))
 	}
 	if c.ShortWrites {
 		parts = append(parts, "short")
@@ -89,9 +114,10 @@ func (c Config) String() string {
 // ParseConfig parses the -faults flag syntax: comma-separated
 // key=value items.
 //
-//	latency=2ms        added delay per Read/Write
-//	bw=65536           throttle to N bytes/second
-//	short              fragment writes into small chunks
+//	latency=2ms           added delay per Read/Write
+//	bw=65536              throttle to N bytes/second
+//	phases=65536@8192:0@0 phased throttle: bytes@bps legs, last open-ended
+//	short                 fragment writes into small chunks
 //	corrupt=0.01       per-write bit-flip probability
 //	reset=4096:8192    reset the n-th connection after its budget
 //	repeat             cycle the reset schedule over all connections
@@ -117,6 +143,27 @@ func ParseConfig(s string) (Config, error) {
 				return c, fmt.Errorf("faults: bad bandwidth %q", val)
 			}
 			c.BandwidthBPS = n
+		case "phases":
+			for _, leg := range strings.Split(val, ":") {
+				bs, rs, ok := strings.Cut(leg, "@")
+				if !ok {
+					return c, fmt.Errorf("faults: bad phase %q (want bytes@bps)", leg)
+				}
+				bytes, err := strconv.ParseInt(bs, 10, 64)
+				if err != nil || bytes < 0 {
+					return c, fmt.Errorf("faults: bad phase bytes %q", bs)
+				}
+				bps, err := strconv.Atoi(rs)
+				if err != nil || bps < 0 {
+					return c, fmt.Errorf("faults: bad phase rate %q", rs)
+				}
+				c.ThrottlePhases = append(c.ThrottlePhases, ThrottlePhase{Bytes: bytes, BPS: bps})
+			}
+			for i, p := range c.ThrottlePhases {
+				if p.Bytes == 0 && i != len(c.ThrottlePhases)-1 {
+					return c, fmt.Errorf("faults: open-ended phase %d before the last", i)
+				}
+			}
 		case "short":
 			if hasVal {
 				return c, fmt.Errorf("faults: short takes no value")
@@ -242,6 +289,12 @@ type conn struct {
 	rng    *rand.Rand
 	budget int64 // remaining bytes before reset; -1 = never
 	reset  bool
+
+	// Phased-throttle cursor: current phase and bytes spent inside it.
+	// Both directions share the counter, so the profile is a property of
+	// the connection, not of each half.
+	phase      int
+	phaseSpent int64
 }
 
 // spend consumes n bytes of the reset budget, returning how many of them
@@ -279,8 +332,46 @@ func (c *conn) refund(n int) {
 }
 
 func (c *conn) throttle(n int) {
-	if c.cfg.BandwidthBPS > 0 && n > 0 {
+	if n <= 0 {
+		return
+	}
+	if len(c.cfg.ThrottlePhases) > 0 {
+		c.throttlePhased(n)
+		return
+	}
+	if c.cfg.BandwidthBPS > 0 {
 		time.Sleep(time.Duration(float64(n) / float64(c.cfg.BandwidthBPS) * float64(time.Second)))
+	}
+}
+
+// throttlePhased charges n bytes against the phase schedule, sleeping
+// for however long the bytes take at each phase's rate. A chunk that
+// straddles a boundary pays each phase its share.
+func (c *conn) throttlePhased(n int) {
+	var sleep float64
+	c.mu.Lock()
+	for n > 0 {
+		ph := c.cfg.ThrottlePhases[c.phase]
+		take := n
+		last := c.phase == len(c.cfg.ThrottlePhases)-1
+		if ph.Bytes > 0 && !last {
+			if left := ph.Bytes - c.phaseSpent; int64(take) > left {
+				take = int(left)
+			}
+		}
+		if ph.BPS > 0 {
+			sleep += float64(take) / float64(ph.BPS)
+		}
+		c.phaseSpent += int64(take)
+		n -= take
+		if !last && ph.Bytes > 0 && c.phaseSpent >= ph.Bytes {
+			c.phase++
+			c.phaseSpent = 0
+		}
+	}
+	c.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(time.Duration(sleep * float64(time.Second)))
 	}
 }
 

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestParsePhases(t *testing.T) {
+	c, err := ParseConfig("phases=1024@512:0@4096,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ThrottlePhase{{Bytes: 1024, BPS: 512}, {Bytes: 0, BPS: 4096}}
+	if len(c.ThrottlePhases) != 2 || c.ThrottlePhases[0] != want[0] || c.ThrottlePhases[1] != want[1] {
+		t.Errorf("parsed %+v, want %+v", c.ThrottlePhases, want)
+	}
+	if !c.Enabled() {
+		t.Error("phased config reports disabled")
+	}
+	c2, err := ParseConfig(c.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != c2.String() {
+		t.Errorf("round trip %q vs %q", c, c2)
+	}
+	for _, s := range []string{
+		"phases=1024",         // no rate
+		"phases=x@512",        // bad bytes
+		"phases=1024@y",       // bad rate
+		"phases=-1@512",       // negative bytes
+		"phases=1024@-1",      // negative rate
+		"phases=0@512:1024@0", // open-ended leg before the last
+	} {
+		if _, err := ParseConfig(s); err == nil {
+			t.Errorf("ParseConfig(%q) accepted", s)
+		}
+	}
+}
+
+func TestPhasedThrottleSchedule(t *testing.T) {
+	// Phase 1: 2 KiB at an unmeasurably fast rate. Phase 2: slow. The
+	// first writes must return quickly, later ones must sleep.
+	wrapped, peer := pipePair(Config{Seed: 1, ThrottlePhases: []ThrottlePhase{
+		{Bytes: 2048, BPS: 0},
+		{Bytes: 0, BPS: 16 * 1024},
+	}})
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+
+	buf := make([]byte, 2048)
+	start := time.Now()
+	if _, err := wrapped.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Errorf("unlimited phase took %v", d)
+	}
+	// 4 KiB at 16 KiB/s is 250ms.
+	start = time.Now()
+	if _, err := wrapped.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wrapped.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Errorf("throttled phase took only %v, want ~250ms", d)
+	}
+}
+
+func TestPhasedThrottleStraddle(t *testing.T) {
+	// One write straddling the boundary pays each phase its share: 1 KiB
+	// free, then 1 KiB at 8 KiB/s = 125ms.
+	wrapped, peer := pipePair(Config{Seed: 1, ThrottlePhases: []ThrottlePhase{
+		{Bytes: 1024, BPS: 0},
+		{Bytes: 0, BPS: 8 * 1024},
+	}})
+	defer peer.Close()
+	go io.Copy(io.Discard, peer)
+	start := time.Now()
+	if _, err := wrapped.Write(make([]byte, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	d := time.Since(start)
+	if d < 75*time.Millisecond || d > 500*time.Millisecond {
+		t.Errorf("straddling write took %v, want ~125ms", d)
+	}
+}

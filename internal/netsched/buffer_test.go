@@ -1,0 +1,69 @@
+package netsched
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced wall clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBufferLead(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(100, 0)}
+	b := NewBuffer(10) // 0.1s per frame
+	b.SetClock(clk.now)
+	if b.LeadSeconds() != 0 {
+		t.Errorf("lead before first delivery = %v, want 0", b.LeadSeconds())
+	}
+	b.Deliver(20) // 2s of content, clock starts now
+	if got := b.LeadSeconds(); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("lead = %v, want 2.0", got)
+	}
+	clk.advance(1500 * time.Millisecond)
+	if got := b.LeadSeconds(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("lead after 1.5s playback = %v, want 0.5", got)
+	}
+	if b.MaxLagSeconds() != 0 {
+		t.Errorf("MaxLag = %v while ahead, want 0", b.MaxLagSeconds())
+	}
+	// Playback overruns delivery: 1s more elapses with no frames.
+	clk.advance(1 * time.Second)
+	if got := b.LeadSeconds(); math.Abs(got+0.5) > 1e-9 {
+		t.Errorf("lead = %v, want -0.5 (stalled)", got)
+	}
+	if got := b.MaxLagSeconds(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("MaxLag = %v, want 0.5", got)
+	}
+	// Recovery: a burst refills the buffer, but the worst lag sticks.
+	b.Deliver(30)
+	if got := b.LeadSeconds(); math.Abs(got-2.5) > 1e-9 {
+		t.Errorf("lead after refill = %v, want 2.5", got)
+	}
+	if got := b.MaxLagSeconds(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("MaxLag after recovery = %v, want 0.5 (sticky)", got)
+	}
+}
+
+func TestBufferDegenerate(t *testing.T) {
+	var b *Buffer
+	b.Deliver(10)
+	if b.LeadSeconds() != 0 || b.MaxLagSeconds() != 0 {
+		t.Error("nil buffer not zero")
+	}
+	clamped := NewBuffer(0) // hostile fps clamps to 1
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	clamped.SetClock(clk.now)
+	clamped.Deliver(3)
+	if got := clamped.LeadSeconds(); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("clamped-fps lead = %v, want 3.0", got)
+	}
+	clamped.Deliver(0)
+	clamped.Deliver(-1)
+	if got := clamped.LeadSeconds(); math.Abs(got-3.0) > 1e-9 {
+		t.Errorf("non-positive deliveries changed lead: %v", got)
+	}
+}

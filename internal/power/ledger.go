@@ -2,6 +2,7 @@ package power
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/display"
@@ -27,6 +28,14 @@ type Ledger struct {
 	switches  int
 	prevLevel int
 
+	// rung is the quality-ladder rung (quality index) current frames are
+	// served at; -1 until SetRung/QualitySwitch names one. rungSeconds
+	// accumulates playback seconds per rung, qswitches counts mid-stream
+	// rung changes (the adaptive ladder's QoS cost).
+	rung        int
+	rungSeconds map[int]float64
+	qswitches   int
+
 	// noNetwork flips frame accounting to NetworkActive=false (local
 	// file playback); the zero value models a streaming session.
 	noNetwork bool
@@ -51,12 +60,35 @@ type LedgerScene struct {
 // NewLedger builds a ledger for a session on the given device, modeled
 // under DefaultModel.
 func NewLedger(dev *display.Profile) *Ledger {
-	return &Ledger{model: DefaultModel(dev), prevLevel: -1}
+	return &Ledger{model: DefaultModel(dev), prevLevel: -1, rung: -1}
 }
 
 // NewLedgerModel builds a ledger under an explicit power model.
 func NewLedgerModel(m *Model) *Ledger {
-	return &Ledger{model: m, prevLevel: -1}
+	return &Ledger{model: m, prevLevel: -1, rung: -1}
+}
+
+// SetRung names the quality-ladder rung subsequent frames play at
+// without counting a switch (session start, or a resume that continues
+// at the rung already in force).
+func (l *Ledger) SetRung(rung int) {
+	if l != nil {
+		l.rung = rung
+	}
+}
+
+// QualitySwitch records a mid-stream rung change: subsequent frames
+// account under the new rung, and the switch counts toward the
+// session's quality-switch total (a quality-steady session keeps this
+// number small).
+func (l *Ledger) QualitySwitch(rung int) {
+	if l == nil {
+		return
+	}
+	if l.rung >= 0 && rung != l.rung {
+		l.qswitches++
+	}
+	l.rung = rung
 }
 
 // SetNetworkActive sets whether frames account WNIC power. Sessions fed
@@ -107,6 +139,12 @@ func (l *Ledger) Frame(seconds float64, level int) {
 	if n := len(l.scenes); n > 0 {
 		l.scenes[n-1].Frames++
 		l.scenes[n-1].Seconds += seconds
+	}
+	if l.rung >= 0 {
+		if l.rungSeconds == nil {
+			l.rungSeconds = map[int]float64{}
+		}
+		l.rungSeconds[l.rung] += seconds
 	}
 }
 
@@ -163,6 +201,9 @@ func (l *Ledger) Reset() {
 	l.levelSum = 0
 	l.switches = 0
 	l.prevLevel = -1
+	// Quality switches, like stalls, really happened on the wire and
+	// survive the reset; per-rung playback time restarts with playback.
+	l.rungSeconds = nil
 }
 
 // Report is the sealed end-of-session accounting.
@@ -186,6 +227,20 @@ type Report struct {
 	SavedPct          float64
 	BacklightSavedPct float64
 	AvgWatts          float64
+
+	// RadioJoules is the wireless-interface share of SessionJoules;
+	// RadioActiveSeconds/RadioIdleSeconds split the session into
+	// radio-on and radio-sleep time (arXiv 1407.7667's dominant
+	// component, accounted separately so batching wins show up).
+	RadioJoules        float64
+	RadioActiveSeconds float64
+	RadioIdleSeconds   float64
+
+	// QualitySwitches counts mid-stream quality-ladder rung changes;
+	// RungSeconds is playback time per rung (nil when the session never
+	// named a rung — fixed-quality playback).
+	QualitySwitches int
+	RungSeconds     map[int]float64
 
 	WireBytes       int64
 	AnnotationBytes int64
@@ -215,6 +270,10 @@ func (l *Ledger) Report() Report {
 	rep.SavedJoules = rep.BaselineJoules - rep.SessionJoules
 	rep.SavedPct = 100 * l.model.Savings(&l.ref, &l.got)
 	rep.BacklightSavedPct = 100 * l.model.BacklightSavings(&l.ref, &l.got)
+	rep.RadioJoules = l.model.RadioEnergy(&l.got)
+	rep.RadioActiveSeconds, rep.RadioIdleSeconds = l.model.RadioSeconds(&l.got)
+	rep.QualitySwitches = l.qswitches
+	rep.RungSeconds = l.rungSeconds
 	if l.frames > 0 {
 		rep.AvgLevel = l.levelSum / float64(l.frames)
 	}
@@ -231,13 +290,33 @@ func (r Report) String() string {
 		r.Frames, len(r.Scenes), r.Seconds, r.AvgLevel, display.MaxLevel, r.Switches)
 	fmt.Fprintf(&b, "energy:  %.1f J modeled (%.2f W avg), %.1f J at full backlight\n",
 		r.SessionJoules, r.AvgWatts, r.BaselineJoules)
+	fmt.Fprintf(&b, "radio:   %.1f J (%.1fs active, %.1fs idle)\n",
+		r.RadioJoules, r.RadioActiveSeconds, r.RadioIdleSeconds)
 	fmt.Fprintf(&b, "wire:    %d stream bytes, %d annotation bytes, %d rebuffers (%.1fs stalled)\n",
 		r.WireBytes, r.AnnotationBytes, r.Rebuffers, r.StallSeconds)
+	if r.RungSeconds != nil {
+		fmt.Fprintf(&b, "ladder:  %d quality switches", r.QualitySwitches)
+		for _, rung := range sortedRungs(r.RungSeconds) {
+			fmt.Fprintf(&b, ", rung %d: %.1fs", rung, r.RungSeconds[rung])
+		}
+		b.WriteByte('\n')
+	}
 	if len(r.Degraded) > 0 {
 		fmt.Fprintf(&b, "degraded: %s\n", strings.Join(r.Degraded, ", "))
 	}
 	fmt.Fprintf(&b, "power saved: %.1f%% (backlight alone: %.1f%%)", r.SavedPct, r.BacklightSavedPct)
 	return b.String()
+}
+
+// sortedRungs returns the rung indexes of a RungSeconds map in
+// ascending order, for stable report rendering.
+func sortedRungs(m map[int]float64) []int {
+	rungs := make([]int, 0, len(m))
+	for r := range m {
+		rungs = append(rungs, r)
+	}
+	sort.Ints(rungs)
+	return rungs
 }
 
 // Emit logs the report as structured events: one power_report info
@@ -256,6 +335,8 @@ func (r Report) Emit(log *obs.Logger) {
 		"baseline_joules", fmt.Sprintf("%.2f", r.BaselineJoules),
 		"saved_pct", fmt.Sprintf("%.1f", r.SavedPct),
 		"backlight_saved_pct", fmt.Sprintf("%.1f", r.BacklightSavedPct),
+		"radio_joules", fmt.Sprintf("%.2f", r.RadioJoules),
+		"quality_switches", r.QualitySwitches,
 		"wire_bytes", r.WireBytes,
 		"ann_bytes", r.AnnotationBytes,
 		"rebuffers", r.Rebuffers,
@@ -292,6 +373,8 @@ func (r Report) EmitMetrics(reg *obs.Registry, role string) {
 	reg.Counter("session_frames_total", "Frames accounted across sessions.", lbl).Add(uint64(r.Frames))
 	reg.Counter("session_scenes_total", "Annotated scenes accounted across sessions.", lbl).Add(uint64(len(r.Scenes)))
 	reg.Counter("session_switches_total", "Backlight level switches across sessions.", lbl).Add(uint64(r.Switches))
+	reg.Counter("session_quality_switches_total", "Quality-ladder rung switches across sessions.", lbl).Add(uint64(r.QualitySwitches))
+	reg.Gauge("power_radio_joules", "Modeled wireless-interface energy, accumulated across sessions.", lbl).Add(r.RadioJoules)
 	if r.WireBytes > 0 {
 		reg.Counter("session_wire_bytes_total", "Stream bytes on the wire across sessions.", lbl).Add(uint64(r.WireBytes))
 	}

@@ -136,6 +136,8 @@ func TestLedgerNilSafe(t *testing.T) {
 	l.Rebuffer(1)
 	l.Degraded("x")
 	l.SetNetworkActive(false)
+	l.SetRung(2)
+	l.QualitySwitch(3)
 	l.Reset()
 	if got, ref := l.Traces(); got != nil || ref != nil {
 		t.Error("nil ledger Traces() non-nil")
@@ -146,6 +148,80 @@ func TestLedgerNilSafe(t *testing.T) {
 	}
 	rep.Emit(nil)
 	rep.EmitMetrics(nil, "client")
+}
+
+func TestLedgerRungAccounting(t *testing.T) {
+	led := NewLedger(display.IPAQ5555())
+	led.SetRung(2) // session start names a rung without a switch
+	led.Frame(0.1, 200)
+	led.Frame(0.1, 200)
+	led.QualitySwitch(3) // walk down
+	led.Frame(0.1, 200)
+	led.QualitySwitch(3) // same rung: not a switch
+	led.Frame(0.1, 200)
+	led.QualitySwitch(2) // walk back up
+	led.Frame(0.1, 200)
+	rep := led.Report()
+	if rep.QualitySwitches != 2 {
+		t.Errorf("QualitySwitches = %d, want 2", rep.QualitySwitches)
+	}
+	if math.Abs(rep.RungSeconds[2]-0.3) > 1e-9 || math.Abs(rep.RungSeconds[3]-0.2) > 1e-9 {
+		t.Errorf("RungSeconds = %v, want rung 2: 0.3s, rung 3: 0.2s", rep.RungSeconds)
+	}
+	if s := rep.String(); !strings.Contains(s, "ladder:  2 quality switches") ||
+		!strings.Contains(s, "rung 2: 0.3s") {
+		t.Errorf("report string missing ladder line:\n%s", s)
+	}
+
+	// Reset drops per-rung playback time but keeps the switch history,
+	// like stalls: both really happened on the wire.
+	led.Reset()
+	led.Frame(0.1, 200)
+	rep = led.Report()
+	if rep.QualitySwitches != 2 {
+		t.Errorf("post-reset QualitySwitches = %d, want 2", rep.QualitySwitches)
+	}
+	if math.Abs(rep.RungSeconds[2]-0.1) > 1e-9 || len(rep.RungSeconds) != 1 {
+		t.Errorf("post-reset RungSeconds = %v, want rung 2: 0.1s only", rep.RungSeconds)
+	}
+
+	// Fixed-quality sessions never name a rung and render no ladder line.
+	fixed := NewLedger(display.IPAQ5555())
+	fixed.Frame(0.1, 200)
+	if frep := fixed.Report(); frep.RungSeconds != nil || strings.Contains(frep.String(), "ladder:") {
+		t.Errorf("fixed-quality report grew a ladder line: %+v", frep.RungSeconds)
+	}
+}
+
+func TestLedgerRadioReport(t *testing.T) {
+	dev := display.IPAQ5555()
+	model := DefaultModel(dev)
+	led := NewLedger(dev)
+	got, _ := playSession(led, true)
+	rep := led.Report()
+	if want := model.RadioEnergy(got); math.Abs(rep.RadioJoules-want) > 1e-9 {
+		t.Errorf("RadioJoules = %v, want model's %v", rep.RadioJoules, want)
+	}
+	if rep.RadioActiveSeconds != got.Duration() || rep.RadioIdleSeconds != 0 {
+		t.Errorf("radio seconds = %v/%v, want %v/0",
+			rep.RadioActiveSeconds, rep.RadioIdleSeconds, got.Duration())
+	}
+	if !strings.Contains(rep.String(), "radio:") {
+		t.Errorf("report string missing radio line:\n%s", rep.String())
+	}
+
+	// A local-file session accounts idle radio draw instead.
+	local := NewLedger(dev)
+	local.SetNetworkActive(false)
+	local.Frame(2, 200)
+	lrep := local.Report()
+	if want := 2 * model.NetworkIdleWatts; math.Abs(lrep.RadioJoules-want) > 1e-9 {
+		t.Errorf("idle RadioJoules = %v, want %v", lrep.RadioJoules, want)
+	}
+	if lrep.RadioActiveSeconds != 0 || lrep.RadioIdleSeconds != 2 {
+		t.Errorf("idle radio seconds = %v/%v, want 0/2",
+			lrep.RadioActiveSeconds, lrep.RadioIdleSeconds)
+	}
 }
 
 func TestReportEmit(t *testing.T) {

@@ -29,6 +29,13 @@ type Model struct {
 	CPUIdleWatts float64
 	// NetworkWatts is the WLAN receive power while streaming.
 	NetworkWatts float64
+	// NetworkIdleWatts is the WLAN power when the radio is associated
+	// but idle (power-save polling between receive bursts). The
+	// active/idle split is what makes radio-sleep scheduling visible in
+	// the savings numbers: the wireless interface is a dominant
+	// component of handheld power, and most of its draw disappears only
+	// when the radio actually idles (arXiv 1407.7667).
+	NetworkIdleWatts float64
 	// BaseWatts covers memory, audio and the rest of the board.
 	BaseWatts float64
 }
@@ -39,10 +46,11 @@ type Model struct {
 func DefaultModel(dev *display.Profile) *Model {
 	return &Model{
 		Device:         dev,
-		CPUDecodeWatts: 0.90, // 400 MHz XScale decoding MPEG
-		CPUIdleWatts:   0.25,
-		NetworkWatts:   0.30,
-		BaseWatts:      0.12,
+		CPUDecodeWatts:   0.90, // 400 MHz XScale decoding MPEG
+		CPUIdleWatts:     0.25,
+		NetworkWatts:     0.30,
+		NetworkIdleWatts: 0.05, // PSM poll/beacon draw, radio otherwise asleep
+		BaseWatts:        0.12,
 	}
 }
 
@@ -63,8 +71,40 @@ func (m *Model) Instant(s State) float64 {
 	}
 	if s.NetworkActive {
 		p += m.NetworkWatts
+	} else {
+		p += m.NetworkIdleWatts
 	}
 	return p
+}
+
+// RadioEnergy integrates only the wireless-interface component of the
+// trace, in joules: active receive power while NetworkActive, idle
+// (power-save) draw otherwise. This is the quantity chunk batching and
+// burst scheduling shrink — separating it from the whole-device total
+// makes radio-sleep wins visible in the session report.
+func (m *Model) RadioEnergy(t *Trace) float64 {
+	var e float64
+	for _, seg := range t.Segments {
+		if seg.State.NetworkActive {
+			e += m.NetworkWatts * seg.Seconds
+		} else {
+			e += m.NetworkIdleWatts * seg.Seconds
+		}
+	}
+	return e
+}
+
+// RadioSeconds splits the trace's duration into radio-active and
+// radio-idle seconds.
+func (m *Model) RadioSeconds(t *Trace) (active, idle float64) {
+	for _, seg := range t.Segments {
+		if seg.State.NetworkActive {
+			active += seg.Seconds
+		} else {
+			idle += seg.Seconds
+		}
+	}
+	return active, idle
 }
 
 // BacklightShare returns the fraction of total playback power drawn by the

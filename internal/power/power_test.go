@@ -25,9 +25,32 @@ func TestInstantComposition(t *testing.T) {
 		t.Errorf("Instant = %v, want %v", got, want)
 	}
 	idle := State{BacklightLevel: 0}
-	wantIdle := m.BaseWatts + m.Device.PanelWatts + m.Device.BacklightPower(0) + m.CPUIdleWatts
+	wantIdle := m.BaseWatts + m.Device.PanelWatts + m.Device.BacklightPower(0) +
+		m.CPUIdleWatts + m.NetworkIdleWatts
 	if got := m.Instant(idle); math.Abs(got-wantIdle) > 1e-12 {
 		t.Errorf("idle Instant = %v, want %v", got, wantIdle)
+	}
+}
+
+func TestRadioEnergySplit(t *testing.T) {
+	m := model()
+	var tr Trace
+	tr.Append(2, State{Decoding: true, NetworkActive: true, BacklightLevel: 100})
+	tr.Append(3, State{Decoding: true, NetworkActive: false, BacklightLevel: 100})
+	want := m.NetworkWatts*2 + m.NetworkIdleWatts*3
+	if got := m.RadioEnergy(&tr); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RadioEnergy = %v, want %v", got, want)
+	}
+	active, idleSecs := m.RadioSeconds(&tr)
+	if active != 2 || idleSecs != 3 {
+		t.Errorf("RadioSeconds = %v/%v, want 2/3", active, idleSecs)
+	}
+	// The radio component plus everything else must compose to Instant's
+	// whole-device total.
+	other := m.Energy(&tr) - m.RadioEnergy(&tr)
+	wantOther := (m.BaseWatts + m.Device.PanelWatts + m.Device.BacklightPower(100) + m.CPUDecodeWatts) * 5
+	if math.Abs(other-wantOther) > 1e-9 {
+		t.Errorf("non-radio energy = %v, want %v", other, wantOther)
 	}
 }
 

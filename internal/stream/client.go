@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/annotation"
 	"repro/internal/codec"
 	"repro/internal/container"
@@ -56,8 +57,23 @@ type PlayResult struct {
 	// start_frame extension instead of replaying from frame zero.
 	Resumes int
 	// ProtocolVersion is the request framing the session settled on
-	// (3, stepping down to 2 then 1 against older servers).
+	// (4 for adaptive sessions, otherwise 3, stepping down to 2 then 1
+	// against older servers).
 	ProtocolVersion int
+	// QualitySwitches counts the mid-stream rung changes of an adaptive
+	// (v4) session, as announced by the server's in-band markers.
+	QualitySwitches int
+	// FinalRung is the quality rung in force when an adaptive session
+	// ended (the requested rung when nothing switched; 0 for fixed
+	// sessions).
+	FinalRung int
+	// RungByFrame records, for an adaptive session, the rung each
+	// delivered frame was served at. Nil for fixed-quality sessions.
+	RungByFrame []uint8
+	// MaxLagSeconds is the deepest playout deficit a real-time player
+	// would have suffered during an adaptive session (0 when delivery
+	// always kept ahead of the playout clock).
+	MaxLagSeconds float64
 	// Ledger is the session's power/QoS accounting: per-scene backlight
 	// levels, modeled energy vs the full-backlight baseline, wire
 	// bytes, rebuffer and degradation events. Its SavedPct agrees with
@@ -145,6 +161,14 @@ type Client struct {
 	// DisableResume forces protocol v1 (no start_frame): failures
 	// replay the clip from the beginning.
 	DisableResume bool
+	// Ladder, when set, negotiates an adaptive (v4) session: the client
+	// runs the quality-ladder control loop, walking rungs down under
+	// playout-buffer pressure or battery drain and back up after
+	// recovery (StartRung is derived from the requested quality and may
+	// be left zero). Against an older server the client falls back to a
+	// fixed v3 session, recording a "ladder" degradation. Ignored when
+	// DisableResume forces v1.
+	Ladder *adaptive.LadderConfig
 	// Dial overrides the dial function (tests inject faulty links).
 	Dial func(network, addr string) (net.Conn, error)
 
@@ -176,15 +200,22 @@ func (c *Client) PlayContext(ctx context.Context, addr, clip string, quality flo
 		level:   display.MaxLevel,
 		prev:    -1,
 		quality: quality,
+		ceilQi:  -1,
 		ledger:  power.NewLedger(c.Device),
 	}
-	if c.DisableResume {
+	switch {
+	case c.DisableResume:
 		s.res.ProtocolVersion = 1
+	case c.Ladder != nil:
+		s.adaptive = true
+		s.res.ProtocolVersion = 4
 	}
 	retriesTotal := c.Obs.Counter("stream_client_retries_total",
 		"Reconnection attempts after a stream session failure.")
 	resumesTotal := c.Obs.Counter("stream_client_resumes_total",
 		"Sessions continued mid-clip via the start_frame extension.")
+	degradedTotal := c.Obs.Counter("stream_client_degraded_total",
+		"Side channels dropped in favour of degraded playback.")
 
 	// The whole playback session is one trace, rooted here; every
 	// connection attempt, and (via the v3 header) the proxy and server
@@ -220,12 +251,19 @@ func (c *Client) PlayContext(ctx context.Context, addr, clip string, quality flo
 			return nil, ctx.Err()
 		}
 		if errors.Is(err, errDowngrade) {
-			// Older server: repeat immediately one framing down (3 → 2
-			// → 1). The downgrade consumes no retry budget — nothing
+			// Older server: repeat immediately one framing down (4 → 3 →
+			// 2 → 1). The downgrade consumes no retry budget — nothing
 			// failed, the peers were negotiating.
-			if s.res.ProtocolVersion >= 3 {
+			switch {
+			case s.res.ProtocolVersion >= 4:
+				// The server predates the adaptive ladder: play a fixed
+				// v3 session at the requested quality instead.
+				s.adaptive = false
+				s.degrade("ladder", degradedTotal)
+				s.res.ProtocolVersion = 3
+			case s.res.ProtocolVersion >= 3:
 				s.res.ProtocolVersion = 2
-			} else {
+			default:
 				s.res.ProtocolVersion = 1
 			}
 			attempt--
@@ -290,6 +328,22 @@ type session struct {
 	levelSum float64
 	lumaSum  float64
 	degraded map[string]bool
+	// Adaptive-ladder state (protocol v4). adaptive flips off if the
+	// server rejects v4. curQi is the rung the server is serving (marker
+	// driven); ceilQi the originally requested rung (-1 until the first
+	// header); reqRung the rung last asked of the server; primed gates
+	// ladder decisions until the playout buffer has once filled to the
+	// down-switch threshold, so a fresh stream does not read its own
+	// startup as congestion. qualities is the track's quality column,
+	// kept so a resume can re-request the rung in force.
+	adaptive  bool
+	curQi     int
+	ceilQi    int
+	reqRung   int
+	primed    bool
+	qualities []float64
+	lad       *adaptive.Ladder
+	buf       *netsched.Buffer
 	// ledger is the session's power/QoS accounting, fed frame by frame
 	// alongside the power traces and sealed into PlayResult.Ledger.
 	ledger *power.Ledger
@@ -346,6 +400,15 @@ func (c *Client) attempt(ctx context.Context, s *session, addr, clip string) (re
 		Mode:    ModeAnnotated,
 		Version: s.res.ProtocolVersion,
 	}
+	if s.adaptive && req.Version >= 4 {
+		req.Adaptive = true
+		if s.qualities != nil && s.curQi < len(s.qualities) {
+			// Resuming mid-ladder: re-request the rung in force when the
+			// connection died. The fresh session's ceiling is that rung —
+			// recovery past it waits for the next full session.
+			req.Quality = s.qualities[s.curQi]
+		}
+	}
 	if req.Version >= 3 {
 		// Hand the attempt span's context across the wire so the
 		// proxy/server session joins this trace.
@@ -361,6 +424,9 @@ func (c *Client) attempt(ctx context.Context, s *session, addr, clip string) (re
 		return false, fmt.Errorf("%w: %v", ErrTruncatedStream, err)
 	}
 	resumed = req.Version >= 2 && req.StartFrame > 0
+	if req.Adaptive {
+		return resumed, c.consumeAdaptive(ctx, s, conn, req)
+	}
 	return resumed, c.consume(ctx, s, conn, req)
 }
 
@@ -613,6 +679,10 @@ func (c *Client) finish(s *session) (*PlayResult, error) {
 	res.DecodedAvgLuma = s.lumaSum / float64(res.Frames)
 	res.BacklightSavings = model.BacklightSavings(res.Ref, res.Trace)
 	res.TotalSavings = model.Savings(res.Ref, res.Trace)
+	if s.adaptive {
+		res.FinalRung = s.curQi
+		res.MaxLagSeconds = s.buf.MaxLagSeconds()
+	}
 	rep := s.ledger.Report()
 	res.Ledger = &rep
 	rep.EmitMetrics(c.Obs, "client")

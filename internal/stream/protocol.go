@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/obs"
 )
@@ -42,7 +43,8 @@ type Request struct {
 	Mode   Mode
 	// Version is the protocol version the request was framed with.
 	// Version 2 adds StartFrame for session resume; version 3 adds a
-	// flags byte carrying an optional distributed-trace context.
+	// flags byte carrying an optional distributed-trace context; version
+	// 4 adds the adaptive flag negotiating mid-stream quality switches.
 	// WriteRequest emits the older framings when Version is lower, so
 	// newer clients can fall back stepwise against old servers.
 	Version int
@@ -55,16 +57,24 @@ type Request struct {
 	// A server or proxy receiving a valid Trace parents its session
 	// span under it, so one request yields one tree across tiers.
 	Trace obs.SpanContext
+	// Adaptive asks for an adaptive session (v4 only): the client may
+	// send quality-switch messages mid-stream and the server answers
+	// with in-band control markers before each rung change. Quality then
+	// names the starting rung, which is also the best the session will
+	// ever be served.
+	Adaptive bool
 }
 
 var reqMagic = [4]byte{'R', 'Q', 'S', '1'}
 var reqMagicV2 = [4]byte{'R', 'Q', 'S', '2'}
 var reqMagicV3 = [4]byte{'R', 'Q', 'S', '3'}
+var reqMagicV4 = [4]byte{'R', 'Q', 'S', '4'}
 var errMagic = [4]byte{'E', 'R', 'R', '1'}
 
-// v3 request flag bits.
+// v3+ request flag bits.
 const (
-	reqFlagTrace = 1 << 0 // a 25-byte trace context follows
+	reqFlagTrace    = 1 << 0 // a 25-byte trace context follows
+	reqFlagAdaptive = 1 << 1 // v4: session negotiates mid-stream quality switches
 )
 
 // traceFlagSampled is the sampled bit inside the trace context's own
@@ -105,6 +115,8 @@ func WriteRequest(w io.Writer, r Request) error {
 	}
 	magic := reqMagic
 	switch {
+	case r.Version >= 4:
+		magic = reqMagicV4
 	case r.Version >= 3:
 		magic = reqMagicV3
 	case r.Version >= 2:
@@ -113,6 +125,9 @@ func WriteRequest(w io.Writer, r Request) error {
 		if r.StartFrame != 0 {
 			return fmt.Errorf("%w: start frame requires protocol v2", ErrProtocol)
 		}
+	}
+	if r.Adaptive && r.Version < 4 {
+		return fmt.Errorf("%w: adaptive session requires protocol v4", ErrProtocol)
 	}
 	buf := append([]byte{}, magic[:]...)
 	buf = append(buf, uint8(r.Quality*255+0.5), uint8(r.Mode), uint8(len(r.Clip)))
@@ -126,6 +141,9 @@ func WriteRequest(w io.Writer, r Request) error {
 		var flags uint8
 		if r.Trace.Valid() {
 			flags |= reqFlagTrace
+		}
+		if r.Adaptive && r.Version >= 4 {
+			flags |= reqFlagAdaptive
 		}
 		buf = append(buf, flags)
 		if r.Trace.Valid() {
@@ -157,6 +175,8 @@ func ReadRequest(r io.Reader) (Request, error) {
 		version = 2
 	case reqMagicV3:
 		version = 3
+	case reqMagicV4:
+		version = 4
 	default:
 		return Request{}, fmt.Errorf("%w: bad request magic", ErrProtocol)
 	}
@@ -194,6 +214,7 @@ func ReadRequest(r io.Reader) (Request, error) {
 		if _, err := io.ReadFull(r, fl[:]); err != nil {
 			return Request{}, fmt.Errorf("%w: short flags: %v", ErrProtocol, err)
 		}
+		req.Adaptive = version >= 4 && fl[0]&reqFlagAdaptive != 0
 		if fl[0]&reqFlagTrace != 0 {
 			var tc [25]byte
 			if _, err := io.ReadFull(r, tc[:]); err != nil {
@@ -256,4 +277,65 @@ func ReadResponseMagic(r io.Reader) (magic [4]byte, remoteErr error, err error) 
 		return magic, nil, fmt.Errorf("%w: got %q", ErrBadMagic, magic[:])
 	}
 	return magic, nil, nil
+}
+
+// qswMagic frames the client→server mid-stream quality-switch message
+// of an adaptive (v4) session: 4 magic bytes plus the requested rung.
+var qswMagic = [4]byte{'Q', 'S', 'W', '1'}
+
+// WriteQualitySwitch sends a mid-stream rung request on an adaptive
+// session's client→server half.
+func WriteQualitySwitch(w io.Writer, rung int) error {
+	if rung < 0 || rung > 0xFF {
+		return fmt.Errorf("%w: rung %d outside ladder", ErrProtocol, rung)
+	}
+	buf := append([]byte{}, qswMagic[:]...)
+	buf = append(buf, uint8(rung))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadQualitySwitch parses one quality-switch message. io.EOF is
+// returned cleanly when the peer half-closes without another message.
+func ReadQualitySwitch(r io.Reader) (rung int, err error) {
+	var buf [5]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("%w: short quality switch: %v", ErrProtocol, err)
+	}
+	if [4]byte(buf[:4]) != qswMagic {
+		return 0, fmt.Errorf("%w: bad quality-switch magic %q", ErrProtocol, buf[:4])
+	}
+	return int(buf[4]), nil
+}
+
+// ctlQualitySwitch is the control-packet kind (carried in the QScale
+// byte of a ControlFrameType packet) marking a mid-stream rung change.
+// Its one-byte payload is the rung subsequent frames are encoded at.
+const ctlQualitySwitch = 1
+
+// qualitySwitchMarker builds the in-band control packet the server
+// writes immediately before the first frame of a new rung.
+func qualitySwitchMarker(rung int) *codec.EncodedFrame {
+	return &codec.EncodedFrame{
+		Type:   codec.FrameType(container.ControlFrameType),
+		QScale: ctlQualitySwitch,
+		Data:   []byte{uint8(rung)},
+	}
+}
+
+// parseControlFrame recognises in-band control packets in an adaptive
+// stream. It returns (rung, true) for a quality-switch marker; other
+// control kinds are ignored by returning (-1, true) so old clients of
+// future servers skip what they do not understand.
+func parseControlFrame(ef *codec.EncodedFrame) (rung int, isControl bool) {
+	if uint8(ef.Type) != container.ControlFrameType {
+		return 0, false
+	}
+	if ef.QScale == ctlQualitySwitch && len(ef.Data) == 1 {
+		return int(ef.Data[0]), true
+	}
+	return -1, true
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"errors"
+	"io"
 	"testing"
 
 	"repro/internal/container"
@@ -24,6 +25,8 @@ func FuzzReadRequest(f *testing.F) {
 		{Clip: "n", Quality: 1, Mode: ModeRaw},
 		{Clip: "night", Quality: 0.10, Device: "ipaq5555", Mode: ModeAnnotated, Version: 2, StartFrame: 7},
 		{Clip: "day", Quality: 0.5, Device: "ipaq5555", Mode: ModeAnnotated, Version: 3},
+		{Clip: "night", Quality: 0.10, Device: "ipaq5555", Mode: ModeAnnotated, Version: 4, Adaptive: true},
+		{Clip: "night", Quality: 0.05, Device: "ipaq5555", Mode: ModeAnnotated, Version: 4, Adaptive: true, StartFrame: 12},
 		traced,
 	} {
 		var buf bytes.Buffer
@@ -34,6 +37,7 @@ func FuzzReadRequest(f *testing.F) {
 	}
 	f.Add([]byte("RQS1"))
 	f.Add([]byte("RQS2\xff\x00\x01x\x00"))
+	f.Add([]byte("RQS4\x02\x00\x01x\x00\x00\x00\x00\x00\x02"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, err := ReadRequest(bytes.NewReader(data))
 		if err != nil {
@@ -77,4 +81,98 @@ func FuzzReadResponseMagic(f *testing.F) {
 			t.Fatalf("over-capacity verdict without the wire message in %q", data)
 		}
 	})
+}
+
+// FuzzReadQualitySwitch hardens the mid-stream control channel: no
+// panic on arbitrary bytes, and anything accepted must round-trip.
+func FuzzReadQualitySwitch(f *testing.F) {
+	for rung := 0; rung < 5; rung++ {
+		var buf bytes.Buffer
+		if err := WriteQualitySwitch(&buf, rung); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("QSW1"))
+	f.Add([]byte("QSW1\xff"))
+	f.Add([]byte("XXXX\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rung, err := ReadQualitySwitch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteQualitySwitch(&out, rung); err != nil {
+			t.Fatalf("parsed rung %d does not re-encode: %v", rung, err)
+		}
+		got, err := ReadQualitySwitch(&out)
+		if err != nil || got != rung {
+			t.Fatalf("round trip changed the rung: %d vs %d (%v)", got, rung, err)
+		}
+	})
+}
+
+// TestRequestV4Framing pins the adaptive negotiation: the flag survives
+// a round trip, only rides the v4 magic, and pre-v4 writers refuse it —
+// the contract behind the 4 → 3 → 2 → 1 downgrade chain.
+func TestRequestV4Framing(t *testing.T) {
+	var buf bytes.Buffer
+	want := Request{Clip: "night", Quality: 0.10, Device: "ipaq5555",
+		Mode: ModeAnnotated, Version: 4, Adaptive: true, StartFrame: 3}
+	if err := WriteRequest(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("RQS4")) {
+		t.Fatalf("v4 request framed as %q", buf.Bytes()[:4])
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Adaptive || got.Version != 4 || got.StartFrame != 3 {
+		t.Errorf("v4 round trip lost fields: %+v", got)
+	}
+	// The adaptive flag must not be expressible in older framings: a v3
+	// writer that sneaked it through would desynchronise the downgrade.
+	if err := WriteRequest(&bytes.Buffer{}, Request{
+		Clip: "night", Mode: ModeAnnotated, Version: 3, Adaptive: true,
+	}); err == nil {
+		t.Error("adaptive flag accepted on a v3 request")
+	}
+	// A v4 request without the flag is legal (fixed session on new wire).
+	plain := Request{Clip: "night", Quality: 0.2, Mode: ModeAnnotated, Version: 4}
+	var pb bytes.Buffer
+	if err := WriteRequest(&pb, plain); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadRequest(&pb); err != nil || got.Adaptive {
+		t.Errorf("plain v4 round trip: %+v, %v", got, err)
+	}
+}
+
+// TestQualitySwitchFraming pins the control-message wire format and its
+// failure modes.
+func TestQualitySwitchFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteQualitySwitch(&buf, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "QSW1\x04" {
+		t.Fatalf("wire bytes = %q, want QSW1\\x04", got)
+	}
+	if _, err := ReadQualitySwitch(bytes.NewReader([]byte("QSW9\x00"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadQualitySwitch(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("clean EOF reported as %v", err)
+	}
+	if _, err := ReadQualitySwitch(bytes.NewReader([]byte("QS"))); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("truncated message reported as %v, want a non-EOF error", err)
+	}
+	if err := WriteQualitySwitch(&bytes.Buffer{}, 300); err == nil {
+		t.Error("out-of-range rung accepted")
+	}
+	if err := WriteQualitySwitch(&bytes.Buffer{}, -1); err == nil {
+		t.Error("negative rung accepted")
+	}
 }

@@ -510,21 +510,15 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 	track := entry.track
 	qi := track.QualityIndex(req.Quality)
 	cfg := p.enc.withDefaults(entry.src.FPS())
-	vAny, err := p.tier().getOrCompute(ctx,
-		anncache.Key{Kind: "variant", Digest: entry.digest, Quality: qi}, encSig(cfg), variantCodec,
-		func(ctx context.Context) (any, int64, error) {
-			v, err := prepareVariant(ctx, entry.src, track, qi, cfg)
-			if err != nil {
-				return nil, 0, err
-			}
-			return v, v.cost(), nil
-		})
+	getVariant := func(ctx context.Context, q int) (*variant, error) {
+		return variantFor(ctx, p.tier(), entry.digest, entry.src, track, q, cfg)
+	}
+	v, err := getVariant(ctx, qi)
 	if err != nil {
 		WriteError(conn, "encoding failed")
 		sp.SetAttr("error", "encoding failed")
 		return err
 	}
-	v := vAny.(*variant)
 	from, err := resumePoint(v.frames, req)
 	if err != nil {
 		WriteError(conn, err.Error())
@@ -535,9 +529,19 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 		p.pm.resumes.Inc()
 	}
 	levels := deviceLevelsChunk(ctx, p.tier(), entry.digest, req.Device, track)
+	if req.Adaptive && req.Version >= 4 {
+		sent, switches, aerr := sendAdaptive(ctx, conn, entry.src, track, v, getVariant, levels, from, qi,
+			p.obsReg, "proxy", p.pm.framesSent, p.pm.bytesSent)
+		if aerr == nil {
+			accountSessionPower(p.obsReg, "proxy", req, entry.src, track, qi, from, sent, switches)
+		} else {
+			sp.SetAttr("error", aerr.Error())
+		}
+		return aerr
+	}
 	sent, err := sendVariant(ctx, conn, entry.src, track, v, levels, from, p.pm.framesSent, p.pm.bytesSent)
 	if err == nil {
-		accountSessionPower(p.obsReg, "proxy", req, entry.src, track, qi, from, sent)
+		accountSessionPower(p.obsReg, "proxy", req, entry.src, track, qi, from, sent, nil)
 	} else {
 		sp.SetAttr("error", err.Error())
 	}

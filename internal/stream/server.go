@@ -107,6 +107,11 @@ type Server struct {
 	obsReg *obs.Registry
 	sm     serverMetrics
 
+	// maxProto, when nonzero, rejects requests framed with a newer
+	// protocol version — how tests (and operators pinning a fleet) model
+	// an old server, exercising the client's stepwise downgrade.
+	maxProto int
+
 	// handshakeTimeout bounds reading the negotiation request;
 	// writeTimeout is re-armed before every write, so a client that
 	// stops draining its socket cannot pin a session goroutine.
@@ -265,6 +270,12 @@ func (s *Server) SetObserver(r *obs.Registry) {
 
 // SetEncodeConfig overrides codec parameters.
 func (s *Server) SetEncodeConfig(c EncodeConfig) { s.enc = c }
+
+// SetMaxProtocolVersion makes the server refuse requests framed with a
+// newer protocol version, answering them exactly as a pre-v(n+1) server
+// would ("bad request"), so clients fall back stepwise. Zero (the
+// default) accepts every version the server knows. Call before Listen.
+func (s *Server) SetMaxProtocolVersion(v int) { s.maxProto = v }
 
 // Listen starts accepting connections on addr and returns the bound
 // address (useful with ":0").
@@ -478,6 +489,12 @@ func (s *Server) handle(rawConn net.Conn, admitWait time.Duration) error {
 		WriteError(conn, "bad request")
 		return err
 	}
+	if s.maxProto > 0 && req.Version > s.maxProto {
+		// Answer exactly as a server predating req.Version would: its
+		// ReadRequest would have choked on the unknown magic.
+		WriteError(conn, "bad request")
+		return fmt.Errorf("request version %d above pinned max %d", req.Version, s.maxProto)
+	}
 	// A v3 request carries the caller's span context: this session
 	// becomes a child in the caller's trace. Without one, the session
 	// roots a trace of its own.
@@ -550,46 +567,48 @@ func (s *Server) track(ctx context.Context, name string, src core.Source) (*anno
 // streamAnnotated sends the annotated, compensated stream: the paper's
 // server role. Variants are encoded once per (content digest, quality
 // index) and cached; the device-levels side channel is cached per device.
-func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Source, req Request) error {
+func (s *Server) streamAnnotated(ctx context.Context, conn *deadlineConn, src core.Source, req Request) error {
 	track, err := s.track(ctx, req.Clip, src)
 	if err != nil {
-		WriteError(w, "annotation failed")
+		WriteError(conn, "annotation failed")
 		return err
 	}
 	dg := s.digestOf(req.Clip, src)
 	qi := track.QualityIndex(req.Quality)
 	cfg := s.enc.withDefaults(src.FPS())
-	vAny, err := s.tier().getOrCompute(ctx,
-		anncache.Key{Kind: "variant", Digest: dg, Quality: qi}, encSig(cfg), variantCodec,
-		func(ctx context.Context) (any, int64, error) {
-			v, err := prepareVariant(ctx, src, track, qi, cfg)
-			if err != nil {
-				return nil, 0, err
-			}
-			return v, v.cost(), nil
-		})
+	getVariant := func(ctx context.Context, q int) (*variant, error) {
+		return variantFor(ctx, s.tier(), dg, src, track, q, cfg)
+	}
+	v, err := getVariant(ctx, qi)
 	if err != nil {
-		WriteError(w, "encoding failed")
+		WriteError(conn, "encoding failed")
 		return err
 	}
-	v := vAny.(*variant)
 	from, err := resumePoint(v.frames, req)
 	if err != nil {
-		WriteError(w, err.Error())
+		WriteError(conn, err.Error())
 		return err
 	}
 	if from > 0 {
 		s.sm.resumes.Inc()
 	}
 	levels := deviceLevelsChunk(ctx, s.tier(), dg, req.Device, track)
-	sent, err := sendVariant(ctx, w, src, track, v, levels, from, s.sm.framesSent, s.sm.bytesSent)
+	if req.Adaptive && req.Version >= 4 {
+		sent, switches, err := sendAdaptive(ctx, conn, src, track, v, getVariant, levels, from, qi,
+			s.obsReg, "server", s.sm.framesSent, s.sm.bytesSent)
+		if err == nil {
+			accountSessionPower(s.obsReg, "server", req, src, track, qi, from, sent, switches)
+		}
+		return err
+	}
+	sent, err := sendVariant(ctx, conn, src, track, v, levels, from, s.sm.framesSent, s.sm.bytesSent)
 	if err == nil {
 		// The session streamed to completion: fold its modeled power
 		// accounting into the fleet-wide power_saved_* / session_*
 		// families. The levels the client will apply are fully
 		// determined by the track, device and quality index, so the
 		// server can account savings without hearing back.
-		accountSessionPower(s.obsReg, "server", req, src, track, qi, from, sent)
+		accountSessionPower(s.obsReg, "server", req, src, track, qi, from, sent, nil)
 	}
 	return err
 }
@@ -597,8 +616,11 @@ func (s *Server) streamAnnotated(ctx context.Context, w io.Writer, src core.Sour
 // accountSessionPower reconstructs a served session's power ledger from
 // what went over the wire — per-scene backlight levels for the client's
 // device at the negotiated quality — and aggregates it into the
-// power_saved_* / session_* families under the given role.
-func accountSessionPower(reg *obs.Registry, role string, req Request, src core.Source, track *annotation.Track, qi, from int, wireBytes uint64) {
+// power_saved_* / session_* families under the given role. For an
+// adaptive session, switches lists the mid-stream rung changes (in
+// frame order), so each frame is accounted at the rung it was actually
+// served at.
+func accountSessionPower(reg *obs.Registry, role string, req Request, src core.Source, track *annotation.Track, qi, from int, wireBytes uint64, switches []rungSwitch) {
 	if reg == nil {
 		return
 	}
@@ -611,13 +633,23 @@ func accountSessionPower(reg *obs.Registry, role string, req Request, src core.S
 		return
 	}
 	led := power.NewLedger(dev)
+	if req.Adaptive {
+		led.SetRung(qi)
+	}
 	frameSeconds := 1 / float64(src.FPS())
+	cur := qi
+	next := 0
 	pos := 0
 	for si, rec := range track.Records {
-		lvl := levels[si][qi]
 		sceneStarted := false
 		for i := 0; i < rec.Frames; i++ {
+			for next < len(switches) && switches[next].frame <= pos {
+				cur = switches[next].rung
+				led.QualitySwitch(cur)
+				next++
+			}
 			if pos >= from {
+				lvl := levels[si][cur]
 				if !sceneStarted {
 					led.StartScene(si, lvl)
 					sceneStarted = true
