@@ -1,0 +1,201 @@
+// Command benchgate compares `go test -bench` output (on stdin)
+// against a committed baseline file and fails when a tracked metric
+// regresses beyond tolerance. CI machines differ in speed, so timed
+// metrics are normalised by a calibration benchmark — a pure-CPU
+// kernel (the 8×8 DCT) whose ratio to its committed baseline estimates
+// the machine-speed factor; machine-independent metrics (allocs/op)
+// compare raw. With -update, it rewrites the baseline's values from
+// the measured run instead of gating.
+//
+//	go test -run xxx -bench '...' -benchmem . ./internal/stream | benchgate -baseline BENCH_serving.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type entry struct {
+	Bench string  `json:"bench"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// HigherIsBetter: frames/s-style metrics regress downward;
+	// ns/op- and allocs/op-style metrics regress upward.
+	HigherIsBetter bool `json:"higher_is_better"`
+	// Normalize applies the calibration speed factor (timed metrics
+	// only; allocation counts are machine-independent).
+	Normalize bool `json:"normalize"`
+	// Tolerance overrides the file-level tolerance when nonzero.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Floor, when nonzero on a higher-is-better entry, is an absolute
+	// normalised minimum that must hold regardless of the committed
+	// value — how the ≥2× pipeline acceptance bound stays pinned even
+	// if someone re-baselines.
+	Floor float64 `json:"floor,omitempty"`
+}
+
+type baseline struct {
+	Note        string `json:"note,omitempty"`
+	Calibration struct {
+		Bench string  `json:"bench"`
+		Unit  string  `json:"unit"`
+		Value float64 `json:"value"`
+	} `json:"calibration"`
+	Tolerance float64 `json:"tolerance"`
+	Entries   []entry `json:"entries"`
+}
+
+// results maps bench name → unit → all measured values (a -count run
+// yields several; the gate takes each entry's best).
+type results map[string]map[string][]float64
+
+func parse(r *bufio.Scanner) results {
+	out := results{}
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := f[0]
+		// Strip the trailing -GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			if out[name] == nil {
+				out[name] = map[string][]float64{}
+			}
+			out[name][f[i+1]] = append(out[name][f[i+1]], v)
+		}
+	}
+	return out
+}
+
+func best(vals []float64, higherIsBetter bool) float64 {
+	b := vals[0]
+	for _, v := range vals[1:] {
+		if (higherIsBetter && v > b) || (!higherIsBetter && v < b) {
+			b = v
+		}
+	}
+	return b
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_serving.json", "baseline JSON file")
+	update := flag.Bool("update", false, "rewrite the baseline's values from this run instead of gating")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal("reading baseline: %v", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal("parsing baseline: %v", err)
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.10
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	res := parse(sc)
+
+	calVals, ok := res[base.Calibration.Bench][base.Calibration.Unit]
+	if !ok {
+		fatal("calibration benchmark %s (%s) not found in input",
+			base.Calibration.Bench, base.Calibration.Unit)
+	}
+	calMeasured := best(calVals, false) // ns/op-style: best is lowest
+	// speed > 1 means this machine ran the calibration kernel faster
+	// than the baseline machine did.
+	speed := base.Calibration.Value / calMeasured
+
+	if *update {
+		base.Calibration.Value = calMeasured
+		for i := range base.Entries {
+			e := &base.Entries[i]
+			vals, ok := res[e.Bench][e.Unit]
+			if !ok {
+				fatal("update: %s (%s) not found in input", e.Bench, e.Unit)
+			}
+			base.Entries[i].Value = best(vals, e.HigherIsBetter)
+		}
+		out, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("benchgate: baseline %s updated (calibration %.1f %s)\n",
+			*baselinePath, calMeasured, base.Calibration.Unit)
+		return
+	}
+
+	fmt.Printf("benchgate: calibration %s = %.1f %s (baseline %.1f, speed factor %.2fx)\n",
+		base.Calibration.Bench, calMeasured, base.Calibration.Unit, base.Calibration.Value, speed)
+	failed := false
+	for _, e := range base.Entries {
+		vals, ok := res[e.Bench][e.Unit]
+		if !ok {
+			fmt.Printf("FAIL %s: metric %q missing from benchmark output\n", e.Bench, e.Unit)
+			failed = true
+			continue
+		}
+		measured := best(vals, e.HigherIsBetter)
+		normalized := measured
+		if e.Normalize {
+			if e.HigherIsBetter {
+				normalized = measured / speed
+			} else {
+				normalized = measured * speed
+			}
+		}
+		tol := e.Tolerance
+		if tol <= 0 {
+			tol = base.Tolerance
+		}
+		var limit float64
+		var bad bool
+		if e.HigherIsBetter {
+			limit = e.Value * (1 - tol)
+			bad = normalized < limit || (e.Floor > 0 && normalized < e.Floor)
+		} else {
+			limit = e.Value * (1 + tol)
+			bad = normalized > limit
+		}
+		status := "ok  "
+		if bad {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: %.1f %s (normalized %.1f, baseline %.1f, limit %.1f)\n",
+			status, e.Bench, measured, e.Unit, normalized, e.Value, limit)
+	}
+	if failed {
+		fatal("benchmark regression gate failed")
+	}
+	fmt.Println("benchgate: all tracked benchmarks within tolerance")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

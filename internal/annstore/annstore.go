@@ -407,6 +407,42 @@ func (s *Store) Get(key Key) ([]byte, bool) {
 	return nil, false
 }
 
+// Ref locates a stored artifact's payload inside its on-disk file:
+// path is the artifact file and the payload occupies [Off, Off+Len).
+// Artifact files are only ever replaced by atomic rename, so an open
+// Ref either reads exactly the content that was indexed or fails to
+// open (the entry was evicted) — never a torn mix. Refs carry no CRC
+// protection of their own; callers pair them with a verifying Get.
+type Ref struct {
+	Path string
+	Off  int64
+	Len  int64
+}
+
+// GetRef returns the payload location for key without reading the
+// payload, so large artifacts can be streamed from disk (e.g. via
+// sendfile) instead of being copied through memory. Unlike Get it does
+// not bump recency or verify the payload CRC — it is meant to follow a
+// successful Get of the same key in the same lookup.
+func (s *Store) GetRef(key Key) (Ref, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Ref{}, false
+	}
+	el, ok := s.index[key]
+	if !ok {
+		return Ref{}, false
+	}
+	e := el.Value.(*sentry)
+	path := filepath.Join(s.objectsDir, e.file)
+	h, err := readFileHeader(path)
+	if err != nil || h.key != key {
+		return Ref{}, false
+	}
+	return Ref{Path: path, Off: h.headerSize, Len: h.payloadLen}, true
+}
+
 // Put stores payload under key, replacing any previous artifact. The
 // write is atomic (temp + fsync + rename + dir fsync) and journalled
 // only after it is durable, so a crash at any point leaves either the

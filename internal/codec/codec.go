@@ -329,6 +329,28 @@ func searchMotion(cur, ref *Plane, mx, my int) motionVector {
 }
 
 func mbSAD(cur, ref *Plane, mx, my, vx, vy int) int {
+	// Interior fast path: when both 16×16 windows are fully inside their
+	// planes, At's edge clamping is the identity and the rows can be
+	// walked as fixed-size arrays with no bounds checks. Edge macroblocks
+	// (and vectors reaching past the border) take the clamped loop.
+	if mx >= 0 && my >= 0 && mx+MBSize <= cur.W && my+MBSize <= cur.H &&
+		mx+vx >= 0 && my+vy >= 0 && mx+vx+MBSize <= ref.W && my+vy+MBSize <= ref.H {
+		sad := 0
+		for y := 0; y < MBSize; y++ {
+			co := (my+y)*cur.W + mx
+			ro := (my+y+vy)*ref.W + mx + vx
+			c := (*[MBSize]uint8)(cur.Pix[co : co+MBSize])
+			r := (*[MBSize]uint8)(ref.Pix[ro : ro+MBSize])
+			for x := 0; x < MBSize; x++ {
+				d := int(c[x]) - int(r[x])
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		return sad
+	}
 	sad := 0
 	for y := 0; y < MBSize; y++ {
 		for x := 0; x < MBSize; x++ {
@@ -359,15 +381,24 @@ func mbSADHalf(cur, ref *Plane, mx, my, hvx, hvy int) int {
 
 // copyMB copies one macroblock (luma + both chroma tiles) from ref to dst.
 func copyMB(dst, ref *Picture, mx, my int) {
-	for y := 0; y < MBSize; y++ {
-		for x := 0; x < MBSize; x++ {
-			dst.Y.Set(mx+x, my+y, ref.Y.At(mx+x, my+y))
+	copyTile(dst.Y, ref.Y, mx, my, MBSize)
+	copyTile(dst.Cb, ref.Cb, mx/2, my/2, MBSize/2)
+	copyTile(dst.Cr, ref.Cr, mx/2, my/2, MBSize/2)
+}
+
+// copyTile copies an n×n tile at (x0, y0), row-wise via copy for interior
+// tiles and through the clamping accessors at plane edges.
+func copyTile(dst, ref *Plane, x0, y0, n int) {
+	if x0 >= 0 && y0 >= 0 && x0+n <= dst.W && y0+n <= dst.H && dst.W == ref.W && dst.H == ref.H {
+		for y := 0; y < n; y++ {
+			o := (y0+y)*dst.W + x0
+			copy(dst.Pix[o:o+n], ref.Pix[o:o+n])
 		}
+		return
 	}
-	for y := 0; y < MBSize/2; y++ {
-		for x := 0; x < MBSize/2; x++ {
-			dst.Cb.Set(mx/2+x, my/2+y, ref.Cb.At(mx/2+x, my/2+y))
-			dst.Cr.Set(mx/2+x, my/2+y, ref.Cr.At(mx/2+x, my/2+y))
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			dst.Set(x0+x, y0+y, ref.At(x0+x, y0+y))
 		}
 	}
 }
@@ -472,6 +503,17 @@ func readBlock(r *BitReader, levels *[BlockSize * BlockSize]int32) error {
 // --- helpers ---
 
 func loadBlock(p *Plane, bx, by int, blk *Block, bias float64) {
+	if bx >= 0 && by >= 0 && bx+BlockSize <= p.W && by+BlockSize <= p.H {
+		for y := 0; y < BlockSize; y++ {
+			o := (by+y)*p.W + bx
+			r := (*[BlockSize]uint8)(p.Pix[o : o+BlockSize])
+			b := blk.row(y)
+			for x := 0; x < BlockSize; x++ {
+				b[x] = float64(r[x]) - bias
+			}
+		}
+		return
+	}
 	for y := 0; y < BlockSize; y++ {
 		for x := 0; x < BlockSize; x++ {
 			blk[y*BlockSize+x] = float64(p.At(bx+x, by+y)) - bias
@@ -480,6 +522,17 @@ func loadBlock(p *Plane, bx, by int, blk *Block, bias float64) {
 }
 
 func storeBlock(p *Plane, bx, by int, blk *Block, bias float64) {
+	if bx >= 0 && by >= 0 && bx+BlockSize <= p.W && by+BlockSize <= p.H {
+		for y := 0; y < BlockSize; y++ {
+			o := (by+y)*p.W + bx
+			r := (*[BlockSize]uint8)(p.Pix[o : o+BlockSize])
+			b := blk.row(y)
+			for x := 0; x < BlockSize; x++ {
+				r[x] = clampSample(b[x] + bias)
+			}
+		}
+		return
+	}
 	for y := 0; y < BlockSize; y++ {
 		for x := 0; x < BlockSize; x++ {
 			p.Set(bx+x, by+y, clampSample(blk[y*BlockSize+x]+bias))

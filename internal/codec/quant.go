@@ -31,20 +31,40 @@ const (
 	MaxQScale = 31
 )
 
+// Per-qscale divisor tables: quantDiv[intra][q][i] caches
+// float64(mat[i]*q)/8 (with the intra DC override to 8), computed once at
+// init with the identical arithmetic the per-element loop used. Table
+// lookup keeps quantize/dequantize branch-free and bounds-check-free in
+// the inner loop while producing bit-identical levels.
+var quantDiv [2][MaxQScale + 1][BlockSize * BlockSize]float64
+
+func init() {
+	for q := MinQScale; q <= MaxQScale; q++ {
+		for i := 0; i < BlockSize*BlockSize; i++ {
+			quantDiv[0][q][i] = float64(interQuant[i]*q) / 8
+			quantDiv[1][q][i] = float64(intraQuant[i]*q) / 8
+		}
+		quantDiv[1][q][0] = 8
+	}
+}
+
+// divisors returns the divisor table for (intra, qscale), clamping the
+// scale the same way every encode path does before quantising.
+func divisors(intra bool, qscale int) *[BlockSize * BlockSize]float64 {
+	k := 0
+	if intra {
+		k = 1
+	}
+	return &quantDiv[k][clampQScale(qscale)]
+}
+
 // quantize maps DCT coefficients to integer levels using the given matrix
 // and scale. The DC coefficient of intra blocks uses a fixed divisor of 8
 // so block averages survive coarse quantisation.
 func quantize(coef *Block, levels *[BlockSize * BlockSize]int32, intra bool, qscale int) {
-	mat := &interQuant
-	if intra {
-		mat = &intraQuant
-	}
+	d := divisors(intra, qscale)
 	for i := range coef {
-		d := float64(mat[i]*qscale) / 8
-		if intra && i == 0 {
-			d = 8
-		}
-		v := coef[i] / d
+		v := coef[i] / d[i]
 		if v >= 0 {
 			levels[i] = int32(v + 0.5)
 		} else {
@@ -55,16 +75,9 @@ func quantize(coef *Block, levels *[BlockSize * BlockSize]int32, intra bool, qsc
 
 // dequantize is the inverse of quantize.
 func dequantize(levels *[BlockSize * BlockSize]int32, coef *Block, intra bool, qscale int) {
-	mat := &interQuant
-	if intra {
-		mat = &intraQuant
-	}
+	d := divisors(intra, qscale)
 	for i := range coef {
-		d := float64(mat[i]*qscale) / 8
-		if intra && i == 0 {
-			d = 8
-		}
-		coef[i] = float64(levels[i]) * d
+		coef[i] = float64(levels[i]) * d[i]
 	}
 }
 

@@ -156,6 +156,25 @@ func NewWriter(w io.Writer, h Header) (*Writer, error) {
 	return &Writer{w: w}, nil
 }
 
+// FramePacketOverhead is the fixed framing cost of one frame packet:
+// [type u8, qscale u8, payload length u32 BE] precede the payload.
+const FramePacketOverhead = 6
+
+// AppendFramePacket appends the wire framing of one encoded frame —
+// exactly the bytes WriteFrame would emit — to dst and returns the
+// extended slice. It lets callers pre-assemble a contiguous packet run
+// (a clip's "wire form") once and later stream any span of it with
+// WritePackets, guaranteeing by construction that the pre-assembled
+// bytes cannot drift from the per-frame writer.
+func AppendFramePacket(dst []byte, ef *codec.EncodedFrame) ([]byte, error) {
+	if len(ef.Data) > maxPacket {
+		return nil, fmt.Errorf("container: frame packet %dB exceeds limit", len(ef.Data))
+	}
+	dst = append(dst, uint8(ef.Type), uint8(ef.QScale))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(ef.Data)))
+	return append(dst, ef.Data...), nil
+}
+
 // WriteFrame appends one encoded frame packet.
 func (w *Writer) WriteFrame(ef *codec.EncodedFrame) error {
 	if len(ef.Data) > maxPacket {
@@ -172,6 +191,33 @@ func (w *Writer) WriteFrame(ef *codec.EncodedFrame) error {
 		return fmt.Errorf("container: writing frame payload: %w", err)
 	}
 	w.frames++
+	return nil
+}
+
+// WritePackets writes pre-framed packet bytes (AppendFramePacket
+// framing) straight through and accounts count packets. Callers may
+// split one packet run across several calls — for write-deadline or
+// cancellation granularity — attributing the packet count to whichever
+// call they like; the byte stream is identical either way.
+func (w *Writer) WritePackets(p []byte, count int) error {
+	if len(p) > 0 {
+		if _, err := w.w.Write(p); err != nil {
+			return fmt.Errorf("container: writing frame packets: %w", err)
+		}
+	}
+	w.frames += count
+	return nil
+}
+
+// ReadPacketsFrom streams n bytes of pre-framed packet data from r,
+// accounting count packets. The copy goes through io.CopyN, so a
+// destination with a ReadFrom fast path (a TCP connection moving
+// file-backed bytes with sendfile) is used when available.
+func (w *Writer) ReadPacketsFrom(r io.Reader, n int64, count int) error {
+	if _, err := io.CopyN(w.w, r, n); err != nil {
+		return fmt.Errorf("container: streaming frame packets: %w", err)
+	}
+	w.frames += count
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/frame"
+	"repro/internal/pixel"
 )
 
 // Bins is the number of luminance levels tracked (8-bit luma).
@@ -25,12 +26,27 @@ type H struct {
 
 // FromFrame builds the luminance histogram of f.
 func FromFrame(f *frame.Frame) *H {
-	h := &H{}
+	h, _ := Scan(f)
+	return h
+}
+
+// Scan builds the luminance histogram of f and returns the maximum pixel
+// luminance (0..255) from the same pass. The per-pixel luminance is
+// computed once and feeds both the bin index and the running maximum, so
+// the results are bit-identical to frame.MaxLuma plus a separate
+// FromFrame at half the scan cost — which is what the annotation pipeline
+// spends per frame after rendering.
+func Scan(f *frame.Frame) (h *H, maxLuma float64) {
+	h = &H{}
 	for _, p := range f.Pix {
-		h.Count[p.Luma8()]++
+		y := p.Luma()
+		if y > maxLuma {
+			maxLuma = y
+		}
+		h.Count[pixel.ClampU8(y)]++
 	}
 	h.Total = uint64(len(f.Pix))
-	return h
+	return h, maxLuma
 }
 
 // FromLuma builds a histogram from raw 8-bit luma samples.

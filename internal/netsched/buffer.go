@@ -70,9 +70,13 @@ func (b *Buffer) MaxLagSeconds() float64 {
 	if b == nil {
 		return 0
 	}
-	// The lag may have deepened since the last delivery; sample now.
+	// The lag may have deepened since the last delivery; sample it and
+	// persist the deepened high-water mark. Returning the live sample
+	// without persisting let a later read report a *shallower* worst
+	// stall once the deficit recovered (or the wall clock stepped
+	// backward), so the metric could shrink after it had been observed.
 	if lead := b.LeadSeconds(); lead < -b.maxLag {
-		return -lead
+		b.maxLag = -lead
 	}
 	return b.maxLag
 }

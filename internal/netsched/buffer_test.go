@@ -48,6 +48,34 @@ func TestBufferLead(t *testing.T) {
 	}
 }
 
+// TestBufferMaxLagPersistsAcrossClockStep is the regression test for
+// the unpersisted live sample: MaxLagSeconds used to return the
+// sampled deficit without writing it back to the high-water mark, so
+// an observed worst stall could shrink on a later read once the wall
+// clock stepped backward (an NTP adjustment — Buffer runs on wall
+// time) with no delivery in between to re-sample the deep point.
+func TestBufferMaxLagPersistsAcrossClockStep(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBuffer(1) // 1s per frame
+	b.SetClock(clk.now)
+	b.Deliver(1) // 1s of content, clock starts
+	clk.advance(10 * time.Second)
+	if got := b.MaxLagSeconds(); math.Abs(got-9.0) > 1e-9 {
+		t.Fatalf("MaxLag at deep stall = %v, want 9.0", got)
+	}
+	// The wall clock steps back 7s; the live deficit is now only 2s,
+	// but the 9s stall was already observed and must not un-happen.
+	clk.advance(-7 * time.Second)
+	if got := b.MaxLagSeconds(); math.Abs(got-9.0) > 1e-9 {
+		t.Errorf("MaxLag after backward clock step = %v, want 9.0 (sticky)", got)
+	}
+	// Nor may a recovery delivery reset it.
+	b.Deliver(100)
+	if got := b.MaxLagSeconds(); math.Abs(got-9.0) > 1e-9 {
+		t.Errorf("MaxLag after recovery = %v, want 9.0 (sticky)", got)
+	}
+}
+
 func TestBufferDegenerate(t *testing.T) {
 	var b *Buffer
 	b.Deliver(10)

@@ -15,6 +15,20 @@ const (
 	LumaB = 0.114
 )
 
+// Per-channel product tables: lumaRTab[v] == LumaR*float64(v) computed with
+// the identical float64 multiply, so summing table entries left to right
+// yields bit-identical luminance to the spelled-out formula while replacing
+// three multiplies per pixel with three loads on the whole-frame scan paths.
+var lumaRTab, lumaGTab, lumaBTab [256]float64
+
+func init() {
+	for v := 0; v < 256; v++ {
+		lumaRTab[v] = LumaR * float64(v)
+		lumaGTab[v] = LumaG * float64(v)
+		lumaBTab[v] = LumaB * float64(v)
+	}
+}
+
 // RGB is an 8-bit-per-channel pixel as stored in frames.
 type RGB struct {
 	R, G, B uint8
@@ -22,7 +36,7 @@ type RGB struct {
 
 // Luma returns the BT.601 luminance of p in 0..255 as a float64.
 func (p RGB) Luma() float64 {
-	return LumaR*float64(p.R) + LumaG*float64(p.G) + LumaB*float64(p.B)
+	return lumaRTab[p.R] + lumaGTab[p.G] + lumaBTab[p.B]
 }
 
 // Luma8 returns the luminance rounded to a 0..255 integer.
@@ -95,8 +109,8 @@ type YCbCr struct {
 
 // ToYCbCr converts an RGB pixel to full-range BT.601 YCbCr.
 func ToYCbCr(p RGB) YCbCr {
-	r, g, b := float64(p.R), float64(p.G), float64(p.B)
-	y := LumaR*r + LumaG*g + LumaB*b
+	r, b := float64(p.R), float64(p.B)
+	y := lumaRTab[p.R] + lumaGTab[p.G] + lumaBTab[p.B]
 	cb := 128 + (b-y)/1.772
 	cr := 128 + (r-y)/1.402
 	return YCbCr{Y: ClampU8(y), Cb: ClampU8(cb), Cr: ClampU8(cr)}

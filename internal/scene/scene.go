@@ -55,9 +55,12 @@ type FrameStats struct {
 	Hist    *histogram.H // luminance histogram of the frame
 }
 
-// StatsOf extracts FrameStats from a rendered frame.
+// StatsOf extracts FrameStats from a rendered frame. Histogram and frame
+// maximum come out of one fused pixel scan (bit-identical to computing
+// them separately; see histogram.Scan).
 func StatsOf(f *frame.Frame) FrameStats {
-	return FrameStats{MaxLuma: f.MaxLuma(), Hist: histogram.FromFrame(f)}
+	h, max := histogram.Scan(f)
+	return FrameStats{MaxLuma: max, Hist: h}
 }
 
 // Scene is a detected group of frames with similar maximum luminance.

@@ -21,10 +21,15 @@ import (
 // -gop/-qscale must recompute rather than serve stale bits.
 
 // artifactCodec maps one artifact kind across the disk boundary.
-// decode returns the in-memory value and its cache cost.
+// decode returns the in-memory value and its cache cost. attachRef,
+// when non-nil, is handed the store file location of the artifact's
+// payload after a successful decode or write-through, so kinds whose
+// serving path can stream straight from disk (variants) learn where
+// their bytes live.
 type artifactCodec struct {
-	encode func(v any) ([]byte, error)
-	decode func(b []byte) (any, int64, error)
+	encode    func(v any) ([]byte, error)
+	decode    func(b []byte) (any, int64, error)
+	attachRef func(v any, ref annstore.Ref)
 }
 
 var trackCodec = artifactCodec{
@@ -52,32 +57,45 @@ var variantCodec = artifactCodec{
 		}
 		return v, v.cost(), nil
 	},
+	attachRef: func(v any, ref annstore.Ref) {
+		vv := v.(*variant)
+		// The wire region starts right after the artifact's preamble
+		// (version byte + frame count) and spans the frame packets.
+		vv.ref = wireFileRef{
+			path: ref.Path,
+			off:  ref.Off + variantWirePrefix,
+			n:    int64(len(vv.wire)),
+		}
+	},
 }
 
 // variantArtifactVersion versions the variant serialisation; bumping it
 // orphans old store entries into recomputation rather than misparsing.
 const variantArtifactVersion = 1
 
+// variantWirePrefix is the artifact preamble before the frame-packet
+// region: the version byte and the u32 frame count.
+const variantWirePrefix = 1 + 4
+
 // encodeVariantArtifact flattens a prepared variant — every encoded
 // frame plus the decode-cycle and scene-byte side channels — into one
-// self-contained byte string for the store.
+// self-contained byte string for the store. The frame region reuses
+// the container's frame-packet framing, so a sealed variant's wire
+// form is embedded verbatim: what the store holds on disk between the
+// preamble and the trailing chunks is, byte for byte, what a session
+// streams to the socket — the property that makes sendfile serving of
+// store artifacts sound.
 func encodeVariantArtifact(v *variant) ([]byte, error) {
-	size := 1 + 4
-	for _, ef := range v.frames {
-		size += 2 + 4 + len(ef.Data)
+	if v.wire == nil {
+		if err := v.seal(); err != nil {
+			return nil, err
+		}
 	}
-	size += 4 + len(v.cyclesChunk) + 4 + len(v.scenesChunk)
+	size := variantWirePrefix + len(v.wire) + 4 + len(v.cyclesChunk) + 4 + len(v.scenesChunk)
 	b := make([]byte, 0, size)
 	b = append(b, variantArtifactVersion)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(v.frames)))
-	for _, ef := range v.frames {
-		if ef.QScale < 0 || ef.QScale > 255 {
-			return nil, fmt.Errorf("stream: variant qscale %d not serialisable", ef.QScale)
-		}
-		b = append(b, byte(ef.Type), byte(ef.QScale))
-		b = binary.BigEndian.AppendUint32(b, uint32(len(ef.Data)))
-		b = append(b, ef.Data...)
-	}
+	b = append(b, v.wire...)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(v.cyclesChunk)))
 	b = append(b, v.cyclesChunk...)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(v.scenesChunk)))
@@ -86,6 +104,7 @@ func encodeVariantArtifact(v *variant) ([]byte, error) {
 }
 
 func decodeVariantArtifact(b []byte) (*variant, error) {
+	orig := b
 	bad := fmt.Errorf("stream: malformed variant artifact")
 	take := func(n int) ([]byte, bool) {
 		if n < 0 || len(b) < n {
@@ -105,8 +124,16 @@ func decodeVariantArtifact(b []byte) (*variant, error) {
 	if n < 0 || n > len(b)/6+1 {
 		return nil, bad
 	}
-	v := &variant{frames: make([]*codec.EncodedFrame, 0, n)}
+	// The frame region is the variant's wire form: record each packet's
+	// offset while walking it and alias it wholesale afterwards, so the
+	// decoded variant serves zero-copy from the store's byte string.
+	v := &variant{
+		frames: make([]*codec.EncodedFrame, 0, n),
+		offs:   make([]uint32, 0, n+1),
+	}
+	wireStart := len(orig) - len(b)
 	for i := 0; i < n; i++ {
+		v.offs = append(v.offs, uint32(len(orig)-len(b)-wireStart))
 		pre, ok := take(6)
 		if !ok {
 			return nil, bad
@@ -121,6 +148,9 @@ func decodeVariantArtifact(b []byte) (*variant, error) {
 			Data:   data,
 		})
 	}
+	wireEnd := len(orig) - len(b)
+	v.offs = append(v.offs, uint32(wireEnd-wireStart))
+	v.wire = orig[wireStart:wireEnd:wireEnd]
 	chunk := func() ([]byte, bool) {
 		lb, ok := take(4)
 		if !ok {
@@ -181,6 +211,14 @@ func (t tier) getOrCompute(ctx context.Context, key anncache.Key, digestSuffix s
 			ssp.End()
 			if found {
 				if v, cost, err := cod.decode(data); err == nil {
+					// The Get above CRC-verified the artifact; a file
+					// ref taken now points at that same verified
+					// content (artifacts change only by atomic rename).
+					if cod.attachRef != nil {
+						if ref, ok := t.store.GetRef(skey); ok {
+							cod.attachRef(v, ref)
+						}
+					}
 					outcome = "store_hit"
 					return v, cost, nil
 				}
@@ -199,7 +237,13 @@ func (t tier) getOrCompute(ctx context.Context, key anncache.Key, digestSuffix s
 				// Best effort: a full disk must not fail the session.
 				psp := obs.StartSpan(lctx, "annstore.put")
 				psp.SetAttr("kind", key.Kind)
-				t.store.Put(skey, b)
+				if t.store.Put(skey, b) == nil && cod.attachRef != nil {
+					// The fresh artifact is durable: later sessions in
+					// this process may stream it from the file too.
+					if ref, ok := t.store.GetRef(skey); ok {
+						cod.attachRef(v, ref)
+					}
+				}
 				psp.End()
 			}
 		}

@@ -136,56 +136,65 @@ func sendAdaptive(ctx context.Context, conn *deadlineConn, src core.Source, trac
 
 	lm := newLadderMetrics(reg, role)
 	cw0 := &countingWriter{w: conn}
-	defer func() {
-		bytesSent.Add(cw0.n)
-		sp.SetAttrInt("bytes", int64(cw0.n))
-		sp.SetAttrInt("quality_switches", int64(len(switches)))
-		sent = cw0.n
-	}()
-	width, height := src.Size()
-	extra := map[uint8][]byte{
-		container.ChunkDecodeCycles: v.cyclesChunk,
-		container.ChunkSceneBytes:   v.scenesChunk,
-	}
-	if from > 0 {
-		extra[container.ChunkResumeOffset] = container.EncodeResumeOffset(uint32(from))
-	}
-	if levelsChunk != nil {
-		extra[container.ChunkDeviceLevels] = levelsChunk
-	}
-	cw, err := container.NewWriter(cw0, container.Header{
-		W: width, H: height, FPS: src.FPS(),
-		FrameCount:  len(v.frames) - from,
-		Annotations: track,
-		Extra:       extra,
-	})
-	if err != nil {
-		return 0, switches, err
-	}
-	// The stream opens by announcing the rung actually granted. The
-	// request's quality budget crossed the wire quantized, so the
-	// client's own index arithmetic over the decoded track can land one
-	// rung off; the announcement — like every later switch marker — is
-	// authoritative.
-	if err := cw.WriteFrame(qualitySwitchMarker(startQi)); err != nil {
-		return 0, switches, err
-	}
-	lm.rung.Set(float64(startQi))
-	cur := startQi
-	n := len(v.frames)
-	for i := from; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return 0, switches, err
+	// Like sendVariant, the counting wrapper is the single source of
+	// truth for bytes on the wire: it is read exactly once after the
+	// body finishes, feeding both the return value and the bytesSent
+	// counter, so mid-stream failures report what actually went out.
+	err = func() error {
+		width, height := src.Size()
+		extra := map[uint8][]byte{
+			container.ChunkDecodeCycles: v.cyclesChunk,
+			container.ChunkSceneBytes:   v.scenesChunk,
 		}
-		// Rung changes land on I-frame boundaries only: a P-frame from a
-		// different variant would reference a reconstruction the client
-		// does not have. The first frame of the session is exempt — it
-		// already is the negotiated rung.
-		if i > from && v.frames[i].Type == codec.IFrame {
+		if from > 0 {
+			extra[container.ChunkResumeOffset] = container.EncodeResumeOffset(uint32(from))
+		}
+		if levelsChunk != nil {
+			extra[container.ChunkDeviceLevels] = levelsChunk
+		}
+		cw, err := container.NewWriter(cw0, container.Header{
+			W: width, H: height, FPS: src.FPS(),
+			FrameCount:  len(v.frames) - from,
+			Annotations: track,
+			Extra:       extra,
+		})
+		if err != nil {
+			return err
+		}
+		// The stream opens by announcing the rung actually granted. The
+		// request's quality budget crossed the wire quantized, so the
+		// client's own index arithmetic over the decoded track can land one
+		// rung off; the announcement — like every later switch marker — is
+		// authoritative.
+		if err := cw.WriteFrame(qualitySwitchMarker(startQi)); err != nil {
+			return err
+		}
+		lm.rung.Set(float64(startQi))
+		cur := startQi
+		n := len(v.frames)
+		i := from
+		for i < n {
+			// Serve the current rung up to the next I-frame boundary as
+			// one zero-copy wire run. Rung changes land on I-frames
+			// only: a P-frame from a different variant would reference
+			// a reconstruction the client does not have (the session's
+			// first frame is exempt — it already is the negotiated
+			// rung, announced above).
+			j := i + 1
+			for j < n && v.frames[j].Type != codec.IFrame {
+				j++
+			}
+			if err := sendWire(ctx, cw, v, i, j, framesSent); err != nil {
+				return err
+			}
+			i = j
+			if i >= n {
+				break
+			}
 			if d := int(desired.Load()); d != cur {
 				if nv, verr := getVariant(ctx, d); verr == nil && len(nv.frames) == n {
 					if err := cw.WriteFrame(qualitySwitchMarker(d)); err != nil {
-						return 0, switches, err
+						return err
 					}
 					lm.record(cur, d)
 					v, cur = nv, d
@@ -195,13 +204,13 @@ func sendAdaptive(ctx context.Context, conn *deadlineConn, src core.Source, trac
 				// desire persists and the next I-frame retries.
 			}
 		}
-		if err := cw.WriteFrame(v.frames[i]); err != nil {
-			return 0, switches, err
-		}
-		framesSent.Inc()
-	}
-	sp.SetAttrInt("final_rung", int64(cur))
-	return 0, switches, nil
+		sp.SetAttrInt("final_rung", int64(cur))
+		return nil
+	}()
+	bytesSent.Add(cw0.n)
+	sp.SetAttrInt("bytes", int64(cw0.n))
+	sp.SetAttrInt("quality_switches", int64(len(switches)))
+	return cw0.n, switches, err
 }
 
 // consumeAdaptive is the client half of an adaptive (v4) session:

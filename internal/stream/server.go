@@ -7,6 +7,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -163,18 +164,78 @@ type Server struct {
 	digests  map[string]string
 }
 
-// variant is one pre-encoded quality level of a clip.
+// variant is one pre-encoded quality level of a clip, held in wire
+// form: wire is the concatenation of the clip's container frame
+// packets (container.AppendFramePacket framing, which is byte for byte
+// what Writer.WriteFrame emits) and offs[i] is the byte offset of
+// frame i's packet, with offs[len(frames)] == len(wire). Any frame run
+// [i, j) can therefore reach a socket as the single pre-encoded slice
+// wire[offs[i]:offs[j]] — no per-frame framing work, no copies, no
+// allocations on the warm path. frames keeps the per-frame metadata
+// the serving layer still inspects (frame type for I-frame boundaries,
+// payload sizes for the cycle model); each frames[i].Data aliases its
+// packet's payload inside wire.
 type variant struct {
-	frames      []*codec.EncodedFrame
+	frames []*codec.EncodedFrame
+	wire   []byte
+	offs   []uint32
+	// ref, when set, locates wire inside a CRC-verified artifact file
+	// of the persistent store, so sessions can stream it with sendfile
+	// instead of holding the clip's bytes in user space.
+	ref         wireFileRef
 	cyclesChunk []byte
 	scenesChunk []byte
 }
 
+// wireFileRef points at a variant's wire region inside a store
+// artifact file: the region is file [off, off+n).
+type wireFileRef struct {
+	path string
+	off  int64
+	n    int64
+}
+
+// seal builds the wire form from v.frames and re-points each frame's
+// Data at its payload inside the wire, so the packet bytes exist
+// exactly once in memory. Must be called whenever frames change.
+func (v *variant) seal() error {
+	size := 0
+	for _, ef := range v.frames {
+		size += container.FramePacketOverhead + len(ef.Data)
+	}
+	wire := make([]byte, 0, size)
+	offs := make([]uint32, 0, len(v.frames)+1)
+	for _, ef := range v.frames {
+		if ef.QScale < 0 || ef.QScale > 255 {
+			return fmt.Errorf("stream: variant qscale %d not serialisable", ef.QScale)
+		}
+		offs = append(offs, uint32(len(wire)))
+		var err error
+		if wire, err = container.AppendFramePacket(wire, ef); err != nil {
+			return err
+		}
+	}
+	offs = append(offs, uint32(len(wire)))
+	v.wire, v.offs = wire, offs
+	for i, ef := range v.frames {
+		end := int(offs[i+1])
+		ef.Data = wire[end-len(ef.Data) : end : end]
+	}
+	return nil
+}
+
+// packets returns the pre-encoded packet run for frames [i, j).
+func (v *variant) packets(i, j int) []byte {
+	return v.wire[v.offs[i]:v.offs[j]]
+}
+
 // cost is the variant's cache cost in bytes.
 func (v *variant) cost() int64 {
-	c := int64(len(v.cyclesChunk) + len(v.scenesChunk))
-	for _, ef := range v.frames {
-		c += int64(ef.Size())
+	c := int64(len(v.cyclesChunk)+len(v.scenesChunk)) + int64(len(v.wire))
+	if v.wire == nil {
+		for _, ef := range v.frames {
+			c += int64(ef.Size())
+		}
 	}
 	return c
 }
@@ -518,7 +579,7 @@ func (s *Server) handle(rawConn net.Conn, admitWait time.Duration) error {
 	switch req.Mode {
 	case ModeRaw:
 		sp.SetAttr("mode", "raw")
-		err = s.streamRaw(ctx, conn, src)
+		err = s.streamRaw(ctx, conn, req.Clip, src)
 	default:
 		sp.SetAttr("mode", "annotated")
 		err = s.streamAnnotated(ctx, conn, src, req)
@@ -759,7 +820,60 @@ func prepareVariant(ctx context.Context, src core.Source, track *annotation.Trac
 		scenesChunk: netsched.EncodeScenes(nsScenes),
 	}
 	sp.End()
+	if err := v.seal(); err != nil {
+		return nil, err
+	}
 	return v, nil
+}
+
+// prepareRawVariant encodes src untouched — no compensation, no side
+// channels — into wire form: the payload of a ModeRaw session, cached
+// through the artifact tier like any other variant so repeated raw
+// fetches (a proxy re-filling after eviction, a second proxy cold
+// start) stream cached bytes instead of re-encoding the clip.
+func prepareRawVariant(ctx context.Context, src core.Source, cfg EncodeConfig) (*variant, error) {
+	width, height := src.Size()
+	enc, err := codec.NewEncoder(width, height, cfg.GOP, cfg.QScale)
+	if err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan(ctx, "stream.raw_encode")
+	defer sp.End()
+	n := src.TotalFrames()
+	frames := make([]*codec.EncodedFrame, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ef, err := enc.Encode(src.Frame(i))
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, ef)
+	}
+	v := &variant{frames: frames}
+	if err := v.seal(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// rawVariantFor is variantFor's ModeRaw counterpart: encode once per
+// (content digest, encoder config), serve forever.
+func rawVariantFor(ctx context.Context, t tier, digest string, src core.Source, cfg EncodeConfig) (*variant, error) {
+	vAny, err := t.getOrCompute(ctx,
+		anncache.Key{Kind: "raw", Digest: digest, Quality: -1}, encSig(cfg), variantCodec,
+		func(ctx context.Context) (any, int64, error) {
+			v, err := prepareRawVariant(ctx, src, cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			return v, v.cost(), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return vAny.(*variant), nil
 }
 
 // countingWriter counts bytes written (the bytes-sent accounting).
@@ -774,59 +888,160 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// ReadFrom forwards to the underlying writer's ReadFrom when it has
+// one (the sendfile chain down to a TCP connection) while keeping the
+// byte count; otherwise it copies through a pooled buffer so the warm
+// path never allocates a fresh io.Copy buffer.
+func (c *countingWriter) ReadFrom(r io.Reader) (int64, error) {
+	if rf, ok := c.w.(io.ReaderFrom); ok {
+		n, err := rf.ReadFrom(r)
+		c.n += uint64(n)
+		return n, err
+	}
+	bp := copyBufPool.Get().(*[]byte)
+	n, err := io.CopyBuffer(onlyWriter{c}, r, *bp)
+	copyBufPool.Put(bp)
+	return n, err
+}
+
+// wireChunkSize bounds a single write on the zero-copy path. Chunking
+// keeps the old per-frame write semantics a stalled client depends on:
+// each chunk re-arms the connection's write deadline and observes ctx
+// cancellation, so one contiguous multi-megabyte wire write cannot pin
+// a session past its timeout.
+const wireChunkSize = 256 << 10
+
+// errWireFileGone reports that a variant's backing artifact file could
+// not be opened (evicted or store closed) before any byte was written;
+// the in-memory wire is still authoritative, so callers fall back.
+var errWireFileGone = errors.New("stream: wire artifact file unavailable")
+
+// sendWire streams frames [from, to) of a sealed variant — the
+// zero-copy warm path. The bytes go out as chunked slices of v.wire
+// with no per-frame writes, copies or allocations; when the variant
+// was decoded straight from a store artifact, the chunks stream from
+// the file itself so a TCP connection can move them with sendfile.
+func sendWire(ctx context.Context, cw *container.Writer, v *variant, from, to int, framesSent *obs.Counter) error {
+	if from >= to {
+		return nil
+	}
+	start, end := int64(v.offs[from]), int64(v.offs[to])
+	if v.ref.path != "" {
+		err := sendWireFile(ctx, cw, v.ref, start, end)
+		if err == nil {
+			framesSent.Add(uint64(to - from))
+			return nil
+		}
+		if err != errWireFileGone {
+			return err
+		}
+		// File gone before any byte moved: serve from memory instead.
+	}
+	for off := start; off < end; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		seg := off + wireChunkSize
+		if seg > end {
+			seg = end
+		}
+		if err := cw.WritePackets(v.wire[off:seg], 0); err != nil {
+			return err
+		}
+		off = seg
+	}
+	framesSent.Add(uint64(to - from))
+	return nil
+}
+
+// sendWireFile streams the wire range [start, end) from the variant's
+// backing artifact file. It returns errWireFileGone only for failures
+// that happen before any byte is written (open/seek); once bytes may
+// have reached the socket, errors are final — retrying from memory
+// would duplicate data on the wire.
+func sendWireFile(ctx context.Context, cw *container.Writer, ref wireFileRef, start, end int64) error {
+	f, err := os.Open(ref.path)
+	if err != nil {
+		return errWireFileGone
+	}
+	defer f.Close()
+	if _, err := f.Seek(ref.off+start, io.SeekStart); err != nil {
+		return errWireFileGone
+	}
+	for off := start; off < end; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		seg := end - off
+		if seg > wireChunkSize {
+			seg = wireChunkSize
+		}
+		if err := cw.ReadPacketsFrom(f, seg, 0); err != nil {
+			return err
+		}
+		off += seg
+	}
+	return nil
+}
+
 // sendVariant writes the annotated container for a prepared variant,
 // starting at frame index from (an I-frame boundary; nonzero for a
 // resumed session, in which case the resume-offset side channel tells
 // the client where the stream picks up). A non-nil levelsChunk is the
 // device-specific backlight level table shipped as a side channel
 // (§4.3's negotiation option).
-func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, levelsChunk []byte, from int, framesSent, bytesSent *obs.Counter) (sent uint64, err error) {
+//
+// The returned byte count is the bytes actually written to w, success
+// or failure: the counting wrapper is read exactly once, after the
+// body finishes, and the same figure feeds the bytesSent counter — a
+// mid-stream failure can neither double-count nor under-report what
+// reached the wire.
+func sendVariant(ctx context.Context, w io.Writer, src core.Source, track *annotation.Track, v *variant, levelsChunk []byte, from int, framesSent, bytesSent *obs.Counter) (uint64, error) {
 	sp := obs.StartSpan(ctx, "stream.send")
 	defer sp.End()
 	cw0 := &countingWriter{w: w}
-	defer func() {
-		bytesSent.Add(cw0.n)
-		sp.SetAttrInt("bytes", int64(cw0.n))
-		sent = cw0.n
+	err := func() error {
+		width, height := src.Size()
+		extra := map[uint8][]byte{
+			container.ChunkDecodeCycles: v.cyclesChunk,
+			container.ChunkSceneBytes:   v.scenesChunk,
+		}
+		if from > 0 {
+			extra[container.ChunkResumeOffset] = container.EncodeResumeOffset(uint32(from))
+		}
+		if levelsChunk != nil {
+			extra[container.ChunkDeviceLevels] = levelsChunk
+		}
+		cw, err := container.NewWriter(cw0, container.Header{
+			W: width, H: height, FPS: src.FPS(),
+			FrameCount:  len(v.frames) - from,
+			Annotations: track,
+			Extra:       extra,
+		})
+		if err != nil {
+			return err
+		}
+		return sendWire(ctx, cw, v, from, len(v.frames), framesSent)
 	}()
-	width, height := src.Size()
-	extra := map[uint8][]byte{
-		container.ChunkDecodeCycles: v.cyclesChunk,
-		container.ChunkSceneBytes:   v.scenesChunk,
-	}
-	if from > 0 {
-		extra[container.ChunkResumeOffset] = container.EncodeResumeOffset(uint32(from))
-	}
-	if levelsChunk != nil {
-		extra[container.ChunkDeviceLevels] = levelsChunk
-	}
-	cw, err := container.NewWriter(cw0, container.Header{
-		W: width, H: height, FPS: src.FPS(),
-		FrameCount:  len(v.frames) - from,
-		Annotations: track,
-		Extra:       extra,
-	})
-	if err != nil {
-		return 0, err
-	}
-	for _, ef := range v.frames[from:] {
-		if err := ctx.Err(); err != nil {
-			return 0, err
-		}
-		if err := cw.WriteFrame(ef); err != nil {
-			return 0, err
-		}
-		framesSent.Inc()
-	}
-	return 0, nil
+	bytesSent.Add(cw0.n)
+	sp.SetAttrInt("bytes", int64(cw0.n))
+	return cw0.n, err
 }
 
-// streamRaw sends the stored clip untouched (for proxies).
-func (s *Server) streamRaw(ctx context.Context, w io.Writer, src core.Source) error {
+// streamRaw sends the stored clip untouched (for proxies), serving the
+// encoded form from the artifact tier: the first fetch pays one encode
+// and writes through to the store, every later fetch streams the
+// cached wire bytes zero-copy instead of re-encoding the clip.
+func (s *Server) streamRaw(ctx context.Context, w io.Writer, name string, src core.Source) error {
 	cw0 := &countingWriter{w: w}
 	defer func() {
 		s.sm.bytesSent.Add(cw0.n)
 	}()
+	cfg := s.enc.withDefaults(src.FPS())
+	v, err := rawVariantFor(ctx, s.tier(), s.digestOf(name, src), src, cfg)
+	if err != nil {
+		return err
+	}
 	width, height := src.Size()
 	cw, err := container.NewWriter(cw0, container.Header{
 		W: width, H: height, FPS: src.FPS(), FrameCount: src.TotalFrames(),
@@ -834,24 +1049,5 @@ func (s *Server) streamRaw(ctx context.Context, w io.Writer, src core.Source) er
 	if err != nil {
 		return err
 	}
-	cfg := s.enc.withDefaults(src.FPS())
-	enc, err := codec.NewEncoder(width, height, cfg.GOP, cfg.QScale)
-	if err != nil {
-		return err
-	}
-	n := src.TotalFrames()
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		ef, err := enc.Encode(src.Frame(i))
-		if err != nil {
-			return err
-		}
-		if err := cw.WriteFrame(ef); err != nil {
-			return err
-		}
-		s.sm.framesSent.Inc()
-	}
-	return nil
+	return sendWire(ctx, cw, v, 0, len(v.frames), s.sm.framesSent)
 }

@@ -1,0 +1,125 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/pixel"
+)
+
+// referenceFrame is the original, naive renderer: per-pixel trig with no
+// hoisting, no chroma LUT, and a freshly seeded highlight RNG on every
+// call. The optimized Clip.Frame must reproduce it bit for bit — this is
+// the golden contract that lets every downstream byte-identity guarantee
+// (codec output, stream artifacts, resume, adaptive rungs) rest on a
+// deterministic generator.
+func referenceFrame(c *Clip, i int) *frame.Frame {
+	si, off := c.SceneIndexAt(i)
+	s := c.Scenes[si]
+	f := frame.New(c.W, c.H)
+
+	sceneSeed := c.Seed*1000003 + int64(si)*7919
+	hlRng := rand.New(rand.NewSource(sceneSeed + int64(off/4)))
+
+	flicker := 0.0
+	if s.Flicker > 0 {
+		fRng := rand.New(rand.NewSource(sceneSeed + 31*int64(off)))
+		flicker = (fRng.Float64()*2 - 1) * s.Flicker
+	}
+
+	t := float64(off) * s.Motion
+	phaseX := float64(sceneSeed%97) / 97 * 2 * math.Pi
+	phaseY := float64(sceneSeed%89) / 89 * 2 * math.Pi
+	fw, fh := float64(c.W), float64(c.H)
+
+	cb, cr := chromaFor(s.Hue, s.Chroma)
+
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			u := (float64(x) + t) / fw * 2 * math.Pi
+			v := (float64(y) + 0.6*t) / fh * 2 * math.Pi
+			pattern := 0.5 + 0.25*math.Sin(2*u+phaseX) + 0.25*math.Cos(3*v+phaseY)*math.Sin(u+v)
+			luma := s.BaseLuma + (pattern-0.5)*s.LumaSpread + flicker
+			f.Set(x, y, refLumaToRGB(luma, cb, cr))
+		}
+	}
+
+	n := int(s.HighlightFrac * float64(c.W*c.H))
+	if n < 4 {
+		n = 4
+	}
+	for k := 0; k < n; k++ {
+		x := hlRng.Intn(c.W)
+		y := hlRng.Intn(c.H)
+		lum := s.MaxLuma - hlRng.Float64()*0.04*(s.MaxLuma-s.BaseLuma)
+		f.Set(x, y, refLumaToRGB(lum+flicker, cb/2, cr/2))
+	}
+	for k := 0; k < 4; k++ {
+		x := (hlRng.Intn(c.W-2) + 1)
+		y := (hlRng.Intn(c.H-2) + 1)
+		f.Set(x, y, refLumaToRGB(s.MaxLuma, 0, 0))
+	}
+	return f
+}
+
+func refLumaToRGB(luma, cb, cr float64) pixel.RGB {
+	y := pixel.Clamp01(luma) * 255
+	refChromaScale := func(y float64) float64 {
+		head := math.Min(y, 255-y)
+		return math.Min(48, head*0.6)
+	}
+	return pixel.ToRGB(pixel.YCbCr{
+		Y:  pixel.ClampU8(y),
+		Cb: pixel.ClampU8(128 + cb*refChromaScale(y)),
+		Cr: pixel.ClampU8(128 + cr*refChromaScale(y)),
+	})
+}
+
+// TestFrameMatchesReferenceRenderer renders every frame of every library
+// clip (bounded per clip) with both renderers and requires exact pixel
+// equality. Clips cover dark, bright, colourful, flickering and
+// fast-motion scenes, so the chroma-LUT cap boundary and the hoisted trig
+// all get exercised.
+func TestFrameMatchesReferenceRenderer(t *testing.T) {
+	opt := DefaultLibraryOptions()
+	opt.DurationScale = 0.05
+	for _, name := range ClipNames() {
+		c := ClipByName(name, opt)
+		limit := c.TotalFrames()
+		if limit > 48 {
+			limit = 48
+		}
+		for i := 0; i < limit; i++ {
+			got := c.Frame(i)
+			want := referenceFrame(c, i)
+			if !got.Equal(want) {
+				t.Fatalf("clip %q frame %d differs from reference renderer", name, i)
+			}
+		}
+	}
+}
+
+// TestFrameMatchesReferenceRendererExtremes drives synthetic scene specs
+// at the edges the library avoids: luma pinned to 0 and 1, zero spread,
+// saturating flicker, and a base luma straddling the chroma-saturation
+// cap (y255 near 80 and 175) where the LUT fast path hands off to the
+// full conversion.
+func TestFrameMatchesReferenceRendererExtremes(t *testing.T) {
+	scenes := []SceneSpec{
+		{Frames: 6, BaseLuma: 0.0, LumaSpread: 0.0, MaxLuma: 0.0, HighlightFrac: 0, Chroma: 0, Motion: 0, Flicker: 0, Hue: 0},
+		{Frames: 6, BaseLuma: 1.0, LumaSpread: 0.0, MaxLuma: 1.0, HighlightFrac: 0.5, Chroma: 1, Motion: 3, Flicker: 0.2, Hue: 0.9},
+		{Frames: 6, BaseLuma: 80.0 / 255, LumaSpread: 0.02, MaxLuma: 0.9, HighlightFrac: 0.01, Chroma: 0.7, Motion: 1.5, Flicker: 0.01, Hue: 0.3},
+		{Frames: 6, BaseLuma: 175.0 / 255, LumaSpread: 0.02, MaxLuma: 0.99, HighlightFrac: 0.02, Chroma: 0.4, Motion: 0.5, Flicker: 0, Hue: 0.6},
+		{Frames: 6, BaseLuma: 0.5, LumaSpread: 1.0, MaxLuma: 1.0, HighlightFrac: 0.1, Chroma: 1, Motion: 7, Flicker: 0.4, Hue: 0.1},
+	}
+	c := MustNew("extremes", 37, 29, 8, 12345, scenes)
+	for i := 0; i < c.TotalFrames(); i++ {
+		got := c.Frame(i)
+		want := referenceFrame(c, i)
+		if !got.Equal(want) {
+			t.Fatalf("extremes frame %d differs from reference renderer", i)
+		}
+	}
+}

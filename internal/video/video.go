@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/frame"
 	"repro/internal/pixel"
@@ -65,6 +66,26 @@ type Clip struct {
 
 	starts []int // cumulative scene start frames
 	total  int
+
+	// Highlight layouts are pure functions of (scene, frame/4); caching
+	// them skips re-seeding and re-drawing the RNG on every frame of the
+	// same 4-frame group. Bounded (see highlightLayout) and safe for the
+	// pipeline's parallel per-frame workers.
+	hlMu    sync.Mutex
+	hlCache map[uint64]*hlLayout
+}
+
+// hlPt is one sparse highlight: position plus its pre-flicker luminance.
+type hlPt struct {
+	x, y int
+	lum  float64
+}
+
+// hlLayout is the deterministic highlight placement shared by the four
+// consecutive frames of one group.
+type hlLayout struct {
+	pts  []hlPt
+	pins [4][2]int // pixels pinned exactly at the scene maximum
 }
 
 // New assembles a clip and validates its scene list.
@@ -132,6 +153,13 @@ func (c *Clip) SceneStart(s int) int { return c.starts[s] }
 
 // Frame renders frame i of the clip. Rendering is deterministic: the same
 // (clip, i) always produces the identical frame.
+//
+// The implementation hoists every x-only and y-only term of the background
+// pattern out of the pixel loop and serves the chroma-saturated luminance
+// range from a per-frame lookup table. Each hoisted value is produced by
+// the same float64 operations in the same order as the original per-pixel
+// expression, so the rendered bytes are bit-identical to the naive
+// triple-nested form (pinned by the pipeline golden tests).
 func (c *Clip) Frame(i int) *frame.Frame {
 	si, off := c.SceneIndexAt(i)
 	s := c.Scenes[si]
@@ -140,7 +168,7 @@ func (c *Clip) Frame(i int) *frame.Frame {
 	// Scene-local deterministic generators. The highlight layout changes
 	// slowly (every few frames) to model moving specular points.
 	sceneSeed := c.Seed*1000003 + int64(si)*7919
-	hlRng := rand.New(rand.NewSource(sceneSeed + int64(off/4)))
+	hl := c.highlightLayout(si, off/4, s, sceneSeed)
 
 	flicker := 0.0
 	if s.Flicker > 0 {
@@ -157,38 +185,112 @@ func (c *Clip) Frame(i int) *frame.Frame {
 
 	cb, cr := chromaFor(s.Hue, s.Chroma)
 
+	// Column terms: u and 0.5 + 0.25*sin(2u+phaseX) depend only on x;
+	// row terms: v and 0.25*cos(3v+phaseY) depend only on y. Only
+	// sin(u+v) remains per pixel (expanding it algebraically would not
+	// be bit-identical, so it stays).
+	us := make([]float64, c.W)
+	ax := make([]float64, c.W)
+	for x := 0; x < c.W; x++ {
+		u := (float64(x) + t) / fw * 2 * math.Pi
+		us[x] = u
+		ax[x] = 0.5 + 0.25*math.Sin(2*u+phaseX)
+	}
+	vs := make([]float64, c.H)
+	by := make([]float64, c.H)
 	for y := 0; y < c.H; y++ {
-		for x := 0; x < c.W; x++ {
-			u := (float64(x) + t) / fw * 2 * math.Pi
-			v := (float64(y) + 0.6*t) / fh * 2 * math.Pi
-			pattern := 0.5 + 0.25*math.Sin(2*u+phaseX) + 0.25*math.Cos(3*v+phaseY)*math.Sin(u+v)
+		v := (float64(y) + 0.6*t) / fh * 2 * math.Pi
+		vs[y] = v
+		by[y] = 0.25 * math.Cos(3*v+phaseY)
+	}
+
+	// Chroma-saturated fast path: for unclamped luma y255 in [80,175],
+	// chromaScale caps at exactly 48 (fl(80*0.6) == 48 and rounding is
+	// monotone), so Cb/Cr — and therefore the whole pixel — depend only
+	// on the quantized luma byte. Memoise those pixels per frame; lumas
+	// outside the cap fall back to the full conversion.
+	cbSat := pixel.ClampU8(128 + cb*48)
+	crSat := pixel.ClampU8(128 + cr*48)
+	var lut [256]pixel.RGB
+	var lutOK [256]bool
+
+	for y := 0; y < c.H; y++ {
+		row := f.Pix[y*c.W : (y+1)*c.W]
+		v, b := vs[y], by[y]
+		for x := range row {
+			pattern := ax[x] + b*math.Sin(us[x]+v)
 			luma := s.BaseLuma + (pattern-0.5)*s.LumaSpread + flicker
-			f.Set(x, y, lumaToRGB(luma, cb, cr))
+			y255 := pixel.Clamp01(luma) * 255
+			if y255 >= 80 && y255 <= 175 {
+				yi := pixel.ClampU8(y255)
+				if !lutOK[yi] {
+					lut[yi] = pixel.ToRGB(pixel.YCbCr{Y: yi, Cb: cbSat, Cr: crSat})
+					lutOK[yi] = true
+				}
+				row[x] = lut[yi]
+			} else {
+				row[x] = lumaToRGB(luma, cb, cr)
+			}
 		}
 	}
 
-	// Sparse highlights at MaxLuma. At least a handful per frame so the
-	// frame maximum is pinned to the scene maximum.
+	// Sparse highlights at MaxLuma (layout cached per 4-frame group;
+	// flicker is per frame, so it is applied here, not in the cache).
+	for _, p := range hl.pts {
+		f.Set(p.x, p.y, lumaToRGB(p.lum+flicker, cb/2, cr/2))
+	}
+	// Pin four pixels exactly at MaxLuma (corner-adjacent spread pattern)
+	// so max-luminance scene statistics are exact.
+	pin := lumaToRGB(s.MaxLuma, 0, 0)
+	for _, xy := range hl.pins {
+		f.Set(xy[0], xy[1], pin)
+	}
+	return f
+}
+
+// highlightLayout returns the highlight placement for one (scene, frame/4)
+// group, drawing it exactly as the original per-frame code did: n sparse
+// (x, y, luminance) triples followed by four pinned positions, all from one
+// RNG seeded with sceneSeed+group. The cache is cleared wholesale past 64
+// groups to bound memory; entries are cheap to regenerate.
+func (c *Clip) highlightLayout(si, group int, s SceneSpec, sceneSeed int64) *hlLayout {
+	key := uint64(si)<<32 | uint64(uint32(group))
+	c.hlMu.Lock()
+	if l, ok := c.hlCache[key]; ok {
+		c.hlMu.Unlock()
+		return l
+	}
+	c.hlMu.Unlock()
+
+	rng := rand.New(rand.NewSource(sceneSeed + int64(group)))
 	n := int(s.HighlightFrac * float64(c.W*c.H))
 	if n < 4 {
 		n = 4
 	}
+	l := &hlLayout{pts: make([]hlPt, n)}
 	for k := 0; k < n; k++ {
-		x := hlRng.Intn(c.W)
-		y := hlRng.Intn(c.H)
+		x := rng.Intn(c.W)
+		y := rng.Intn(c.H)
 		// Highlights near but not all exactly at the peak: a small
 		// deterministic spread populates the top of the histogram.
-		lum := s.MaxLuma - hlRng.Float64()*0.04*(s.MaxLuma-s.BaseLuma)
-		f.Set(x, y, lumaToRGB(lum+flicker, cb/2, cr/2))
+		lum := s.MaxLuma - rng.Float64()*0.04*(s.MaxLuma-s.BaseLuma)
+		l.pts[k] = hlPt{x: x, y: y, lum: lum}
 	}
-	// Pin four pixels exactly at MaxLuma (corner-adjacent spread pattern)
-	// so max-luminance scene statistics are exact.
 	for k := 0; k < 4; k++ {
-		x := (hlRng.Intn(c.W-2) + 1)
-		y := (hlRng.Intn(c.H-2) + 1)
-		f.Set(x, y, lumaToRGB(s.MaxLuma, 0, 0))
+		x := (rng.Intn(c.W-2) + 1)
+		y := (rng.Intn(c.H-2) + 1)
+		l.pins[k] = [2]int{x, y}
 	}
-	return f
+
+	c.hlMu.Lock()
+	if c.hlCache == nil {
+		c.hlCache = make(map[uint64]*hlLayout)
+	} else if len(c.hlCache) >= 64 {
+		clear(c.hlCache)
+	}
+	c.hlCache[key] = l
+	c.hlMu.Unlock()
+	return l
 }
 
 // lumaToRGB builds an RGB pixel with the requested normalised luminance
