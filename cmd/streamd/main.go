@@ -8,6 +8,7 @@
 //
 //	streamd [-addr 127.0.0.1:7400] [-proxy-of upstream:port]
 //	        [-upstreams a:port,b:port] [-drain-timeout 15s]
+//	        [-peers a:port,b:port] [-advertise host:port]
 //	        [-debug-addr :7401] [-w 120 -h 90 -fps 10 -scale 0.25]
 //	        [-max-sessions 0] [-workers N] [-cache-size MiB]
 //	        [-store-dir /var/lib/streamd] [-store-size MiB]
@@ -19,7 +20,13 @@
 // With -proxy-of (or -upstreams, a comma-separated failover list) the
 // process runs as the intermediary proxy node instead, pulling raw
 // streams from the upstream servers — each guarded by a circuit breaker —
-// and annotating on the fly. With -debug-addr the process serves its
+// and annotating on the fly. With -peers the node joins a sharded
+// serving cluster: artifact ownership is rendezvous-hashed across self
+// plus the peer list, local misses fill from the shard owner over the
+// internal fetch-artifact RPC before falling back to local compute, and
+// the same listener answers peer fetches. Both address lists are
+// validated at startup — duplicates or the node's own listen address
+// exit with status 2. With -debug-addr the process serves its
 // telemetry over HTTP: /metrics (Prometheus text format, including Go
 // runtime health), /healthz (liveness), /readyz (readiness — not-ready
 // while draining or with every upstream breaker open), /debug/vars,
@@ -69,6 +76,7 @@ import (
 	"time"
 
 	"repro/internal/annstore"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
@@ -80,6 +88,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7400", "listen address")
 	proxyOf := flag.String("proxy-of", "", "run as a proxy for this upstream server")
 	upstreams := flag.String("upstreams", "", "run as a proxy for these comma-separated upstreams in failover order")
+	peers := flag.String("peers", "", "join a sharded serving cluster with these comma-separated peer addresses (artifact ownership is rendezvous-hashed across self + peers)")
+	advertise := flag.String("advertise", "", "address peers reach this node at (defaults to -addr)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "max time to let in-flight sessions finish on SIGTERM/SIGINT")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz and /debug/pprof on this address")
 	w := flag.Int("w", 120, "frame width")
@@ -191,13 +201,56 @@ func main() {
 		return st
 	}
 
+	// Address-list hygiene, before any socket opens: a node proxying to
+	// itself or sharding to a double-weighted member is a config error,
+	// not a runtime condition, so both lists fail fast with exit 2.
+	selfAddr := *advertise
+	if selfAddr == "" {
+		selfAddr = *addr
+	}
 	upstreamList := *upstreams
 	if upstreamList == "" {
 		upstreamList = *proxyOf
 	}
+	var upstreamAddrs []string
 	if upstreamList != "" {
-		p := stream.NewProxy(strings.Split(upstreamList, ",")...)
+		upstreamAddrs, err = cluster.ValidateMembers(*addr, strings.Split(upstreamList, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamd: -upstreams:", err)
+			os.Exit(2)
+		}
+		if len(upstreamAddrs) == 0 {
+			fmt.Fprintln(os.Stderr, "streamd: -upstreams: no usable addresses")
+			os.Exit(2)
+		}
+	}
+	var cnode *cluster.Node
+	if *peers != "" {
+		cnode, err = cluster.New(cluster.Config{
+			Self:       selfAddr,
+			Peers:      strings.Split(*peers, ","),
+			ProbeEvery: 500 * time.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streamd: -peers:", err)
+			os.Exit(2)
+		}
+		if *advertise == "" {
+			// Routing hashes the advertised address; a wildcard listen
+			// address is fine for the socket but meaningless to peers.
+			if host, _, _ := net.SplitHostPort(selfAddr); host == "" || host == "0.0.0.0" || host == "::" {
+				fmt.Fprintln(os.Stderr, "streamd: -peers with a wildcard -addr requires -advertise")
+				os.Exit(2)
+			}
+		}
+		logger.Info("cluster_join", "self", selfAddr,
+			"peers", strings.Join(cnode.Members()[1:], ","))
+	}
+
+	if upstreamList != "" {
+		p := stream.NewProxy(upstreamAddrs...)
 		p.SetLogf(logger.Printf)
+		p.SetCluster(cnode)
 		p.SetAnnotateWorkers(*workers)
 		p.SetCacheCapacity(*cacheSize << 20)
 		if st := openStore("proxy"); st != nil {
@@ -223,6 +276,7 @@ func main() {
 	}
 	s := stream.NewServer(catalog)
 	s.SetLogf(logger.Printf)
+	s.SetCluster(cnode)
 	s.SetAnnotateWorkers(*workers)
 	s.SetCacheCapacity(*cacheSize << 20)
 	if st := openStore("server"); st != nil {

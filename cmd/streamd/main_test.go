@@ -171,6 +171,116 @@ func TestDrainOnSIGTERM(t *testing.T) {
 	}
 }
 
+// TestAddressListValidation is the startup-hygiene regression: a node
+// configured to proxy to itself, to a double-weighted upstream, or to
+// shard with a malformed peer list must refuse to start with exit 2
+// and a diagnostic — never open a socket and route traffic in a loop.
+func TestAddressListValidation(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "streamd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "duplicate upstream",
+			args: []string{"-addr", "127.0.0.1:7500", "-upstreams", "127.0.0.1:7501,127.0.0.1:7501"},
+			want: "duplicate address",
+		},
+		{
+			name: "duplicate upstream via localhost alias",
+			args: []string{"-addr", "127.0.0.1:7500", "-upstreams", "localhost:7501,127.0.0.1:7501"},
+			want: "duplicate address",
+		},
+		{
+			name: "proxying to own listen address",
+			args: []string{"-addr", "127.0.0.1:7500", "-upstreams", "127.0.0.1:7500"},
+			want: "own listen address",
+		},
+		{
+			name: "peer list contains self",
+			args: []string{"-addr", "127.0.0.1:7500", "-peers", "localhost:7500,127.0.0.1:7501"},
+			want: "own listen address",
+		},
+		{
+			name: "duplicate peer",
+			args: []string{"-addr", "127.0.0.1:7500", "-peers", "127.0.0.1:7501,127.0.0.1:7501"},
+			want: "duplicate address",
+		},
+		{
+			name: "peer is not host:port",
+			args: []string{"-addr", "127.0.0.1:7500", "-peers", "not-an-address"},
+			want: "not host:port",
+		},
+		{
+			name: "wildcard addr with peers but no advertise",
+			args: []string{"-addr", ":7500", "-peers", "127.0.0.1:7501"},
+			want: "requires -advertise",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := exec.Command(bin, tc.args...).CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("expected a validation exit, got err=%v, output:\n%s", err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Fatalf("exit %d, want 2; output:\n%s", code, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+
+	// The sanity inverse: a clean peer list with -advertise starts up
+	// (and a clean duplicate-free upstream list is covered by
+	// TestDrainOnSIGTERM's normal startup).
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0",
+		"-advertise", "127.0.0.1:7600", "-peers", "127.0.0.1:7601")
+	buf := &lockedBuffer{}
+	cmd.Stdout = buf
+	cmd.Stderr = buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(buf.String(), "serving ") {
+		if time.Now().After(deadline) {
+			t.Fatalf("clustered node never started serving:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.Contains(buf.String(), "cluster_join") {
+		t.Errorf("startup log missing cluster_join event:\n%s", buf.String())
+	}
+}
+
+// lockedBuffer collects subprocess output written from the exec
+// package's copier goroutine while the test polls it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
 // TestFsckMode is the end-to-end check of `streamd -fsck`: a clean store
 // exits 0, a store with a corrupted artifact exits 1 while quarantining
 // it, and a second run over the now-repaired store exits 0 again.

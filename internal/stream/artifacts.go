@@ -8,6 +8,7 @@ import (
 	"repro/internal/anncache"
 	"repro/internal/annotation"
 	"repro/internal/annstore"
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/obs"
 )
@@ -178,10 +179,19 @@ func encSig(cfg EncodeConfig) string {
 }
 
 // tier is the two-level artifact lookup: the byte-budgeted memory LRU
-// in front of an optional persistent store.
+// in front of an optional persistent store — and, when the process is
+// clustered, the shard owner's copy between the store and computation.
 type tier struct {
 	cache *anncache.Cache
 	store *annstore.Store
+	// node, when non-nil, routes misses through the cluster's rendezvous
+	// hash: a non-owner fills from the shard owner before computing.
+	node *cluster.Node
+	// clip is the clip-name hint attached to peer fetches (digests are
+	// one-way; the hint lets a cold owner map the digest back to its
+	// catalog). Empty disables peer fill (peer-facing resolution must
+	// not re-fetch).
+	clip string
 }
 
 // getOrCompute resolves key through the memory tier; on a memory miss
@@ -227,6 +237,10 @@ func (t tier) getOrCompute(ctx context.Context, key anncache.Key, digestSuffix s
 				// fall through and overwrite with a fresh computation.
 			}
 		}
+		if v, cost, ok := t.peerFill(lctx, key, skey, digestSuffix, cod); ok {
+			outcome = "peer_fill"
+			return v, cost, nil
+		}
 		outcome = "computed"
 		v, cost, err := compute(lctx)
 		if err != nil {
@@ -254,4 +268,66 @@ func (t tier) getOrCompute(ctx context.Context, key anncache.Key, digestSuffix s
 		sp.SetAttr("error", err.Error())
 	}
 	return v, err
+}
+
+// peerFill tries to fill a local miss from the artifact's shard owner.
+// It runs inside the cache's single-flight, so however many sessions
+// miss concurrently, the cluster sees one fetch. Routing is by (kind,
+// content digest) — quality and device are deliberately excluded so
+// every variant of a clip lands on one owner and the annotation runs
+// exactly once fleet-wide. Any failure (owner down, breaker open,
+// checksum mismatch, undecodable bytes) returns ok=false and the caller
+// computes locally: the cluster accelerates, it never gates.
+func (t tier) peerFill(ctx context.Context, key, skey anncache.Key, digestSuffix string, cod artifactCodec) (any, int64, bool) {
+	if t.node == nil || t.clip == "" {
+		return nil, 0, false
+	}
+	ctx, sp := obs.StartSpanCtx(ctx, "cluster.route")
+	defer sp.End()
+	sp.SetAttr("kind", key.Kind)
+	owner, self := t.node.Owner(key.Kind, key.Digest)
+	sp.SetAttr("owner", owner)
+	decide := func(d string) {
+		sp.SetAttr("decision", d)
+		t.node.RecordRoute(d)
+	}
+	if self || owner == "" {
+		decide("local_owner")
+		return nil, 0, false
+	}
+	data, err := t.node.Fetch(ctx, owner, cluster.FetchRequest{
+		Kind:    key.Kind,
+		Digest:  key.Digest,
+		Suffix:  digestSuffix,
+		Quality: key.Quality,
+		Device:  key.Device,
+		Clip:    t.clip,
+	})
+	if err != nil {
+		decide("fallback_compute")
+		sp.SetAttr("error", err.Error())
+		return nil, 0, false
+	}
+	v, cost, err := cod.decode(data)
+	if err != nil {
+		decide("fallback_compute")
+		sp.SetAttr("error", err.Error())
+		return nil, 0, false
+	}
+	decide("peer_fill")
+	if t.store != nil {
+		// Write through the exact CRC-verified bytes the owner sent:
+		// after a membership change the new owner serves future fetches
+		// from its disk instead of triggering a recompute herd, and this
+		// node survives a restart with the artifact warm.
+		psp := obs.StartSpan(ctx, "annstore.put")
+		psp.SetAttr("kind", key.Kind)
+		if t.store.Put(skey, data) == nil && cod.attachRef != nil {
+			if ref, ok := t.store.GetRef(skey); ok {
+				cod.attachRef(v, ref)
+			}
+		}
+		psp.End()
+	}
+	return v, cost, true
 }

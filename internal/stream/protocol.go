@@ -163,12 +163,24 @@ func WriteRequest(w io.Writer, r Request) error {
 // ReadRequest parses a negotiation request, accepting both the v1 and
 // the v2 (resume-capable) framing.
 func ReadRequest(r io.Reader) (Request, error) {
-	var head [7]byte
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return Request{}, fmt.Errorf("%w: short request: %v", ErrProtocol, err)
+	}
+	return readRequestBody(magic, r)
+}
+
+// readRequestBody parses a negotiation request whose 4-byte magic has
+// already been consumed. The serving nodes read the magic themselves so
+// one listener can dispatch client sessions and cluster peer fetches by
+// discriminator.
+func readRequestBody(magic [4]byte, r io.Reader) (Request, error) {
+	var head [3]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return Request{}, fmt.Errorf("%w: short request: %v", ErrProtocol, err)
 	}
 	version := 0
-	switch [4]byte(head[:4]) {
+	switch magic {
 	case reqMagic:
 		version = 1
 	case reqMagicV2:
@@ -181,14 +193,14 @@ func ReadRequest(r io.Reader) (Request, error) {
 		return Request{}, fmt.Errorf("%w: bad request magic", ErrProtocol)
 	}
 	req := Request{
-		Quality: float64(head[4]) / 255,
-		Mode:    Mode(head[5]),
+		Quality: float64(head[0]) / 255,
+		Mode:    Mode(head[1]),
 		Version: version,
 	}
 	if req.Mode != ModeAnnotated && req.Mode != ModeRaw {
-		return Request{}, fmt.Errorf("%w: unknown mode %d", ErrProtocol, head[5])
+		return Request{}, fmt.Errorf("%w: unknown mode %d", ErrProtocol, head[1])
 	}
-	clip := make([]byte, head[6])
+	clip := make([]byte, head[2])
 	if _, err := io.ReadFull(r, clip); err != nil {
 		return Request{}, fmt.Errorf("%w: short clip name: %v", ErrProtocol, err)
 	}

@@ -5,19 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
-	"runtime"
-	"runtime/debug"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/anncache"
 	"repro/internal/annotation"
-	"repro/internal/annstore"
 	"repro/internal/breaker"
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -39,17 +35,15 @@ import (
 // probe succeeds. Fetches carry dial and per-read deadlines and are
 // retried with backoff, and when every upstream is down a
 // previously-fetched copy of the clip is served stale rather than
-// failing the client.
+// failing the client. The accept/drain/cache plumbing lives in the
+// embedded nodeCore, shared with the Server.
 type Proxy struct {
+	nodeCore
+
 	upstreams []*upstreamNode
 	brCfg     breaker.Config
 	enc       EncodeConfig
 
-	logMu sync.Mutex
-	logFn func(format string, args ...any)
-
-	obsReg          *obs.Registry
-	pm              serverMetrics
 	upstreamLat     *obs.Histogram
 	upstreamRetries *obs.Counter
 	staleServes     *obs.Counter
@@ -64,32 +58,11 @@ type Proxy struct {
 	probeEvery   time.Duration
 	dial         func(network, addr string) (net.Conn, error)
 
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	drainCh   chan struct{}
-	drainOnce sync.Once
-	draining  atomic.Bool
+	// probeMu guards the prober's lifetime channels: Serve starts it at
+	// most once, and drain/shutdown paths wait for it without racing a
+	// concurrent start.
+	probeMu   sync.Mutex
 	probeDone chan struct{}
-
-	// cache holds the last good fetch per clip (decoded source plus its
-	// annotation track) as the stale fallback when the upstream is down,
-	// plus the derived artifacts — tracks keyed by content digest (a
-	// refetch of unchanged content skips re-annotation) and encoded
-	// variants shared across client sessions.
-	cache *anncache.Cache
-	// store, when set, persists derived artifacts (tracks, variants,
-	// level tables — not fetched clips, which must revalidate) across
-	// restarts, exactly as in the Server.
-	store *annstore.Store
-	// annWorkers is the annotation pipeline's worker-pool size.
-	annWorkers int
-
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
 }
 
 // upstreamNode is one upstream origin with its circuit breaker.
@@ -116,9 +89,7 @@ func (e *proxyEntry) cost() int64 {
 // failover order: fetches go to the first upstream whose breaker admits
 // them, falling over to the next on failure.
 func NewProxy(upstreams ...string) *Proxy {
-	ctx, cancel := context.WithCancel(context.Background())
 	p := &Proxy{
-		logFn: log.Printf,
 		retry: RetryPolicy{MaxAttempts: 3},
 		brCfg: breaker.Config{
 			Window: 10 * time.Second, Buckets: 10,
@@ -129,13 +100,9 @@ func NewProxy(upstreams ...string) *Proxy {
 		readTimeout:  10 * time.Second,
 		writeTimeout: 30 * time.Second,
 		probeEvery:   500 * time.Millisecond,
-		ctx:          ctx,
-		cancel:       cancel,
-		drainCh:      make(chan struct{}),
-		cache:        anncache.New(DefaultCacheCapacity),
-		annWorkers:   runtime.GOMAXPROCS(0),
-		conns:        map[net.Conn]struct{}{},
 	}
+	p.initCore("proxy")
+	p.resolveFetch = p.resolveFetchRequest
 	p.setUpstreams(upstreams)
 	return p
 }
@@ -202,48 +169,9 @@ func (p *Proxy) UpstreamAddrs() []string {
 	return addrs
 }
 
-// SetAnnotateWorkers sets the annotation pipeline's worker-pool size
-// (<= 1 selects the sequential path). Call before Listen.
-func (p *Proxy) SetAnnotateWorkers(n int) { p.annWorkers = n }
-
-// SetCacheCapacity bounds the artifact cache to capacityBytes (<= 0 is
-// unlimited), evicting immediately if already over.
-func (p *Proxy) SetCacheCapacity(capacityBytes int64) { p.cache.SetCapacity(capacityBytes) }
-
-// SetStore installs a persistent artifact store beneath the memory
-// cache for derived artifacts (annotation tracks, encoded variants,
-// device level tables). Fetched clips stay memory-only: their
-// always-revalidate / serve-stale semantics are tied to the process's
-// view of the upstream. Call before Listen.
-func (p *Proxy) SetStore(st *annstore.Store) { p.store = st }
-
-// tier bundles the memory cache with the optional persistent store.
-func (p *Proxy) tier() tier { return tier{cache: p.cache, store: p.store} }
-
-// SetLogf replaces the proxy's logger. Safe to call while the proxy is
-// accepting connections.
-func (p *Proxy) SetLogf(f func(string, ...any)) {
-	p.logMu.Lock()
-	p.logFn = f
-	p.logMu.Unlock()
-}
-
-// logf logs through the current logger; the mutex makes SetLogf safe
-// against concurrent session goroutines.
-func (p *Proxy) logf(format string, args ...any) {
-	p.logMu.Lock()
-	f := p.logFn
-	p.logMu.Unlock()
-	if f != nil {
-		f(format, args...)
-	}
-}
-
 // SetObserver installs a telemetry registry. Call before Listen.
 func (p *Proxy) SetObserver(r *obs.Registry) {
-	p.obsReg = r
-	p.pm = newServerMetrics(r, "proxy")
-	p.cache.SetObserver(r, obs.L("role", "proxy"))
+	p.nodeCore.SetObserver(r)
 	p.upstreamLat = r.Histogram("proxy_upstream_latency_seconds",
 		"Time to fetch and decode a whole raw clip from the upstream server.",
 		obs.DefLatencyBuckets, obs.L("role", "proxy"))
@@ -307,71 +235,40 @@ func (p *Proxy) Listen(addr string) (net.Addr, error) {
 // (chaos runs wrap a fault-injecting listener around a plain TCP one)
 // and starts the upstream recovery prober.
 func (p *Proxy) Serve(ln net.Listener) {
-	p.mu.Lock()
-	p.ln = ln
-	p.mu.Unlock()
-	if p.probeEvery > 0 && len(p.upstreams) > 0 && p.probeDone == nil {
+	p.probeMu.Lock()
+	if p.probeEvery > 0 && len(p.upstreams) > 0 && p.probeDone == nil && !p.draining.Load() {
 		p.probeDone = make(chan struct{})
-		go p.probeLoop()
+		go p.probeLoop(p.probeDone)
 	}
-	go func() {
-		acceptWithBackoff(ln, "stream proxy", p.logf, p.pm.acceptErrors, func(conn net.Conn) {
-			p.mu.Lock()
-			if p.closed {
-				p.mu.Unlock()
-				conn.Close()
-				return
-			}
-			p.conns[conn] = struct{}{}
-			p.wg.Add(1)
-			p.mu.Unlock()
-			p.pm.connsTotal.Inc()
-			p.pm.activeConns.Add(1)
-			go p.session(conn)
-		})
-	}()
+	p.probeMu.Unlock()
+	p.serve(ln, p.clientSession)
 }
 
-// session runs one client connection with panic isolation, mirroring
-// Server.session.
-func (p *Proxy) session(conn net.Conn) {
-	defer p.wg.Done()
-	defer func() {
-		p.mu.Lock()
-		delete(p.conns, conn)
-		p.mu.Unlock()
-		conn.Close()
-		p.pm.activeConns.Add(-1)
-	}()
-	defer func() {
-		if r := recover(); r != nil {
-			p.pm.panics.Inc()
-			p.logf("stream proxy: session panic (recovered): %v\n%s", r, debug.Stack())
-		}
-	}()
-	if err := p.handle(conn); err != nil && !errors.Is(err, io.EOF) {
-		p.pm.sessErrors.Inc()
-		p.logf("stream proxy: %v", err)
-	}
-}
+// clientSession adapts handle to the shared session wrapper.
+func (p *Proxy) clientSession(conn net.Conn) error { return p.handle(conn) }
 
 // probeLoop periodically probes unhealthy upstreams (anything not
 // Closed) with a dial, driving their breakers open -> half-open ->
 // closed as the origin recovers, without waiting for client traffic.
-func (p *Proxy) probeLoop() {
-	defer close(p.probeDone)
+// It exits as soon as a drain begins — a draining node has no business
+// dialing its upstreams — and Shutdown/Close wait for that exit, so
+// probe goroutines never outlive the proxy.
+func (p *Proxy) probeLoop(done chan struct{}) {
+	defer close(done)
 	t := time.NewTicker(p.probeEvery)
 	defer t.Stop()
 	for {
 		select {
 		case <-p.ctx.Done():
 			return
+		case <-p.drainCh:
+			return
 		case <-t.C:
 			for _, u := range p.upstreams {
 				if u.br.State() == breaker.Closed {
 					continue
 				}
-				done, ok := u.br.Allow()
+				brDone, ok := u.br.Allow()
 				if !ok {
 					continue
 				}
@@ -380,88 +277,48 @@ func (p *Proxy) probeLoop() {
 				if err == nil {
 					conn.Close()
 				}
-				done(err == nil)
+				brDone(err == nil)
 			}
 		}
 	}
 }
 
-// beginDrain stops the listener and flips the proxy to draining.
-func (p *Proxy) beginDrain() {
-	p.draining.Store(true)
-	p.pm.draining.Set(1)
-	p.drainOnce.Do(func() { close(p.drainCh) })
-	p.mu.Lock()
-	p.closed = true
-	if p.ln != nil {
-		p.ln.Close()
+// waitProber blocks until the recovery prober has exited (no-op when it
+// never started).
+func (p *Proxy) waitProber() {
+	p.probeMu.Lock()
+	done := p.probeDone
+	p.probeMu.Unlock()
+	if done != nil {
+		<-done
 	}
-	p.mu.Unlock()
 }
 
 // Shutdown gracefully stops the proxy: stop accepting, let in-flight
 // sessions finish, then force-close whatever remains when ctx expires
-// (returning the context error).
+// (returning the context error). The recovery prober is stopped at
+// drain begin and has exited by the time Shutdown returns.
 func (p *Proxy) Shutdown(ctx context.Context) error {
-	p.beginDrain()
-	done := make(chan struct{})
-	go func() {
-		p.wg.Wait()
-		close(done)
-	}()
-	var err error
-	select {
-	case <-done:
-	case <-ctx.Done():
-		err = ctx.Err()
-		p.cancel()
-		p.mu.Lock()
-		for c := range p.conns {
-			c.Close()
-		}
-		p.mu.Unlock()
-		<-done
-	}
-	p.cancel()
-	if p.probeDone != nil {
-		<-p.probeDone
-	}
+	err := p.nodeCore.Shutdown(ctx)
+	p.waitProber()
 	return err
 }
 
 // Close stops the proxy listener, cancels in-flight sessions and waits
-// for them (an immediate, non-draining shutdown).
+// for them and the recovery prober (an immediate, non-draining
+// shutdown).
 func (p *Proxy) Close() {
-	p.beginDrain()
-	p.cancel()
-	p.mu.Lock()
-	for c := range p.conns {
-		c.Close()
-	}
-	p.mu.Unlock()
-	p.wg.Wait()
-	if p.probeDone != nil {
-		<-p.probeDone
-	}
+	p.nodeCore.Close()
+	p.waitProber()
 }
 
 // Ready implements the readiness contract for /readyz: nil while the
 // proxy is accepting, not draining, and at least one upstream breaker is
 // not open.
 func (p *Proxy) Ready() error {
-	if p.draining.Load() {
-		return errors.New("draining")
+	if err := p.nodeCore.Ready(); err != nil {
+		return err
 	}
-	p.mu.Lock()
-	if p.ln == nil {
-		p.mu.Unlock()
-		return errors.New("not serving")
-	}
-	if p.closed {
-		p.mu.Unlock()
-		return errors.New("closed")
-	}
-	p.mu.Unlock()
 	if len(p.upstreams) > 0 {
 		allOpen := true
 		for _, u := range p.upstreams {
@@ -480,7 +337,17 @@ func (p *Proxy) Ready() error {
 func (p *Proxy) handle(rawConn net.Conn) error {
 	ctx := obs.WithRegistry(p.ctx, p.obsReg)
 	conn := &deadlineConn{Conn: rawConn, readTimeout: p.readTimeout, writeTimeout: p.writeTimeout}
-	req, err := ReadRequest(conn)
+	// Dispatch by magic: peer artifact fetches (AFR1) answer through
+	// the cluster path, everything else is a client negotiation.
+	var magic [4]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
+		WriteError(conn, "bad request")
+		return fmt.Errorf("%w: short request: %v", ErrProtocol, err)
+	}
+	if magic == cluster.FetchMagic {
+		return p.serveFetch(ctx, conn)
+	}
+	req, err := readRequestBody(magic, conn)
 	if err != nil {
 		WriteError(conn, "bad request")
 		return err
@@ -511,7 +378,7 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 	qi := track.QualityIndex(req.Quality)
 	cfg := p.enc.withDefaults(entry.src.FPS())
 	getVariant := func(ctx context.Context, q int) (*variant, error) {
-		return variantFor(ctx, p.tier(), entry.digest, entry.src, track, q, cfg)
+		return variantFor(ctx, p.tierFor(req.Clip), entry.digest, entry.src, track, q, cfg)
 	}
 	v, err := getVariant(ctx, qi)
 	if err != nil {
@@ -526,12 +393,12 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 		return err
 	}
 	if from > 0 {
-		p.pm.resumes.Inc()
+		p.sm.resumes.Inc()
 	}
-	levels := deviceLevelsChunk(ctx, p.tier(), entry.digest, req.Device, track)
+	levels := deviceLevelsChunk(ctx, p.tierFor(req.Clip), entry.digest, req.Device, track)
 	if req.Adaptive && req.Version >= 4 {
 		sent, switches, aerr := sendAdaptive(ctx, conn, entry.src, track, v, getVariant, levels, from, qi,
-			p.obsReg, "proxy", p.pm.framesSent, p.pm.bytesSent)
+			p.obsReg, "proxy", p.sm.framesSent, p.sm.bytesSent)
 		if aerr == nil {
 			accountSessionPower(p.obsReg, "proxy", req, entry.src, track, qi, from, sent, switches)
 		} else {
@@ -539,13 +406,65 @@ func (p *Proxy) handle(rawConn net.Conn) error {
 		}
 		return aerr
 	}
-	sent, err := sendVariant(ctx, conn, entry.src, track, v, levels, from, p.pm.framesSent, p.pm.bytesSent)
+	sent, err := sendVariant(ctx, conn, entry.src, track, v, levels, from, p.sm.framesSent, p.sm.bytesSent)
 	if err == nil {
 		accountSessionPower(p.obsReg, "proxy", req, entry.src, track, qi, from, sent, nil)
 	} else {
 		sp.SetAttr("error", err.Error())
 	}
 	return err
+}
+
+// resolveFetchRequest answers a peer's AFR1 artifact fetch: the proxy
+// revalidates the clip against its upstreams (or serves its stale
+// copy), verifies the digest matches what the requester wants, and
+// resolves through its own tier. An unreachable upstream with no stale
+// copy is a clean unavailable — the requester falls back to its own
+// compute path.
+func (p *Proxy) resolveFetchRequest(ctx context.Context, req cluster.FetchRequest) ([]byte, error) {
+	if req.Clip == "" {
+		return nil, fmt.Errorf("%w: proxy resolution needs a clip hint", cluster.ErrNotFound)
+	}
+	entry, stale, err := p.fetchSource(ctx, req.Clip, req.Device)
+	if err != nil {
+		return nil, fmt.Errorf("%w: upstream fetch of %q: %v", cluster.ErrPeerUnavailable, req.Clip, err)
+	}
+	if stale {
+		p.staleServes.Inc()
+	}
+	if entry.digest != req.Digest {
+		return nil, fmt.Errorf("%w: clip %q content digest mismatch", cluster.ErrNotFound, req.Clip)
+	}
+	cfg := p.enc.withDefaults(entry.src.FPS())
+	switch req.Kind {
+	case "track":
+		return trackCodec.encode(entry.track)
+	case "levels":
+		b := deviceLevelsChunk(ctx, p.tierFor(req.Clip), req.Digest, req.Device, entry.track)
+		if b == nil {
+			return nil, fmt.Errorf("%w: unknown device %q", cluster.ErrNotFound, req.Device)
+		}
+		return b, nil
+	case "variant":
+		if req.Suffix != encSig(cfg) {
+			return nil, fmt.Errorf("%w: encoder config %s here, %s requested", cluster.ErrNotFound, encSig(cfg), req.Suffix)
+		}
+		v, err := variantFor(ctx, p.tierFor(req.Clip), entry.digest, entry.src, entry.track, req.Quality, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return encodeVariantArtifact(v)
+	case "raw":
+		if req.Suffix != encSig(cfg) {
+			return nil, fmt.Errorf("%w: encoder config %s here, %s requested", cluster.ErrNotFound, encSig(cfg), req.Suffix)
+		}
+		v, err := rawVariantFor(ctx, p.tierFor(req.Clip), entry.digest, entry.src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return encodeVariantArtifact(v)
+	}
+	return nil, fmt.Errorf("%w: unknown artifact kind %q", cluster.ErrNotFound, req.Kind)
 }
 
 // fetchSource returns the clip's decoded source and annotation track.
@@ -577,7 +496,9 @@ func (p *Proxy) fetchSource(ctx context.Context, clip, device string) (*proxyEnt
 
 // fetchAndAnnotate pulls the clip from the upstream with bounded retries
 // and annotates it (the proxy's transcoder role). The track is cached by
-// content digest, so refetching unchanged content skips re-annotation.
+// content digest, so refetching unchanged content skips re-annotation —
+// and in a cluster, the track's shard owner is asked before the local
+// pipeline runs.
 func (p *Proxy) fetchAndAnnotate(ctx context.Context, clip, device string) (*proxyEntry, error) {
 	retry := p.retry.withDefaults()
 	var lastErr error
@@ -601,7 +522,7 @@ func (p *Proxy) fetchAndAnnotate(ctx context.Context, clip, device string) (*pro
 		}
 		p.upstreamLat.Observe(time.Since(start).Seconds())
 		dg := core.SourceDigest(src)
-		tAny, err := p.tier().getOrCompute(ctx,
+		tAny, err := p.tierFor(clip).getOrCompute(ctx,
 			anncache.Key{Kind: "track", Digest: dg, Quality: -1}, "", trackCodec,
 			func(ctx context.Context) (any, int64, error) {
 				t, _, err := core.AnnotatePipeline(ctx,

@@ -5,18 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
-	"runtime"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/anncache"
 	"repro/internal/annotation"
-	"repro/internal/annstore"
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/compensate"
 	"repro/internal/container"
@@ -97,16 +94,14 @@ func newServerMetrics(r *obs.Registry, role string) serverMetrics {
 
 // Server stores clips and streams them, annotated and compensated, to
 // clients. It plays the role of the multimedia server of Figure 1.
+// The accept/drain/cache plumbing lives in the embedded nodeCore,
+// shared with the Proxy.
 type Server struct {
+	nodeCore
+
 	catalog map[string]core.Source
 	scene   func(fps int) scene.Config
 	enc     EncodeConfig
-
-	logMu sync.Mutex
-	logFn func(format string, args ...any)
-
-	obsReg *obs.Registry
-	sm     serverMetrics
 
 	// maxProto, when nonzero, rejects requests framed with a newer
 	// protocol version — how tests (and operators pinning a fleet) model
@@ -130,34 +125,6 @@ type Server struct {
 	slots       chan struct{}
 	waiters     atomic.Int64
 
-	// ctx is cancelled by Close; sessions check it between frames so a
-	// shutdown (or a client stalled past its write deadline) releases
-	// the goroutine promptly.
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	// drainCh closes when a graceful shutdown begins: queued admissions
-	// shed immediately while in-flight sessions keep streaming.
-	drainCh   chan struct{}
-	drainOnce sync.Once
-	draining  atomic.Bool
-
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	handlers sync.WaitGroup
-
-	// cache holds every artifact the offline pipeline produces —
-	// annotation tracks, encoded quality variants, device level tables —
-	// keyed by content digest, with single-flight dedup across sessions.
-	cache *anncache.Cache
-	// store, when set, is the persistent tier under the cache: memory
-	// misses read through it before computing, and fresh computations
-	// write through, so artifacts survive restarts.
-	store *annstore.Store
-	// annWorkers is the annotation pipeline's worker-pool size.
-	annWorkers int
 	// digests memoises the content digest per catalog clip name (the
 	// catalog is immutable once the server is serving).
 	digestMu sync.Mutex
@@ -242,42 +209,18 @@ func (v *variant) cost() int64 {
 
 // NewServer builds a server over the given catalog.
 func NewServer(catalog map[string]core.Source) *Server {
-	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		catalog:          catalog,
 		scene:            scene.DefaultConfig,
 		enc:              EncodeConfig{},
-		logFn:            log.Printf,
 		handshakeTimeout: 10 * time.Second,
 		writeTimeout:     30 * time.Second,
-		ctx:              ctx,
-		cancel:           cancel,
-		drainCh:          make(chan struct{}),
-		conns:            map[net.Conn]struct{}{},
-		cache:            anncache.New(DefaultCacheCapacity),
-		annWorkers:       runtime.GOMAXPROCS(0),
 		digests:          map[string]string{},
 	}
+	s.initCore("server")
+	s.resolveFetch = s.resolveFetchRequest
+	return s
 }
-
-// SetAnnotateWorkers sets the annotation pipeline's worker-pool size
-// (<= 1 selects the sequential path). Call before Listen.
-func (s *Server) SetAnnotateWorkers(n int) { s.annWorkers = n }
-
-// SetCacheCapacity bounds the artifact cache to capacityBytes (<= 0 is
-// unlimited), evicting immediately if already over.
-func (s *Server) SetCacheCapacity(capacityBytes int64) { s.cache.SetCapacity(capacityBytes) }
-
-// SetStore installs a persistent artifact store as the second tier
-// beneath the memory cache: lookups go memory → disk → compute, and
-// computed artifacts are written through. A warm restart pointed at the
-// same directory serves byte-identical artifacts without re-running the
-// annotation pipeline. Call before Listen.
-func (s *Server) SetStore(st *annstore.Store) { s.store = st }
-
-// tier bundles the memory cache with the optional persistent store for
-// the two-level artifact lookup.
-func (s *Server) tier() tier { return tier{cache: s.cache, store: s.store} }
 
 // SetTimeouts overrides the per-connection handshake-read and per-write
 // deadlines (zero leaves a direction unbounded). Call before Listen.
@@ -301,32 +244,6 @@ func (s *Server) SetAdmissionQueue(depth int, wait time.Duration) {
 	s.queueDepth = depth
 	s.queueWait = wait
 	s.queueSet = true
-}
-
-// SetLogf replaces the server's logger (tests silence it). Safe to call
-// while the server is accepting connections.
-func (s *Server) SetLogf(f func(string, ...any)) {
-	s.logMu.Lock()
-	s.logFn = f
-	s.logMu.Unlock()
-}
-
-// logf logs through the current logger; the mutex makes SetLogf safe
-// against concurrent session goroutines.
-func (s *Server) logf(format string, args ...any) {
-	s.logMu.Lock()
-	f := s.logFn
-	s.logMu.Unlock()
-	if f != nil {
-		f(format, args...)
-	}
-}
-
-// SetObserver installs a telemetry registry. Call before Listen.
-func (s *Server) SetObserver(r *obs.Registry) {
-	s.obsReg = r
-	s.sm = newServerMetrics(r, "server")
-	s.cache.SetObserver(r, obs.L("role", "server"))
 }
 
 // SetEncodeConfig overrides codec parameters.
@@ -353,7 +270,6 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 // wrap a fault-injecting listener around a plain TCP one).
 func (s *Server) Serve(ln net.Listener) {
 	s.mu.Lock()
-	s.ln = ln
 	if s.maxSessions > 0 && s.slots == nil {
 		s.slots = make(chan struct{}, s.maxSessions)
 		if !s.queueSet {
@@ -362,44 +278,14 @@ func (s *Server) Serve(ln net.Listener) {
 		}
 	}
 	s.mu.Unlock()
-	go s.acceptLoop(ln)
+	s.serve(ln, s.clientSession)
 }
 
-func (s *Server) acceptLoop(ln net.Listener) {
-	acceptWithBackoff(ln, "stream server", s.logf, s.sm.acceptErrors, func(conn net.Conn) {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.handlers.Add(1)
-		s.mu.Unlock()
-		s.sm.connsTotal.Inc()
-		s.sm.activeConns.Add(1)
-		go s.session(conn)
-	})
-}
-
-// session runs one accepted connection: admission, the protocol handler,
-// and teardown. A panic anywhere in the session is recovered here — the
-// session dies, the process (and every other session) survives.
-func (s *Server) session(conn net.Conn) {
-	defer s.handlers.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-		s.sm.activeConns.Add(-1)
-	}()
-	defer func() {
-		if r := recover(); r != nil {
-			s.sm.panics.Inc()
-			s.logf("stream server: session panic (recovered): %v\n%s", r, debug.Stack())
-		}
-	}()
+// clientSession runs one accepted connection: admission, then the
+// protocol handler (teardown and panic isolation live in the shared
+// session wrapper). A shed connection is a clean refusal, not an
+// error.
+func (s *Server) clientSession(conn net.Conn) error {
 	admitStart := time.Now()
 	if err := s.admit(); err != nil {
 		// Load shedding: refuse cleanly so resilient clients back off
@@ -409,13 +295,10 @@ func (s *Server) session(conn net.Conn) {
 			conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
 		WriteOverCapacity(conn)
-		return
+		return nil
 	}
 	defer s.release()
-	if err := s.handle(conn, time.Since(admitStart)); err != nil && !errors.Is(err, io.EOF) {
-		s.sm.sessErrors.Inc()
-		s.logf("stream server: %v", err)
-	}
+	return s.handle(conn, time.Since(admitStart))
 }
 
 // admit acquires a session slot, waiting in the bounded admission queue
@@ -467,85 +350,23 @@ func (s *Server) release() {
 	}
 }
 
-// beginDrain stops the listener and flips the server to draining:
-// /readyz-style checks fail immediately, queued admissions shed, but
-// in-flight sessions keep streaming.
-func (s *Server) beginDrain() {
-	s.draining.Store(true)
-	s.sm.draining.Set(1)
-	s.drainOnce.Do(func() { close(s.drainCh) })
-	s.mu.Lock()
-	s.closed = true
-	if s.ln != nil {
-		s.ln.Close()
-	}
-	s.mu.Unlock()
-}
-
-// Shutdown gracefully stops the server: it stops accepting, sheds the
-// admission queue, and lets in-flight sessions finish. If ctx expires
-// first, remaining sessions are cancelled and their connections closed;
-// the context error is returned. A nil return means every session
-// drained cleanly.
-func (s *Server) Shutdown(ctx context.Context) error {
-	s.beginDrain()
-	done := make(chan struct{})
-	go func() {
-		s.handlers.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		s.cancel()
-		return nil
-	case <-ctx.Done():
-		s.cancel()
-		s.mu.Lock()
-		for c := range s.conns {
-			c.Close()
-		}
-		s.mu.Unlock()
-		<-done
-		return ctx.Err()
-	}
-}
-
-// Close stops the listener, cancels in-flight sessions and closes
-// active connections (an immediate, non-draining shutdown).
-func (s *Server) Close() {
-	s.beginDrain()
-	s.cancel()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
-	s.handlers.Wait()
-}
-
-// Ready implements the readiness contract for /readyz: nil while the
-// server is accepting and not draining.
-func (s *Server) Ready() error {
-	if s.draining.Load() {
-		return errors.New("draining")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ln == nil {
-		return errors.New("not serving")
-	}
-	if s.closed {
-		return errors.New("closed")
-	}
-	return nil
-}
-
 func (s *Server) handle(rawConn net.Conn, admitWait time.Duration) error {
 	ctx := obs.WithRegistry(s.ctx, s.obsReg)
 	// The negotiation must arrive promptly; every later write re-arms
 	// its own deadline so a stalled client cannot pin the session.
 	conn := &deadlineConn{Conn: rawConn, readTimeout: s.handshakeTimeout, writeTimeout: s.writeTimeout}
-	req, err := ReadRequest(conn)
+	// One listener, two protocols: the 4-byte magic routes peer
+	// artifact fetches (AFR1) to the cluster path, everything else to
+	// the client negotiation parser.
+	var magic [4]byte
+	if _, err := io.ReadFull(conn, magic[:]); err != nil {
+		WriteError(conn, "bad request")
+		return fmt.Errorf("%w: short request: %v", ErrProtocol, err)
+	}
+	if magic == cluster.FetchMagic {
+		return s.serveFetch(ctx, conn)
+	}
+	req, err := readRequestBody(magic, conn)
 	if err != nil {
 		WriteError(conn, "bad request")
 		return err
@@ -604,12 +425,86 @@ func (s *Server) digestOf(name string, src core.Source) string {
 	return d
 }
 
+// sourceByDigest maps a content digest back to a catalog clip. The
+// requester's clip-name hint is tried first (one digest computation);
+// a stale or missing hint falls back to scanning the catalog, so a
+// renamed clip still resolves as long as its content matches.
+func (s *Server) sourceByDigest(hint, digest string) (string, core.Source, bool) {
+	if src, ok := s.catalog[hint]; ok && s.digestOf(hint, src) == digest {
+		return hint, src, true
+	}
+	for name, src := range s.catalog {
+		if s.digestOf(name, src) == digest {
+			return name, src, true
+		}
+	}
+	return "", nil, false
+}
+
+// resolveFetchRequest answers a peer's AFR1 artifact fetch: this node
+// is the shard owner (or is acting as one while the owner is down), so
+// it resolves the artifact through its own tier — computing at most
+// once fleet-wide — and returns the encoded bytes. The digest is
+// always verified against the catalog before the clip-name hint is
+// trusted, and variants are only served when the encoder signature
+// matches this node's configuration: a mismatch is a clean not-found,
+// telling the requester to compute under its own settings rather than
+// receive bits encoded under different parameters.
+func (s *Server) resolveFetchRequest(ctx context.Context, req cluster.FetchRequest) ([]byte, error) {
+	name, src, ok := s.sourceByDigest(req.Clip, req.Digest)
+	if !ok {
+		return nil, fmt.Errorf("%w: no catalog clip with digest %.16s", cluster.ErrNotFound, req.Digest)
+	}
+	cfg := s.enc.withDefaults(src.FPS())
+	switch req.Kind {
+	case "track":
+		tr, err := s.track(ctx, name, src)
+		if err != nil {
+			return nil, err
+		}
+		return trackCodec.encode(tr)
+	case "levels":
+		tr, err := s.track(ctx, name, src)
+		if err != nil {
+			return nil, err
+		}
+		b := deviceLevelsChunk(ctx, s.tierFor(name), req.Digest, req.Device, tr)
+		if b == nil {
+			return nil, fmt.Errorf("%w: unknown device %q", cluster.ErrNotFound, req.Device)
+		}
+		return b, nil
+	case "variant":
+		if req.Suffix != encSig(cfg) {
+			return nil, fmt.Errorf("%w: encoder config %s here, %s requested", cluster.ErrNotFound, encSig(cfg), req.Suffix)
+		}
+		tr, err := s.track(ctx, name, src)
+		if err != nil {
+			return nil, err
+		}
+		v, err := variantFor(ctx, s.tierFor(name), req.Digest, src, tr, req.Quality, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return encodeVariantArtifact(v)
+	case "raw":
+		if req.Suffix != encSig(cfg) {
+			return nil, fmt.Errorf("%w: encoder config %s here, %s requested", cluster.ErrNotFound, encSig(cfg), req.Suffix)
+		}
+		v, err := rawVariantFor(ctx, s.tierFor(name), req.Digest, src, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return encodeVariantArtifact(v)
+	}
+	return nil, fmt.Errorf("%w: unknown artifact kind %q", cluster.ErrNotFound, req.Kind)
+}
+
 // track returns the clip's annotation track, computing and caching it on
 // first use (the offline analysis step). Concurrent sessions requesting
 // an uncached clip share one pipeline run via single-flight.
 func (s *Server) track(ctx context.Context, name string, src core.Source) (*annotation.Track, error) {
 	dg := s.digestOf(name, src)
-	v, err := s.tier().getOrCompute(ctx,
+	v, err := s.tierFor(name).getOrCompute(ctx,
 		anncache.Key{Kind: "track", Digest: dg, Quality: -1}, "", trackCodec,
 		func(ctx context.Context) (any, int64, error) {
 			t, _, err := core.AnnotatePipeline(ctx, src, s.scene(src.FPS()), nil,
@@ -638,7 +533,7 @@ func (s *Server) streamAnnotated(ctx context.Context, conn *deadlineConn, src co
 	qi := track.QualityIndex(req.Quality)
 	cfg := s.enc.withDefaults(src.FPS())
 	getVariant := func(ctx context.Context, q int) (*variant, error) {
-		return variantFor(ctx, s.tier(), dg, src, track, q, cfg)
+		return variantFor(ctx, s.tierFor(req.Clip), dg, src, track, q, cfg)
 	}
 	v, err := getVariant(ctx, qi)
 	if err != nil {
@@ -653,7 +548,7 @@ func (s *Server) streamAnnotated(ctx context.Context, conn *deadlineConn, src co
 	if from > 0 {
 		s.sm.resumes.Inc()
 	}
-	levels := deviceLevelsChunk(ctx, s.tier(), dg, req.Device, track)
+	levels := deviceLevelsChunk(ctx, s.tierFor(req.Clip), dg, req.Device, track)
 	if req.Adaptive && req.Version >= 4 {
 		sent, switches, err := sendAdaptive(ctx, conn, src, track, v, getVariant, levels, from, qi,
 			s.obsReg, "server", s.sm.framesSent, s.sm.bytesSent)
@@ -1038,7 +933,7 @@ func (s *Server) streamRaw(ctx context.Context, w io.Writer, name string, src co
 		s.sm.bytesSent.Add(cw0.n)
 	}()
 	cfg := s.enc.withDefaults(src.FPS())
-	v, err := rawVariantFor(ctx, s.tier(), s.digestOf(name, src), src, cfg)
+	v, err := rawVariantFor(ctx, s.tierFor(name), s.digestOf(name, src), src, cfg)
 	if err != nil {
 		return err
 	}
