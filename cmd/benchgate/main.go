@@ -1,11 +1,19 @@
-// Command benchgate compares `go test -bench` output (on stdin)
-// against a committed baseline file and fails when a tracked metric
-// regresses beyond tolerance. CI machines differ in speed, so timed
-// metrics are normalised by a calibration benchmark — a pure-CPU
-// kernel (the 8×8 DCT) whose ratio to its committed baseline estimates
-// the machine-speed factor; machine-independent metrics (allocs/op)
-// compare raw. With -update, it rewrites the baseline's values from
-// the measured run instead of gating.
+// Command benchgate compares benchmark output (on stdin) against a
+// committed baseline file and fails when a tracked metric regresses
+// beyond tolerance. It accepts `go test -bench` lines and anything else
+// in the same shape (cmd/fleetsim -bench emits fleet metrics this way).
+// CI machines differ in speed, so timed metrics are normalised by a
+// calibration benchmark — a pure-CPU kernel (the 8×8 DCT) whose ratio
+// to its committed baseline estimates the machine-speed factor;
+// machine-independent metrics (allocs/op, modeled joules, counts)
+// compare raw. A baseline with no calibration block gates everything
+// raw (speed factor 1) — the fleet baseline is all modeled quantities.
+// With -update, it rewrites the baseline's values from the measured run
+// instead of gating.
+//
+// Every benchmark key in the baseline MUST appear in the measured
+// input: a deleted or renamed benchmark fails the gate with a
+// diagnostic instead of silently shrinking coverage.
 //
 //	go test -run xxx -bench '...' -benchmem . ./internal/stream | benchgate -baseline BENCH_serving.json
 package main
@@ -15,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -97,65 +106,95 @@ func best(vals []float64, higherIsBetter bool) float64 {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_serving.json", "baseline JSON file")
-	update := flag.Bool("update", false, "rewrite the baseline's values from this run instead of gating")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its edges injected, so the gate logic is unit
+// testable end to end (missing keys, regressions, update mode).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "BENCH_serving.json", "baseline JSON file")
+	update := fs.Bool("update", false, "rewrite the baseline's values from this run instead of gating")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "benchgate: "+format+"\n", a...)
+		return 1
+	}
 
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
-		fatal("reading baseline: %v", err)
+		return fail("reading baseline: %v", err)
 	}
 	var base baseline
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fatal("parsing baseline: %v", err)
+		return fail("parsing baseline: %v", err)
 	}
 	if base.Tolerance <= 0 {
 		base.Tolerance = 0.10
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	res := parse(sc)
 
-	calVals, ok := res[base.Calibration.Bench][base.Calibration.Unit]
-	if !ok {
-		fatal("calibration benchmark %s (%s) not found in input",
-			base.Calibration.Bench, base.Calibration.Unit)
-	}
-	calMeasured := best(calVals, false) // ns/op-style: best is lowest
 	// speed > 1 means this machine ran the calibration kernel faster
-	// than the baseline machine did.
-	speed := base.Calibration.Value / calMeasured
+	// than the baseline machine did. A baseline without a calibration
+	// block is machine-independent: everything compares raw.
+	speed := 1.0
+	calMeasured := 0.0
+	if base.Calibration.Bench != "" {
+		calVals, ok := res[base.Calibration.Bench][base.Calibration.Unit]
+		if !ok {
+			return fail("calibration benchmark %s (%s) not found in input",
+				base.Calibration.Bench, base.Calibration.Unit)
+		}
+		calMeasured = best(calVals, false) // ns/op-style: best is lowest
+		speed = base.Calibration.Value / calMeasured
+	}
 
 	if *update {
-		base.Calibration.Value = calMeasured
+		if base.Calibration.Bench != "" {
+			base.Calibration.Value = calMeasured
+		}
 		for i := range base.Entries {
 			e := &base.Entries[i]
 			vals, ok := res[e.Bench][e.Unit]
 			if !ok {
-				fatal("update: %s (%s) not found in input", e.Bench, e.Unit)
+				return fail("update: %s (%s) not found in input", e.Bench, e.Unit)
 			}
 			base.Entries[i].Value = best(vals, e.HigherIsBetter)
 		}
 		out, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
-			fatal("%v", err)
+			return fail("%v", err)
 		}
 		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
-			fatal("%v", err)
+			return fail("%v", err)
 		}
-		fmt.Printf("benchgate: baseline %s updated (calibration %.1f %s)\n",
+		fmt.Fprintf(stdout, "benchgate: baseline %s updated (calibration %.1f %s)\n",
 			*baselinePath, calMeasured, base.Calibration.Unit)
-		return
+		return 0
 	}
 
-	fmt.Printf("benchgate: calibration %s = %.1f %s (baseline %.1f, speed factor %.2fx)\n",
-		base.Calibration.Bench, calMeasured, base.Calibration.Unit, base.Calibration.Value, speed)
+	if base.Calibration.Bench != "" {
+		fmt.Fprintf(stdout, "benchgate: calibration %s = %.1f %s (baseline %.1f, speed factor %.2fx)\n",
+			base.Calibration.Bench, calMeasured, base.Calibration.Unit, base.Calibration.Value, speed)
+	} else {
+		fmt.Fprintf(stdout, "benchgate: no calibration block in %s; gating raw values\n", *baselinePath)
+	}
 	failed := false
+	var missing []string
 	for _, e := range base.Entries {
 		vals, ok := res[e.Bench][e.Unit]
 		if !ok {
-			fmt.Printf("FAIL %s: metric %q missing from benchmark output\n", e.Bench, e.Unit)
+			// A baseline key absent from the run means the benchmark was
+			// deleted, renamed, or not executed — never skip it silently:
+			// a gate that only checks what still exists gates nothing.
+			fmt.Fprintf(stdout, "FAIL %s: metric %q missing from benchmark output\n", e.Bench, e.Unit)
+			missing = append(missing, fmt.Sprintf("%s (%s)", e.Bench, e.Unit))
 			failed = true
 			continue
 		}
@@ -186,16 +225,18 @@ func main() {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %s: %.1f %s (normalized %.1f, baseline %.1f, limit %.1f)\n",
+		fmt.Fprintf(stdout, "%s %s: %.1f %s (normalized %.1f, baseline %.1f, limit %.1f)\n",
 			status, e.Bench, measured, e.Unit, normalized, e.Value, limit)
 	}
-	if failed {
-		fatal("benchmark regression gate failed")
+	if len(missing) > 0 {
+		fmt.Fprintf(stderr, "benchgate: %d baseline key(s) missing from the measured run: %s\n",
+			len(missing), strings.Join(missing, ", "))
+		fmt.Fprintf(stderr, "benchgate: if a benchmark was intentionally removed or renamed, update %s to match\n",
+			*baselinePath)
 	}
-	fmt.Println("benchgate: all tracked benchmarks within tolerance")
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
-	os.Exit(1)
+	if failed {
+		return fail("benchmark regression gate failed")
+	}
+	fmt.Fprintln(stdout, "benchgate: all tracked benchmarks within tolerance")
+	return 0
 }

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline marshals a baseline to a temp file and returns its path.
+func writeBaseline(t *testing.T, b baseline) string {
+	t.Helper()
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// calibrated returns a baseline with a calibration kernel at 100 ns/op
+// and one tracked throughput entry.
+func calibrated(entries ...entry) baseline {
+	var b baseline
+	b.Calibration.Bench = "BenchmarkDCT8x8"
+	b.Calibration.Unit = "ns/op"
+	b.Calibration.Value = 100
+	b.Tolerance = 0.10
+	b.Entries = entries
+	return b
+}
+
+func gate(t *testing.T, b baseline, input string) (code int, stdout, stderr string, path string) {
+	t.Helper()
+	path = writeBaseline(t, b)
+	var out, errb strings.Builder
+	code = run([]string{"-baseline", path}, strings.NewReader(input), &out, &errb)
+	return code, out.String(), errb.String(), path
+}
+
+// TestGateMissingBaselineKeyFails pins the contract the fleet baseline
+// relies on: a benchmark key present in the baseline but absent from
+// the measured run must fail the gate with a diagnostic naming the
+// missing key — a deleted benchmark must not shrink coverage silently.
+func TestGateMissingBaselineKeyFails(t *testing.T) {
+	b := calibrated(
+		entry{Bench: "BenchmarkWarmServe", Unit: "frames/s", Value: 1000, HigherIsBetter: true, Normalize: true},
+		entry{Bench: "BenchmarkDeleted", Unit: "frames/s", Value: 500, HigherIsBetter: true},
+	)
+	input := "BenchmarkDCT8x8-8 1000 100 ns/op\n" +
+		"BenchmarkWarmServe-8 10 1050 frames/s\n"
+	code, stdout, stderr, _ := gate(t, b, input)
+	if code == 0 {
+		t.Fatal("gate passed with a baseline key missing from the run")
+	}
+	if !strings.Contains(stdout, "FAIL BenchmarkDeleted") {
+		t.Errorf("missing key not reported as FAIL:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "BenchmarkDeleted (frames/s)") ||
+		!strings.Contains(stderr, "missing from the measured run") {
+		t.Errorf("diagnostic does not name the missing key:\n%s", stderr)
+	}
+	// The surviving benchmark was fine — the failure is the missing key.
+	if !strings.Contains(stdout, "ok   BenchmarkWarmServe") {
+		t.Errorf("healthy entry misreported:\n%s", stdout)
+	}
+}
+
+// TestGateMissingUnitFails: the bench ran but the tracked unit (e.g.
+// allocs/op after -benchmem was dropped) is absent — same hard failure.
+func TestGateMissingUnitFails(t *testing.T) {
+	b := calibrated(
+		entry{Bench: "BenchmarkWarmServe", Unit: "allocs/op", Value: 0},
+	)
+	input := "BenchmarkDCT8x8-8 1000 100 ns/op\n" +
+		"BenchmarkWarmServe-8 10 1050 frames/s\n"
+	code, _, stderr, _ := gate(t, b, input)
+	if code == 0 {
+		t.Fatal("gate passed with the tracked unit missing")
+	}
+	if !strings.Contains(stderr, "BenchmarkWarmServe (allocs/op)") {
+		t.Errorf("diagnostic does not name the missing unit:\n%s", stderr)
+	}
+}
+
+// TestGateRegressionAndPass covers the two value paths: within
+// tolerance passes, beyond tolerance fails.
+func TestGateRegressionAndPass(t *testing.T) {
+	b := calibrated(
+		entry{Bench: "BenchmarkWarmServe", Unit: "frames/s", Value: 1000, HigherIsBetter: true, Normalize: true},
+	)
+	// Same machine speed (calibration matches), throughput down 5%: ok.
+	code, stdout, _, _ := gate(t, b, "BenchmarkDCT8x8-8 1000 100 ns/op\nBenchmarkWarmServe-8 10 950 frames/s\n")
+	if code != 0 {
+		t.Fatalf("5%% dip failed a 10%% gate:\n%s", stdout)
+	}
+	// Down 20%: regression.
+	code, stdout, _, _ = gate(t, b, "BenchmarkDCT8x8-8 1000 100 ns/op\nBenchmarkWarmServe-8 10 800 frames/s\n")
+	if code == 0 {
+		t.Fatalf("20%% regression passed a 10%% gate:\n%s", stdout)
+	}
+}
+
+// TestGateWithoutCalibration: a baseline with no calibration block
+// (machine-independent metrics, e.g. the fleet baseline's modeled
+// joules) gates raw values with speed factor 1.
+func TestGateWithoutCalibration(t *testing.T) {
+	var b baseline
+	b.Tolerance = 0.05
+	b.Entries = []entry{
+		{Bench: "BenchmarkFleet/small-healthy", Unit: "saved_pct", Value: 40, HigherIsBetter: true},
+		{Bench: "BenchmarkFleet/small-healthy", Unit: "wrong_bytes", Value: 0},
+	}
+	input := "BenchmarkFleet/small-healthy 1 40.5 saved_pct 0 wrong_bytes\n"
+	code, stdout, stderr, _ := gate(t, b, input)
+	if code != 0 {
+		t.Fatalf("uncalibrated gate failed: %s\n%s\n%s", stdout, stderr, input)
+	}
+	if !strings.Contains(stdout, "gating raw values") {
+		t.Errorf("no raw-gating notice:\n%s", stdout)
+	}
+	// A zero-valued lower-is-better entry is an exact gate: any nonzero
+	// measurement fails.
+	code, stdout, _, _ = gate(t, b, "BenchmarkFleet/small-healthy 1 40.5 saved_pct 2 wrong_bytes\n")
+	if code == 0 {
+		t.Fatalf("nonzero wrong_bytes passed a zero baseline:\n%s", stdout)
+	}
+}
+
+// TestUpdateRewritesBaseline: -update takes the run's values; a missing
+// key still fails instead of writing a partial baseline.
+func TestUpdateRewritesBaseline(t *testing.T) {
+	b := calibrated(
+		entry{Bench: "BenchmarkWarmServe", Unit: "frames/s", Value: 1000, HigherIsBetter: true},
+	)
+	path := writeBaseline(t, b)
+	var out, errb strings.Builder
+	code := run([]string{"-baseline", path, "-update"},
+		strings.NewReader("BenchmarkDCT8x8-8 1000 90 ns/op\nBenchmarkWarmServe-8 10 1200 frames/s\n"), &out, &errb)
+	if code != 0 {
+		t.Fatalf("update failed: %s", errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got baseline
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Calibration.Value != 90 || got.Entries[0].Value != 1200 {
+		t.Errorf("update wrote calibration %v / value %v, want 90 / 1200",
+			got.Calibration.Value, got.Entries[0].Value)
+	}
+
+	// Missing key under -update: hard failure, baseline untouched.
+	var out2, errb2 strings.Builder
+	code = run([]string{"-baseline", path, "-update"},
+		strings.NewReader("BenchmarkDCT8x8-8 1000 90 ns/op\n"), &out2, &errb2)
+	if code == 0 {
+		t.Fatal("update succeeded with the tracked benchmark missing")
+	}
+	if !strings.Contains(errb2.String(), "BenchmarkWarmServe") {
+		t.Errorf("update diagnostic does not name the missing key: %s", errb2.String())
+	}
+}
+
+// TestParseBenchLines pins the parser details the gate depends on:
+// GOMAXPROCS suffix stripping, multiple value/unit pairs per line, and
+// best-of-count selection.
+func TestParseBenchLines(t *testing.T) {
+	in := "goos: linux\n" +
+		"BenchmarkX-16 100 250 ns/op 12 B/op 3 allocs/op\n" +
+		"BenchmarkX-16 100 240 ns/op 12 B/op 3 allocs/op\n" +
+		"BenchmarkFleet/small-healthy 1 42.5 saved_pct\n" +
+		"PASS\n"
+	sc := newScanner(in)
+	res := parse(sc)
+	if got := res["BenchmarkX"]["ns/op"]; len(got) != 2 || best(got, false) != 240 {
+		t.Errorf("BenchmarkX ns/op = %v", got)
+	}
+	if got := res["BenchmarkX"]["allocs/op"]; len(got) != 2 || got[0] != 3 {
+		t.Errorf("BenchmarkX allocs/op = %v", got)
+	}
+	if got := res["BenchmarkFleet/small-healthy"]["saved_pct"]; len(got) != 1 || got[0] != 42.5 {
+		t.Errorf("fleet line = %v (name must keep its non-numeric suffix)", got)
+	}
+}
+
+// newScanner wraps a string for parse().
+func newScanner(s string) *bufio.Scanner {
+	return bufio.NewScanner(strings.NewReader(s))
+}

@@ -1,0 +1,165 @@
+// Command fleetsim runs seeded fleet-scale load/power scenarios against
+// a streamd cluster (booted in-process by default, or an external one
+// via -addrs) and emits a machine-readable report: aggregate joules
+// saved vs full backlight, rebuffer/stall and retry rates, shed and
+// failover counts, quality-switch histograms, and TTFF / frame-gap
+// latency quantiles — reconstructed from two agreeing sources, the
+// clients' power ledgers and the servers' /metrics expositions.
+//
+// Usage:
+//
+//	fleetsim -list
+//	fleetsim -scenario small-healthy [-seed 1] [-out report.json] [-check]
+//	fleetsim -scenario all -bench | benchgate -baseline BENCH_fleet.json
+//	fleetsim -scenario medium-lossy -runs 5 -check   # N-run CV validity gate
+//
+// The report's scenario/seed/core section is deterministic for a given
+// (scenario, seed) — see EXPERIMENTS.md for the canonical matrix, the
+// determinism scope, and the N>=5-run benchmarking policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/fleetsim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fleetsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "small-healthy", `canonical scenario name, or "all"`)
+	seed := fs.Int64("seed", 1, "population seed (same scenario+seed = same session population)")
+	runs := fs.Int("runs", 1, "independent runs (seeds seed..seed+runs-1); prints cross-run validity stats")
+	out := fs.String("out", "", "write the full report(s) as JSON to this file")
+	bench := fs.Bool("bench", false, "emit go-test-bench-shaped metric lines (benchgate input) on stdout")
+	check := fs.Bool("check", false, "run the scenario's acceptance checks (and the CV gate with -runs >= 2); nonzero exit on violation")
+	canonical := fs.Bool("canonical", false, "print the deterministic scenario/seed/core JSON instead of the human summary")
+	addrs := fs.String("addrs", "", "comma-separated external streamd cluster addresses (default: boot an in-process cluster)")
+	list := fs.Bool("list", false, "list canonical scenarios and exit")
+	verbose := fs.Bool("v", false, "log fleet progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, sc := range fleetsim.Canonical() {
+			fmt.Fprintf(stdout, "%-14s %4d sessions, %d nodes, adaptive %.0f%%, faults %q, kill-owner %.0f%%\n",
+				sc.Name, sc.Sessions, sc.Nodes, sc.AdaptiveFrac*100, sc.Faults, sc.KillOwnerFrac*100)
+		}
+		return 0
+	}
+
+	var scenarios []fleetsim.Scenario
+	if *scenario == "all" {
+		scenarios = fleetsim.Canonical()
+	} else {
+		sc, err := fleetsim.ScenarioByName(*scenario)
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 2
+		}
+		scenarios = []fleetsim.Scenario{sc}
+	}
+
+	opts := fleetsim.Options{Seed: *seed}
+	if *addrs != "" {
+		opts.Addrs = strings.Split(*addrs, ",")
+	}
+	if *verbose {
+		opts.Logf = func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		}
+	}
+
+	exit := 0
+	var all []*fleetsim.Report
+	for _, sc := range scenarios {
+		var reports []*fleetsim.Report
+		for r := 0; r < max(1, *runs); r++ {
+			o := opts
+			o.Seed = *seed + int64(r)
+			rep, err := fleetsim.Run(sc, o)
+			if err != nil {
+				fmt.Fprintln(stderr, "fleetsim:", err)
+				return 1
+			}
+			reports = append(reports, rep)
+		}
+		all = append(all, reports...)
+		rep := reports[0]
+
+		switch {
+		case *bench:
+			fmt.Fprint(stdout, rep.BenchLines())
+		case *canonical:
+			j, err := rep.CanonicalJSON()
+			if err != nil {
+				fmt.Fprintln(stderr, "fleetsim:", err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s\n", j)
+		default:
+			fmt.Fprintln(stdout, rep)
+		}
+		if len(reports) > 1 {
+			v := fleetsim.Aggregate(reports)
+			fmt.Fprintf(stdout, "validity %s: %d runs, saved %.2f%% ± %.2f%% (CV %.4f)\n",
+				sc.Name, v.Runs, v.MeanPct, v.StdevPct, v.CV)
+			if *check && v.CV > 0.05 {
+				fmt.Fprintf(stderr, "fleetsim: %s: CV %.4f exceeds the 0.05 validity gate\n", sc.Name, v.CV)
+				exit = 1
+			}
+		}
+		if *check {
+			for i, r := range reports {
+				for _, violation := range r.Check() {
+					fmt.Fprintf(stderr, "fleetsim: %s (seed %d): CHECK FAILED: %s\n",
+						sc.Name, *seed+int64(i), violation)
+					exit = 1
+				}
+			}
+			if exit == 0 {
+				fmt.Fprintf(stdout, "check %s: ok (%d run(s))\n", sc.Name, len(reports))
+			}
+		}
+	}
+
+	if *out != "" {
+		var raw []byte
+		var err error
+		if len(all) == 1 {
+			raw, err = all[0].JSON()
+		} else {
+			raw, err = reportsJSON(all)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "fleetsim:", err)
+			return 1
+		}
+	}
+	return exit
+}
+
+// reportsJSON marshals several reports as one JSON array.
+func reportsJSON(reports []*fleetsim.Report) ([]byte, error) {
+	parts := make([]string, len(reports))
+	for i, r := range reports {
+		raw, err := r.JSON()
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = string(raw)
+	}
+	return []byte("[\n" + strings.Join(parts, ",\n") + "\n]"), nil
+}

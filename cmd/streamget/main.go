@@ -112,6 +112,13 @@ func main() {
 	if *adaptiveMode && res.ProtocolVersion >= 4 {
 		fmt.Printf("quality ladder    %d switches, finished on rung %d (%.0f%% clipping), worst lag %.2fs\n",
 			res.QualitySwitches, res.FinalRung, compensate.QualityLevels[res.FinalRung]*100, res.MaxLagSeconds)
+		if res.Ledger != nil && len(res.Ledger.RungSeconds) > 0 {
+			var dwell []string
+			for _, rung := range res.Ledger.SortedRungs() {
+				dwell = append(dwell, fmt.Sprintf("rung %d: %.1fs", rung, res.Ledger.RungSeconds[rung]))
+			}
+			fmt.Printf("rung dwell        %s\n", strings.Join(dwell, ", "))
+		}
 	}
 	fmt.Printf("frames            %d in %d scenes\n", res.Frames, res.Scenes)
 	fmt.Printf("stream bytes      %d (backlight annotations %d bytes)\n", res.BytesStream, res.BytesAnn)

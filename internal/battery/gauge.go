@@ -1,6 +1,9 @@
 package battery
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Gauge is a runtime state-of-charge tracker for a live session: the
 // pack's usable energy is rate-corrected once for the session's
@@ -8,8 +11,14 @@ import "fmt"
 // loop accounts frames. It is what lets the adaptive quality ladder ask
 // "will the battery last the clip?" mid-stream instead of only in the
 // offline simulation.
+//
+// A Gauge is safe for concurrent use: a device running several
+// sessions (or a fleet simulation modelling one) drains a single pack
+// from many playback loops while ladder controllers read it.
 type Gauge struct {
-	pack      *Pack
+	pack *Pack
+
+	mu        sync.Mutex
 	usable    float64 // joules at the projected draw
 	remaining float64
 }
@@ -47,10 +56,12 @@ func (g *Gauge) Drain(joules float64) {
 	if g == nil || joules <= 0 {
 		return
 	}
+	g.mu.Lock()
 	g.remaining -= joules
 	if g.remaining < 0 {
 		g.remaining = 0
 	}
+	g.mu.Unlock()
 }
 
 // RemainingWh returns the usable energy left, in watt-hours.
@@ -58,13 +69,20 @@ func (g *Gauge) RemainingWh() float64 {
 	if g == nil {
 		return 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.remaining / 3600
 }
 
 // Fraction returns the state of charge in [0, 1]. An empty-capacity
 // gauge reads 0.
 func (g *Gauge) Fraction() float64 {
-	if g == nil || g.usable <= 0 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.usable <= 0 {
 		return 0
 	}
 	return g.remaining / g.usable
@@ -72,5 +90,10 @@ func (g *Gauge) Fraction() float64 {
 
 // Empty reports whether the gauge has no usable energy left.
 func (g *Gauge) Empty() bool {
-	return g == nil || g.remaining <= 0
+	if g == nil {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.remaining <= 0
 }

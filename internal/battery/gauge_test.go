@@ -2,6 +2,7 @@ package battery
 
 import (
 	"math"
+	"sync"
 	"testing"
 )
 
@@ -48,6 +49,88 @@ func TestGaugeWh(t *testing.T) {
 	neg := NewGaugeWh(-1)
 	if !neg.Empty() {
 		t.Errorf("negative-Wh gauge not empty")
+	}
+}
+
+// TestGaugeConcurrentDrainRead hammers one gauge from many draining
+// sessions while readers watch the charge (run with -race): the state
+// of charge must be monotonically non-increasing under every reader,
+// never negative, and end at exactly the sequential total — no drain
+// may be lost or double-applied under contention.
+func TestGaugeConcurrentDrainRead(t *testing.T) {
+	const (
+		drainers  = 8
+		perDrain  = 2000
+		drainStep = 0.25 // equal steps: the float fold is order-independent
+	)
+	startWh := 4.0
+	g := NewGaugeWh(startWh)
+
+	var wg sync.WaitGroup
+	stopReaders := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := math.Inf(1)
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				wh := g.RemainingWh()
+				if wh < 0 {
+					t.Errorf("RemainingWh went negative: %v", wh)
+					return
+				}
+				if wh > prev {
+					t.Errorf("charge increased under drain: %v -> %v", prev, wh)
+					return
+				}
+				prev = wh
+				if fr := g.Fraction(); fr < 0 || fr > 1 {
+					t.Errorf("Fraction out of range: %v", fr)
+					return
+				}
+			}
+		}()
+	}
+	var dwg sync.WaitGroup
+	for d := 0; d < drainers; d++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for i := 0; i < perDrain; i++ {
+				g.Drain(drainStep)
+			}
+		}()
+	}
+	dwg.Wait()
+	close(stopReaders)
+	wg.Wait()
+
+	want := startWh - drainers*perDrain*drainStep/3600
+	if want < 0 {
+		want = 0
+	}
+	if got := g.RemainingWh(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("final RemainingWh = %v, want %v (lost or duplicated drains)", got, want)
+	}
+	if g.Empty() {
+		t.Error("gauge read empty with charge remaining")
+	}
+	// Drain the rest concurrently past empty: the clamp must hold at 0.
+	for d := 0; d < drainers; d++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			g.Drain(startWh * 3600)
+		}()
+	}
+	dwg.Wait()
+	if !g.Empty() || g.RemainingWh() != 0 || g.Fraction() != 0 {
+		t.Errorf("overdrained gauge not pinned at empty: %v Wh", g.RemainingWh())
 	}
 }
 

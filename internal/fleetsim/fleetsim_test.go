@@ -1,0 +1,229 @@
+package fleetsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// determinismScenario is a trimmed fixed-quality healthy fleet: the
+// shape whose report Core is guaranteed byte-identical across runs.
+func determinismScenario() Scenario {
+	return Scenario{
+		Name:          "det-fixed-healthy",
+		Sessions:      24,
+		MaxConcurrent: 8,
+		ArrivalRate:   400,
+		Rungs:         []int{1, 2, 3},
+		Nodes:         2,
+	}
+}
+
+// TestFleetReportDeterminism pins the canonical-report contract: the
+// same (scenario, seed) must produce byte-identical CanonicalJSON
+// across two independent runs — cluster boot, goroutine scheduling and
+// arrival jitter must never leak into Core.
+func TestFleetReportDeterminism(t *testing.T) {
+	sc := determinismScenario()
+	r1, err := Run(sc, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := r1.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := r2.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("same seed produced different canonical reports:\n--- run 1\n%s\n--- run 2\n%s", j1, j2)
+	}
+	// A different seed draws a different population: the canonical
+	// report must move, or the seed is not actually wired through.
+	r3, err := Run(sc, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := r3.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(j1, j3) {
+		t.Error("seeds 7 and 8 produced identical canonical reports")
+	}
+}
+
+// TestFleetSmallHealthy runs the canonical healthy scenario end to end
+// and holds it to the full bar: all sessions complete, zero wrong
+// bytes, zero shed, power saved, and the client-side ledger sum agrees
+// with the server-side /metrics reconstruction.
+func TestFleetSmallHealthy(t *testing.T) {
+	sc, err := ScenarioByName("small-healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := rep.Check(); len(bad) > 0 {
+		t.Fatalf("healthy fleet failed its checks: %v", bad)
+	}
+	c, o := rep.Core, rep.Observed
+	if c.Completed != sc.Sessions {
+		t.Errorf("completed %d of %d sessions", c.Completed, sc.Sessions)
+	}
+	if c.SavedJoules <= 0 || c.SavedPct <= 0 {
+		t.Errorf("no power saved: %v J (%v%%)", c.SavedJoules, c.SavedPct)
+	}
+	// Every completed session was served annotated by exactly one node,
+	// so the servers' session_total must equal the client count and the
+	// two saved-joules stories must agree to float tolerance.
+	if int(o.ServerSessions) != c.Completed {
+		t.Errorf("servers accounted %.0f sessions, clients %d", o.ServerSessions, c.Completed)
+	}
+	if o.LedgerAgreement > 1e-9 {
+		t.Errorf("ledger agreement %.3e, want exact to float tolerance", o.LedgerAgreement)
+	}
+	if o.Shed != 0 {
+		t.Errorf("%.0f sessions shed on an uncapped fleet", o.Shed)
+	}
+	if c.WrongBytes != 0 {
+		t.Errorf("%d wrong-bytes sessions", c.WrongBytes)
+	}
+	// 3 clips x up to 3 rungs: the cluster computed each artifact once
+	// and filled the rest — fills must have happened.
+	if o.PeerFills == 0 {
+		t.Error("no peer fills recorded across a 3-node cluster")
+	}
+	if len(rep.BenchLines()) == 0 || rep.String() == "" {
+		t.Error("report renderers produced nothing")
+	}
+}
+
+// TestFleetChurnThousandSessions is the issue's acceptance drill: 1000
+// mixed adaptive/fixed sessions against a 3-node cluster with the
+// variant-shard owner killed a quarter of the way in. Every session
+// must complete with exact bytes and the fleet's savings must land in
+// the model's expected band.
+func TestFleetChurnThousandSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-session churn drill skipped in -short")
+	}
+	sc, err := ScenarioByName("large-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := rep.Check(); len(bad) > 0 {
+		t.Fatalf("churn fleet failed its checks: %v", bad)
+	}
+	c, o := rep.Core, rep.Observed
+	if c.Completed != 1000 || c.Failed != 0 || c.Abandoned != 0 {
+		t.Errorf("sessions: %d completed, %d failed, %d abandoned; want 1000/0/0",
+			c.Completed, c.Failed, c.Abandoned)
+	}
+	if c.WrongBytes != 0 {
+		t.Errorf("%d sessions delivered wrong bytes through the owner kill", c.WrongBytes)
+	}
+	if o.NodesKilled != 1 {
+		t.Errorf("killed %d nodes, want 1", o.NodesKilled)
+	}
+	if c.AdaptiveSessions == 0 || c.AdaptiveSessions == c.Sessions {
+		t.Errorf("adaptive mix degenerate: %d of %d", c.AdaptiveSessions, c.Sessions)
+	}
+	band := absf(c.SavedJoules-c.ExpectedSavedJoules) / c.ExpectedSavedJoules
+	if band > 0.25 {
+		t.Errorf("saved %.1f J vs expected %.1f J: %.0f%% outside the band",
+			c.SavedJoules, c.ExpectedSavedJoules, band*100)
+	}
+}
+
+// TestScenarioValidation pins the scenario guard rails.
+func TestScenarioValidation(t *testing.T) {
+	good := determinismScenario()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+	bad := []Scenario{
+		{Name: "", Sessions: 1},
+		{Name: "x", Sessions: 0},
+		{Name: "x", Sessions: 1, Rungs: []int{9}},
+		{Name: "x", Sessions: 1, Devices: []DeviceClass{{Name: "nokia", Weight: 1}}},
+		{Name: "x", Sessions: 1, KillOwnerFrac: 0.5, Nodes: 1},
+		{Name: "x", Sessions: 1, AdaptiveFrac: 2},
+	}
+	for _, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("invalid scenario %+v accepted", sc)
+		}
+	}
+	for _, sc := range Canonical() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("canonical scenario %s invalid: %v", sc.Name, err)
+		}
+	}
+	if _, err := ScenarioByName("no-such"); err == nil {
+		t.Error("unknown scenario name accepted")
+	}
+}
+
+// TestAggregateValidity pins the N-run CV gate arithmetic.
+func TestAggregateValidity(t *testing.T) {
+	mk := func(pct float64) *Report {
+		r := &Report{}
+		r.Core.SavedPct = pct
+		return r
+	}
+	v := Aggregate([]*Report{mk(40), mk(41), mk(39), mk(40), mk(40)})
+	if v.Runs != 5 || absf(v.MeanPct-40) > 1e-9 {
+		t.Errorf("mean = %v over %d runs", v.MeanPct, v.Runs)
+	}
+	if v.CV <= 0 || v.CV > 0.05 {
+		t.Errorf("CV = %v, want small and positive", v.CV)
+	}
+	if one := Aggregate([]*Report{mk(40)}); one.CV != 0 || one.StdevPct != 0 {
+		t.Errorf("single run must have zero spread, got %+v", one)
+	}
+}
+
+// TestGenSpecsDeterministic pins the population generator: same seed
+// same population, and arrivals are monotonically non-decreasing.
+func TestGenSpecsDeterministic(t *testing.T) {
+	sc := Scenario{
+		Name: "g", Sessions: 50, ArrivalRate: 100,
+		AdaptiveFrac: 0.3, Rungs: []int{1, 2, 3}, AdaptiveRung: 3,
+		Devices: DefaultDevices(), Nodes: 1,
+	}.withDefaults()
+	a := genSpecs(sc, 3)
+	b := genSpecs(sc, 3)
+	adaptive := 0
+	var prev time.Duration
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs across same-seed draws", i)
+		}
+		if a[i].arrival < prev {
+			t.Fatalf("arrival %d moved backwards", i)
+		}
+		prev = a[i].arrival
+		if a[i].adaptive {
+			adaptive++
+			if a[i].rung != sc.AdaptiveRung {
+				t.Fatalf("adaptive spec %d on rung %d, want ceiling %d", i, a[i].rung, sc.AdaptiveRung)
+			}
+		}
+	}
+	if adaptive == 0 || adaptive == len(a) {
+		t.Errorf("adaptive mix degenerate: %d of %d", adaptive, len(a))
+	}
+}

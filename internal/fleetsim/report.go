@@ -1,0 +1,273 @@
+package fleetsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Core is the deterministic half of a fleet report: every field is a
+// pure function of (scenario, seed) when the scenario is fixed-quality
+// over healthy links, because it folds the clients' modeled power
+// ledgers in session-index order (a fixed float summation order) and
+// modeled joules do not depend on wall-clock scheduling. Adaptive
+// sessions and injected faults can move the quality-switch and
+// rebuffer fields — EXPERIMENTS.md scopes which scenarios are gated
+// byte-identically and which statistically.
+type Core struct {
+	Sessions  int `json:"sessions"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Abandoned int `json:"abandoned"`
+	// WrongBytes counts sessions with at least one delivered frame that
+	// was not bit-identical to the reference stream of the rung it was
+	// served at. The fleet's exactly-once correctness bar: always 0.
+	WrongBytes       int   `json:"wrong_bytes"`
+	AdaptiveSessions int   `json:"adaptive_sessions"`
+	Frames           int64 `json:"frames"`
+
+	// Client-side power story, folded from per-session power.Ledger
+	// reports in session-index order.
+	SessionJoules  float64 `json:"session_joules"`
+	BaselineJoules float64 `json:"baseline_joules"`
+	SavedJoules    float64 `json:"saved_joules"`
+	SavedPct       float64 `json:"saved_pct"`
+	RadioJoules    float64 `json:"radio_joules"`
+	// ExpectedSavedJoules is the independent expectation: the sum over
+	// the session population of reference-session savings at each
+	// session's requested rung (ceiling rung for adaptive sessions),
+	// measured against a standalone healthy server. The fleet's saved
+	// joules must land in a band around this number no matter what the
+	// cluster went through.
+	ExpectedSavedJoules float64 `json:"expected_saved_joules"`
+
+	WireBytes       int64 `json:"wire_bytes"`
+	AnnotationBytes int64 `json:"annotation_bytes"`
+	Rebuffers       int   `json:"rebuffers"`
+	Retries         int   `json:"retries"`
+	Resumes         int   `json:"resumes"`
+
+	QualitySwitches int `json:"quality_switches"`
+	// SwitchHistogram maps switches-per-session to session count.
+	SwitchHistogram map[string]int `json:"switch_histogram"`
+	// RungSeconds is fleet playback time per quality rung.
+	RungSeconds map[string]float64 `json:"rung_seconds"`
+}
+
+// Observed is the wall-clock half: latency quantiles, scrape-derived
+// server-side aggregates, and the agreement between the two power
+// stories. Never byte-stable across runs; gated by bands, not bytes.
+type Observed struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Time-to-first-frame and worst per-session inter-frame gap
+	// quantiles across completed sessions, in seconds.
+	TTFFP50     float64 `json:"ttff_p50_seconds"`
+	TTFFP99     float64 `json:"ttff_p99_seconds"`
+	FrameGapP50 float64 `json:"frame_gap_p50_seconds"`
+	FrameGapP99 float64 `json:"frame_gap_p99_seconds"`
+
+	// Server-side reconstruction, summed over every node's /metrics
+	// exposition (role="server").
+	ServerSessions       float64 `json:"server_sessions"`
+	ServerSessionJoules  float64 `json:"server_session_joules"`
+	ServerBaselineJoules float64 `json:"server_baseline_joules"`
+	ServerSavedJoules    float64 `json:"server_saved_joules"`
+	// LedgerAgreement is the relative difference between client-summed
+	// and server-summed saved joules (0 = exact agreement). Meaningful
+	// only when every session completed on a single node in one
+	// attempt; churn legitimately splits a session's accounting.
+	LedgerAgreement float64 `json:"ledger_agreement_rel"`
+
+	Shed             float64 `json:"shed"`
+	SessionErrors    float64 `json:"session_errors"`
+	PeerFills        float64 `json:"peer_fills"`
+	FillFailures     float64 `json:"fill_failures"`
+	FallbackComputes float64 `json:"fallback_computes"`
+	// BreakerOpenPeers counts peer breakers not closed at final scrape.
+	BreakerOpenPeers int `json:"breaker_open_peers"`
+	NodesKilled      int `json:"nodes_killed"`
+	ScrapedNodes     int `json:"scraped_nodes"`
+}
+
+// Report is one fleet run's full output.
+type Report struct {
+	Scenario Scenario `json:"scenario"`
+	Seed     int64    `json:"seed"`
+	Core     Core     `json:"core"`
+	Observed Observed `json:"observed"`
+}
+
+// CanonicalJSON renders the deterministic contract of the report —
+// scenario, seed and Core — with sorted map keys and fixed field
+// order, so two runs of the same (scenario, seed) compare with
+// bytes.Equal. Observed is deliberately excluded: wall-clock latency
+// never reproduces byte-for-byte.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	canon := struct {
+		Scenario Scenario `json:"scenario"`
+		Seed     int64    `json:"seed"`
+		Core     Core     `json:"core"`
+	}{r.Scenario, r.Seed, r.Core}
+	return json.MarshalIndent(canon, "", "  ")
+}
+
+// JSON renders the full report (Core + Observed).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// BenchLines renders the report as `go test -bench`-shaped lines, the
+// shape cmd/benchgate parses, so BENCH_fleet.json can gate fleet
+// metrics with the same tool and policy as the serving benchmarks.
+func (r *Report) BenchLines() string {
+	f := func(v float64) string {
+		return fmt.Sprintf("%.6g", v)
+	}
+	fields := []string{
+		fmt.Sprintf("BenchmarkFleet/%s 1", r.Scenario.Name),
+		f(r.Core.SavedJoules), "saved_joules",
+		f(r.Core.SavedPct), "saved_pct",
+		f(float64(r.Core.Frames)), "frames",
+		f(float64(r.Core.Completed)), "completed",
+		f(float64(r.Core.Failed)), "failed",
+		f(float64(r.Core.WrongBytes)), "wrong_bytes",
+		f(r.Observed.Shed), "shed",
+		f(float64(r.Core.Rebuffers)), "rebuffers",
+		f(float64(r.Core.QualitySwitches)), "quality_switches",
+	}
+	return strings.Join(fields, " ") + "\n"
+}
+
+// String is the one-screen human summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	c, o := r.Core, r.Observed
+	fmt.Fprintf(&b, "fleet %s (seed %d): %d sessions — %d completed, %d failed, %d abandoned, %d wrong-bytes\n",
+		r.Scenario.Name, r.Seed, c.Sessions, c.Completed, c.Failed, c.Abandoned, c.WrongBytes)
+	fmt.Fprintf(&b, "power:   %.1f J saved of %.1f J baseline (%.1f%%), expected %.1f J; radio %.1f J\n",
+		c.SavedJoules, c.BaselineJoules, c.SavedPct, c.ExpectedSavedJoules, c.RadioJoules)
+	fmt.Fprintf(&b, "qos:     %d rebuffers, %d retries, %d resumes, %d quality switches; ttff p50/p99 %.0f/%.0f ms, gap p99 %.0f ms\n",
+		c.Rebuffers, c.Retries, c.Resumes, c.QualitySwitches,
+		o.TTFFP50*1000, o.TTFFP99*1000, o.FrameGapP99*1000)
+	fmt.Fprintf(&b, "cluster: %d nodes scraped (%d killed), shed %.0f, peer fills %.0f, fallback computes %.0f, fill failures %.0f\n",
+		o.ScrapedNodes, o.NodesKilled, o.Shed, o.PeerFills, o.FallbackComputes, o.FillFailures)
+	fmt.Fprintf(&b, "agree:   server saved %.1f J vs client %.1f J (rel diff %.2e) over %.0f server sessions in %.1fs",
+		o.ServerSavedJoules, c.SavedJoules, o.LedgerAgreement, o.ServerSessions, o.ElapsedSeconds)
+	return b.String()
+}
+
+// Check runs the scenario's built-in acceptance assertions and returns
+// the violations (empty = pass). The bar scales with what the scenario
+// injects: every scenario demands exact bytes and no lost sessions; a
+// healthy scenario additionally demands zero shed, zero retries and
+// exact two-source agreement; a churn scenario demands completion
+// through the kill and savings inside the model's expected band.
+func (r *Report) Check() []string {
+	var bad []string
+	c, o := r.Core, r.Observed
+	fail := func(format string, a ...any) {
+		bad = append(bad, fmt.Sprintf(format, a...))
+	}
+	if c.Completed+c.Failed+c.Abandoned != c.Sessions {
+		fail("session accounting leaks: %d+%d+%d != %d", c.Completed, c.Failed, c.Abandoned, c.Sessions)
+	}
+	if c.WrongBytes != 0 {
+		fail("%d sessions delivered wrong bytes", c.WrongBytes)
+	}
+	if c.Failed != 0 {
+		fail("%d sessions failed", c.Failed)
+	}
+	if c.Completed > 0 && c.SavedJoules <= 0 {
+		fail("no power saved (%.3f J) across %d completed sessions", c.SavedJoules, c.Completed)
+	}
+	// The two-source band: fleet savings within ±25% of the
+	// reference-session expectation (adaptive down-switching and churn
+	// move it inside the band, never outside).
+	if c.ExpectedSavedJoules > 0 {
+		rel := math.Abs(c.SavedJoules-c.ExpectedSavedJoules) / c.ExpectedSavedJoules
+		if rel > 0.25 {
+			fail("saved %.1f J outside ±25%% of expected %.1f J", c.SavedJoules, c.ExpectedSavedJoules)
+		}
+	}
+	healthy := r.Scenario.Faults == "" && r.Scenario.KillOwnerFrac == 0 &&
+		r.Scenario.MaxSessionsPerNode == 0
+	if healthy {
+		if c.Abandoned != 0 {
+			fail("%d sessions abandoned on a healthy fleet", c.Abandoned)
+		}
+		if o.Shed != 0 {
+			fail("%.0f sessions shed on an uncapped fleet", o.Shed)
+		}
+		if c.Retries != 0 {
+			fail("%d retries over healthy links", c.Retries)
+		}
+		if o.ScrapedNodes > 0 && o.LedgerAgreement > 1e-6 {
+			fail("client/server ledgers disagree by %.2e (want exact on a healthy fleet)", o.LedgerAgreement)
+		}
+	}
+	if r.Scenario.KillOwnerFrac > 0 {
+		if c.Completed != c.Sessions {
+			fail("churn drill: %d of %d sessions completed", c.Completed, c.Sessions)
+		}
+		if o.NodesKilled == 0 {
+			fail("churn drill never killed a node")
+		}
+	}
+	return bad
+}
+
+// Validity is the N-run statistical gate from the benchmarking policy:
+// the coefficient of variation of saved_pct across independent seeded
+// runs must stay under the threshold for the scenario's numbers to be
+// quotable.
+type Validity struct {
+	Runs     int     `json:"runs"`
+	MeanPct  float64 `json:"mean_saved_pct"`
+	StdevPct float64 `json:"stdev_saved_pct"`
+	CV       float64 `json:"cv"`
+}
+
+// Aggregate computes the cross-run validity stats over saved_pct.
+func Aggregate(reports []*Report) Validity {
+	v := Validity{Runs: len(reports)}
+	if len(reports) == 0 {
+		return v
+	}
+	for _, r := range reports {
+		v.MeanPct += r.Core.SavedPct
+	}
+	v.MeanPct /= float64(len(reports))
+	for _, r := range reports {
+		d := r.Core.SavedPct - v.MeanPct
+		v.StdevPct += d * d
+	}
+	if len(reports) > 1 {
+		v.StdevPct = math.Sqrt(v.StdevPct / float64(len(reports)-1))
+	} else {
+		v.StdevPct = 0
+	}
+	if v.MeanPct != 0 {
+		v.CV = v.StdevPct / math.Abs(v.MeanPct)
+	}
+	return v
+}
+
+// quantile returns the q-quantile (0..1) of vals by nearest-rank over
+// a sorted copy; 0 for an empty slice.
+func quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -1,0 +1,573 @@
+package fleetsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/battery"
+	"repro/internal/breaker"
+	"repro/internal/cluster"
+	"repro/internal/compensate"
+	"repro/internal/core"
+	"repro/internal/display"
+	"repro/internal/faults"
+	"repro/internal/frame"
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+// Options is how the runner binds to the world outside the scenario.
+type Options struct {
+	// Seed drives the session population (arrivals, device mix, clip
+	// and rung draws). Same scenario + same seed = same population.
+	Seed int64
+	// Addrs, when set, points the fleet at an external streamd cluster
+	// instead of booting one in-process. The external catalog must
+	// match Catalog() for the byte checks to hold; server-side scrapes
+	// and churn injection are skipped (no process to kill).
+	Addrs []string
+	// Logf receives progress lines (nil = silent).
+	Logf func(string, ...any)
+}
+
+// fleetBreaker fails over in tens of milliseconds so a killed owner
+// costs the fleet a blip, not a timeout cascade.
+var fleetBreaker = breaker.Config{
+	Window: time.Second, Buckets: 4,
+	FailureRate: 0.5, MinSamples: 1,
+	OpenFor: 50 * time.Millisecond, HalfOpenProbes: 1, CloseAfter: 1,
+}
+
+// sessionSpec is one pre-drawn session of the population.
+type sessionSpec struct {
+	idx      int
+	clip     string
+	device   DeviceClass
+	adaptive bool
+	rung     int
+	arrival  time.Duration
+}
+
+// genSpecs draws the whole session population up front from one seeded
+// stream, so the population is a pure function of (scenario, seed) and
+// independent of runtime scheduling.
+func genSpecs(sc Scenario, seed int64) []sessionSpec {
+	rng := rand.New(rand.NewSource(seed))
+	totalW := 0.0
+	for _, d := range sc.Devices {
+		totalW += d.Weight
+	}
+	specs := make([]sessionSpec, sc.Sessions)
+	at := 0.0
+	for i := range specs {
+		if sc.ArrivalRate > 0 {
+			at += rng.ExpFloat64() / sc.ArrivalRate
+		}
+		clip := clipNames[rng.Intn(len(clipNames))]
+		w := rng.Float64() * totalW
+		dev := sc.Devices[len(sc.Devices)-1]
+		for _, d := range sc.Devices {
+			if w < d.Weight {
+				dev = d
+				break
+			}
+			w -= d.Weight
+		}
+		isAdaptive := rng.Float64() < sc.AdaptiveFrac
+		rung := sc.Rungs[rng.Intn(len(sc.Rungs))]
+		if isAdaptive {
+			rung = sc.AdaptiveRung
+		}
+		specs[i] = sessionSpec{
+			idx: i, clip: clip, device: dev,
+			adaptive: isAdaptive, rung: rung,
+			arrival: time.Duration(at * float64(time.Second)),
+		}
+	}
+	return specs
+}
+
+// sessionResult is what one fleet session leaves behind.
+type sessionResult struct {
+	res       *stream.PlayResult
+	err       error
+	abandoned bool
+	ttff      float64 // seconds from session start to first frame
+	maxGap    float64 // worst inter-frame wall-clock gap, seconds
+	digests   []uint64
+}
+
+// fleetNode is one in-process cluster member.
+type fleetNode struct {
+	srv  *stream.Server
+	addr string
+	reg  *obs.Registry
+}
+
+// frameDigest hashes a decoded frame's pixels — the same FNV-1a
+// fingerprint the stream chaos tests use for bit-identity.
+func frameDigest(f *frame.Frame) uint64 {
+	h := fnv.New64a()
+	var b [3]byte
+	for _, p := range f.Pix {
+		b[0], b[1], b[2] = p.R, p.G, p.B
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// quiet is the discard logger for in-process servers.
+func quiet(string, ...any) {}
+
+// reserveAddr picks a free loopback port and releases it (the fleet
+// boot needs every member's address before any member starts).
+func reserveAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// bootFleet starts sc.Nodes clustered servers over the shared catalog,
+// each with its own metrics registry and (when sc.Faults is set) a
+// fault-injecting listener.
+func bootFleet(sc Scenario, catalog map[string]core.Source) ([]*fleetNode, error) {
+	fcfg, err := faults.ParseConfig(sc.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("fleetsim: %v", err)
+	}
+	addrs := make([]string, sc.Nodes)
+	for i := range addrs {
+		if addrs[i], err = reserveAddr(); err != nil {
+			return nil, err
+		}
+	}
+	nodes := make([]*fleetNode, sc.Nodes)
+	for i := range nodes {
+		var peers []string
+		for j, a := range addrs {
+			if j != i {
+				peers = append(peers, a)
+			}
+		}
+		srv := stream.NewServer(catalog)
+		srv.SetLogf(quiet)
+		if sc.MaxSessionsPerNode > 0 {
+			srv.SetMaxSessions(sc.MaxSessionsPerNode)
+		}
+		if sc.Nodes > 1 {
+			cn, err := cluster.New(cluster.Config{
+				Self: addrs[i], Peers: peers,
+				Breaker:    fleetBreaker,
+				ProbeEvery: 20 * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			srv.SetCluster(cn)
+		}
+		reg := obs.NewRegistry()
+		srv.SetObserver(reg)
+		ln, err := net.Listen("tcp", addrs[i])
+		if err != nil {
+			return nil, err
+		}
+		if fcfg.Enabled() {
+			srv.Serve(faults.WrapListener(ln, fcfg))
+		} else {
+			srv.Serve(ln)
+		}
+		nodes[i] = &fleetNode{srv: srv, addr: addrs[i], reg: reg}
+	}
+	return nodes, nil
+}
+
+// Run executes one fleet scenario and seals its report. The run is
+// closed-loop: it boots the cluster (unless pointed at one), drives the
+// whole seeded session population through it, then verifies delivered
+// bytes against reference streams and reconciles the client-side power
+// ledgers with the servers' own /metrics story.
+func Run(sc Scenario, opts Options) (*Report, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = quiet
+	}
+	catalog := Catalog(sc.ClipW, sc.ClipH, sc.FPS)
+
+	// The reference server: a standalone healthy node over the same
+	// catalog, used after the run for bit-exact frame references and
+	// the independent per-session savings expectation.
+	refSrv := stream.NewServer(catalog)
+	refSrv.SetLogf(quiet)
+	refAddr, err := refSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer refSrv.Close()
+
+	var nodes []*fleetNode
+	addrs := opts.Addrs
+	external := len(addrs) > 0
+	if external {
+		if sc.KillOwnerFrac > 0 {
+			return nil, fmt.Errorf("fleetsim: cannot kill nodes of an external cluster")
+		}
+	} else {
+		if nodes, err = bootFleet(sc, catalog); err != nil {
+			return nil, err
+		}
+		defer func() {
+			for _, n := range nodes {
+				n.srv.Close()
+			}
+		}()
+		addrs = make([]string, len(nodes))
+		for i, n := range nodes {
+			addrs[i] = n.addr
+		}
+	}
+
+	// Churn: pick the variant-shard owner of the first clip and arm a
+	// one-shot kill after the configured fraction of completions.
+	killAfter := 0
+	var owner *fleetNode
+	if sc.KillOwnerFrac > 0 {
+		killAfter = int(sc.KillOwnerFrac * float64(sc.Sessions))
+		if killAfter < 1 {
+			killAfter = 1
+		}
+		dg := core.SourceDigest(catalog[clipNames[0]])
+		members := nodes[0].srv.Cluster().Members()
+		ownerAddr := cluster.Owner(members, cluster.RouteKey("variant", dg))
+		for _, n := range nodes {
+			if n.addr == ownerAddr {
+				owner = n
+				break
+			}
+		}
+		if owner == nil {
+			return nil, fmt.Errorf("fleetsim: variant owner %s not in fleet", ownerAddr)
+		}
+	}
+
+	specs := genSpecs(sc, opts.Seed)
+	clientReg := obs.NewRegistry()
+	results := make([]*sessionResult, len(specs))
+
+	logf("fleetsim: %s: %d sessions over %d nodes (seed %d)", sc.Name, len(specs), len(addrs), opts.Seed)
+	start := time.Now()
+	sem := make(chan struct{}, sc.MaxConcurrent)
+	var wg sync.WaitGroup
+	var completions atomic.Int64
+	var killOnce sync.Once
+	killed := 0
+	for i := range specs {
+		wg.Add(1)
+		go func(spec sessionSpec) {
+			defer wg.Done()
+			if d := spec.arrival - time.Since(start); d > 0 {
+				time.Sleep(d)
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[spec.idx] = runSession(spec, sc, addrs, clientReg)
+			if owner != nil && completions.Add(1) == int64(killAfter) {
+				killOnce.Do(func() {
+					logf("fleetsim: killing variant owner %s after %d sessions", owner.addr, killAfter)
+					owner.srv.Close()
+					killed = 1
+				})
+			}
+		}(specs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	logf("fleetsim: %s: fleet drained in %.1fs", sc.Name, elapsed.Seconds())
+
+	rep := &Report{Scenario: sc, Seed: opts.Seed}
+	rep.Observed.ElapsedSeconds = elapsed.Seconds()
+	rep.Observed.NodesKilled = killed
+	foldCore(rep, sc, specs, results)
+	if err := verifyAndExpect(rep, sc, specs, results, refAddr.String()); err != nil {
+		return nil, err
+	}
+	fillQuantiles(rep, results)
+	if !external {
+		scrapeFleet(rep, nodes)
+	}
+	return rep, nil
+}
+
+// runSession plays one fleet session with failover dialing across the
+// member list, recording wall-clock QoS and per-frame digests.
+func runSession(spec sessionSpec, sc Scenario, addrs []string, clientReg *obs.Registry) *sessionResult {
+	sr := &sessionResult{}
+	dev := display.ByName(spec.device.Name)
+	client := &stream.Client{
+		Device:      dev,
+		Obs:         clientReg,
+		Retry:       stream.RetryPolicy{MaxAttempts: 8, BaseDelay: 20 * time.Millisecond, MaxDelay: 300 * time.Millisecond},
+		ReadTimeout: 5 * time.Second,
+	}
+	if spec.adaptive {
+		cfg := &adaptive.LadderConfig{}
+		if spec.device.BatteryWh > 0 {
+			cfg.Battery = battery.NewGaugeWh(spec.device.BatteryWh)
+		}
+		client.Ladder = cfg
+	}
+	// Failover dial: start from this session's home node (sessions
+	// spread round-robin) and rotate through the member list until a
+	// dial lands — a dead member costs one refused connect, not a
+	// failed session.
+	home := spec.idx % len(addrs)
+	client.Dial = func(network, _ string) (net.Conn, error) {
+		var lastErr error
+		for k := 0; k < len(addrs); k++ {
+			c, err := net.DialTimeout(network, addrs[(home+k)%len(addrs)], 2*time.Second)
+			if err == nil {
+				return c, nil
+			}
+			lastErr = err
+		}
+		return nil, lastErr
+	}
+
+	t0 := time.Now()
+	var last time.Time
+	client.OnFrame = func(i int, f *frame.Frame, _ int) {
+		now := time.Now()
+		if i == 0 {
+			sr.digests = sr.digests[:0]
+			sr.ttff = now.Sub(t0).Seconds()
+		} else if gap := now.Sub(last).Seconds(); gap > sr.maxGap {
+			sr.maxGap = gap
+		}
+		last = now
+		sr.digests = append(sr.digests, frameDigest(f))
+	}
+
+	ctx := context.Background()
+	if sc.SessionTTL > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sc.SessionTTL)
+		defer cancel()
+	}
+	// Request the middle of the rung's budget bracket so wire
+	// quantization cannot land the session one rung low.
+	quality := compensate.QualityLevels[spec.rung] + 0.025
+	sr.res, sr.err = client.PlayContext(ctx, addrs[home], spec.clip, quality)
+	if sr.err != nil && errors.Is(sr.err, context.DeadlineExceeded) {
+		sr.abandoned = true
+	}
+	return sr
+}
+
+// foldCore folds per-session ledgers into the deterministic Core, in
+// session-index order so the float summation order is fixed.
+func foldCore(rep *Report, sc Scenario, specs []sessionSpec, results []*sessionResult) {
+	c := &rep.Core
+	c.Sessions = len(specs)
+	c.SwitchHistogram = map[string]int{}
+	c.RungSeconds = map[string]float64{}
+	for i, sr := range results {
+		if sr == nil || sr.err != nil {
+			if sr != nil && sr.abandoned {
+				c.Abandoned++
+			} else {
+				c.Failed++
+			}
+			continue
+		}
+		c.Completed++
+		if specs[i].adaptive {
+			c.AdaptiveSessions++
+		}
+		res := sr.res
+		led := res.Ledger
+		c.Frames += int64(res.Frames)
+		c.SessionJoules += led.SessionJoules
+		c.BaselineJoules += led.BaselineJoules
+		c.SavedJoules += led.SavedJoules
+		c.RadioJoules += led.RadioJoules
+		c.WireBytes += led.WireBytes
+		c.AnnotationBytes += led.AnnotationBytes
+		c.Rebuffers += led.Rebuffers
+		c.Retries += res.Retries
+		c.Resumes += res.Resumes
+		c.QualitySwitches += led.QualitySwitches
+		c.SwitchHistogram[strconv.Itoa(led.QualitySwitches)]++
+		if len(led.RungSeconds) > 0 {
+			for _, r := range led.SortedRungs() {
+				c.RungSeconds[strconv.Itoa(r)] += led.RungSeconds[r]
+			}
+		} else {
+			// Fixed-quality sessions never name a rung to the ledger;
+			// their whole playback dwells on the requested rung.
+			c.RungSeconds[strconv.Itoa(specs[i].rung)] += led.Seconds
+		}
+	}
+	if c.BaselineJoules > 0 {
+		c.SavedPct = 100 * c.SavedJoules / c.BaselineJoules
+	}
+}
+
+// refKey identifies one reference stream.
+type refKey struct {
+	clip string
+	rung int
+}
+
+// refEntry caches one reference play: the bit-exact digests of the
+// (clip, rung) stream and the modeled savings per device that played.
+type refEntry struct {
+	digests []uint64
+	saved   map[string]float64 // device name -> reference SavedJoules
+}
+
+// verifyAndExpect plays reference sessions against the standalone
+// server to (a) check every delivered fleet frame bit-exactly against
+// the stream of the rung it was served at and (b) build the
+// independent savings expectation for the session population.
+func verifyAndExpect(rep *Report, sc Scenario, specs []sessionSpec, results []*sessionResult, refAddr string) error {
+	refs := map[refKey]*refEntry{}
+	ref := func(clip string, rung int, device string) (*refEntry, error) {
+		k := refKey{clip, rung}
+		e := refs[k]
+		if e != nil {
+			if _, ok := e.saved[device]; ok {
+				return e, nil
+			}
+		}
+		var digests []uint64
+		client := &stream.Client{Device: display.ByName(device)}
+		client.OnFrame = func(i int, f *frame.Frame, _ int) {
+			if i == 0 {
+				digests = digests[:0]
+			}
+			digests = append(digests, frameDigest(f))
+		}
+		res, err := client.Play(refAddr, clip, compensate.QualityLevels[rung]+0.025)
+		if err != nil {
+			return nil, fmt.Errorf("fleetsim: reference play %s rung %d: %w", clip, rung, err)
+		}
+		if e == nil {
+			e = &refEntry{digests: digests, saved: map[string]float64{}}
+			refs[k] = e
+		}
+		e.saved[device] = res.Ledger.SavedJoules
+		return e, nil
+	}
+
+	for i, sr := range results {
+		if sr == nil || sr.err != nil {
+			continue
+		}
+		spec := specs[i]
+		// Expectation at the requested rung (the adaptive ceiling for
+		// ladder sessions), summed in index order.
+		e, err := ref(spec.clip, spec.rung, spec.device.Name)
+		if err != nil {
+			return err
+		}
+		rep.Core.ExpectedSavedJoules += e.saved[spec.device.Name]
+		// Byte check: each frame against the reference stream of the
+		// rung it was actually served at.
+		wrong := false
+		for fi, d := range sr.digests {
+			rung := spec.rung
+			if len(sr.res.RungByFrame) > fi {
+				rung = int(sr.res.RungByFrame[fi])
+			}
+			re, err := ref(spec.clip, rung, spec.device.Name)
+			if err != nil {
+				return err
+			}
+			if fi >= len(re.digests) || re.digests[fi] != d {
+				wrong = true
+				break
+			}
+		}
+		if wrong {
+			rep.Core.WrongBytes++
+		}
+	}
+	return nil
+}
+
+// fillQuantiles computes the wall-clock latency quantiles over
+// completed sessions.
+func fillQuantiles(rep *Report, results []*sessionResult) {
+	var ttffs, gaps []float64
+	for _, sr := range results {
+		if sr == nil || sr.err != nil {
+			continue
+		}
+		ttffs = append(ttffs, sr.ttff)
+		gaps = append(gaps, sr.maxGap)
+	}
+	rep.Observed.TTFFP50 = quantile(ttffs, 0.50)
+	rep.Observed.TTFFP99 = quantile(ttffs, 0.99)
+	rep.Observed.FrameGapP50 = quantile(gaps, 0.50)
+	rep.Observed.FrameGapP99 = quantile(gaps, 0.99)
+}
+
+// scrapeFleet renders every node's registry as a Prometheus exposition
+// (killed nodes included — the registry outlives the listener), parses
+// it back through the typed parser, and folds the server-side story.
+func scrapeFleet(rep *Report, nodes []*fleetNode) {
+	o := &rep.Observed
+	role := obs.L("role", "server")
+	for _, n := range nodes {
+		var sb strings.Builder
+		if err := n.reg.WritePrometheus(&sb); err != nil {
+			continue
+		}
+		e, err := obs.ParseExposition(strings.NewReader(sb.String()))
+		if err != nil {
+			continue
+		}
+		o.ScrapedNodes++
+		o.ServerSessions += e.Sum("session_total", role)
+		o.ServerSessionJoules += e.Sum("power_session_joules", role)
+		o.ServerBaselineJoules += e.Sum("power_baseline_joules", role)
+		o.ServerSavedJoules += e.Sum("power_saved_joules", role)
+		o.Shed += e.Sum("stream_sessions_shed_total", role)
+		o.SessionErrors += e.Sum("stream_session_errors_total", role)
+		o.PeerFills += e.Sum("cluster_peer_fills_total", role)
+		o.FillFailures += e.Sum("cluster_fill_failures_total", role)
+		o.FallbackComputes += e.Sum("cluster_route_total", role, obs.L("decision", "fallback_compute"))
+		for _, s := range e.Samples("cluster_peer_state", role) {
+			if s.Value != 0 {
+				o.BreakerOpenPeers++
+			}
+		}
+	}
+	if saved := rep.Core.SavedJoules; saved != 0 {
+		o.LedgerAgreement = absf(saved-o.ServerSavedJoules) / absf(saved)
+	}
+}
+
+func absf(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -308,6 +308,16 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// SortedRungs returns the rung indexes the session dwelled on in
+// ascending order (empty for fixed-quality playback), so callers can
+// render per-rung dwell stably without sorting the map themselves.
+func (r Report) SortedRungs() []int {
+	if r.RungSeconds == nil {
+		return nil
+	}
+	return sortedRungs(r.RungSeconds)
+}
+
 // sortedRungs returns the rung indexes of a RungSeconds map in
 // ascending order, for stable report rendering.
 func sortedRungs(m map[int]float64) []int {

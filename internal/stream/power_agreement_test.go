@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/compensate"
+	"repro/internal/display"
+	"repro/internal/obs"
+)
+
+// TestConcurrentSessionsLedgerAgreement pins the two-source power
+// accounting contract the fleet simulator depends on: when N client
+// sessions play concurrently against one server, the sum of the
+// clients' Ledger joules must equal the server's power_* metrics to
+// float tolerance — both sides model the same annotated stream, so any
+// divergence means one of them double-counts or drops frames under
+// concurrency.
+func TestConcurrentSessionsLedgerAgreement(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(testCatalog())
+	s.SetLogf(quiet)
+	s.SetObserver(reg)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const sessions = 8
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		clientSaved float64
+		clientBase  float64
+		clientSelf  float64
+	)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Spread sessions over the quality ladder; +0.025 requests the
+			// middle of the rung's bracket so wire quantization cannot land
+			// one rung low.
+			rung := 1 + i%3
+			c := &Client{
+				Device: display.ByName("ipaq5555"),
+				Obs:    reg,
+			}
+			res, err := c.Play(addr.String(), "night", compensate.QualityLevels[rung]+0.025)
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			clientSaved += res.Ledger.SavedJoules
+			clientBase += res.Ledger.BaselineJoules
+			clientSelf += res.Ledger.SessionJoules
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agree := func(metric string, clientSum float64) {
+		t.Helper()
+		server := exp.Sum(metric, obs.L("role", "server"))
+		client := exp.Sum(metric, obs.L("role", "client"))
+		for name, want := range map[string]float64{"server": server, "client": client} {
+			rel := math.Abs(want-clientSum) / math.Abs(clientSum)
+			if rel > 1e-9 {
+				t.Errorf("%s %s-side = %v, ledger sum = %v (rel diff %.2e)",
+					metric, name, want, clientSum, rel)
+			}
+		}
+	}
+	agree("power_saved_joules", clientSaved)
+	agree("power_baseline_joules", clientBase)
+	agree("power_session_joules", clientSelf)
+
+	for _, role := range []string{"client", "server"} {
+		if n := exp.Sum("session_total", obs.L("role", role)); n != sessions {
+			t.Errorf("session_total{role=%q} = %v, want %d", role, n, sessions)
+		}
+	}
+	if clientSaved <= 0 {
+		t.Errorf("summed client ledgers saved %v J, want positive", clientSaved)
+	}
+}

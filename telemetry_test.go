@@ -8,7 +8,6 @@ package repro_test
 import (
 	"io"
 	"net/http"
-	"strconv"
 	"strings"
 	"testing"
 
@@ -37,49 +36,29 @@ func scrape(t *testing.T, base, path string) string {
 	return string(body)
 }
 
-// parseExposition validates Prometheus text exposition format line by
-// line and returns sample values keyed by "name{labels}".
+// parseExposition feeds the scrape body through the typed parser in
+// internal/obs (strict: malformed lines and duplicate series fail) and
+// flattens it back to sample values keyed by "name{labels}" so the
+// assertions below stay literal.
 func parseExposition(t *testing.T, text string) map[string]float64 {
 	t.Helper()
+	e, err := obs.ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
 	samples := map[string]float64{}
-	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
-		if line == "" {
-			t.Fatal("blank line in exposition")
-		}
-		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			t.Fatalf("malformed comment line %q", line)
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		if sp <= 0 || sp == len(line)-1 {
-			t.Fatalf("malformed sample line %q", line)
-		}
-		key, valStr := line[:sp], line[sp+1:]
-		val, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			t.Fatalf("unparseable value in %q: %v", line, err)
-		}
-		name := key
-		if i := strings.IndexByte(key, '{'); i >= 0 {
-			if !strings.HasSuffix(key, "}") {
-				t.Fatalf("unterminated label set in %q", line)
+	for _, name := range e.Names() {
+		for _, s := range e.Samples(name) {
+			key := s.Name
+			if len(s.Labels) > 0 {
+				parts := make([]string, len(s.Labels))
+				for i, l := range s.Labels {
+					parts[i] = l.Key + `="` + l.Value + `"`
+				}
+				key += "{" + strings.Join(parts, ",") + "}"
 			}
-			name = key[:i]
+			samples[key] = s.Value
 		}
-		for j, c := range name {
-			ok := c == '_' || c == ':' ||
-				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-				(j > 0 && c >= '0' && c <= '9')
-			if !ok {
-				t.Fatalf("invalid metric name in %q", line)
-			}
-		}
-		if _, dup := samples[key]; dup {
-			t.Fatalf("duplicate series %q", key)
-		}
-		samples[key] = val
 	}
 	return samples
 }
